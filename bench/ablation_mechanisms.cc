@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation A1: how much of the measured bias does each address-
+ * dependent mechanism contribute?  Each row disables one mechanism in
+ * the core2like model and re-measures the env-size and link-order
+ * cycle spreads for perl.  (This is the design-choice ablation called
+ * out in DESIGN.md, not a figure from the paper.)
+ */
+#include <cstdio>
+#include <functional>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+#include "core/setup.hh"
+#include "core/table.hh"
+#include "stats/sample.hh"
+
+using namespace mbias;
+
+namespace
+{
+
+double
+spreadPct(const sim::MachineConfig &machine,
+          const std::vector<core::ExperimentSetup> &setups)
+{
+    core::ExperimentSpec spec;
+    spec.withMachine(machine);
+    core::ExperimentRunner runner(spec);
+    stats::Sample cycles;
+    for (const auto &s : setups)
+        cycles.add(runner.metricOf(runner.runSide(spec.baseline, s)));
+    return cycles.range() / cycles.median() * 100.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: mechanism contributions to measurement bias "
+                "(perl O2, core2like)\n\n");
+
+    const auto env_setups = core::SetupSpace().varyEnvSize().grid(40);
+    const auto link_setups = core::SetupSpace().varyLinkOrder().grid(24);
+
+    struct Row
+    {
+        const char *name;
+        std::function<void(sim::MachineConfig &)> tweak;
+    };
+    const Row rows[] = {
+        {"full model", [](sim::MachineConfig &) {}},
+        {"no line-split penalty",
+         [](sim::MachineConfig &m) { m.enableLineSplitPenalty = false; }},
+        {"no 4K-alias stalls",
+         [](sim::MachineConfig &m) {
+             m.enableStoreBufferAliasing = false;
+         }},
+        {"perfect branch prediction",
+         [](sim::MachineConfig &m) { m.enableBranchPrediction = false; }},
+        {"no BTB", [](sim::MachineConfig &m) { m.enableBtb = false; }},
+        {"no fetch-block model",
+         [](sim::MachineConfig &m) { m.enableFetchBlockModel = false; }},
+        {"perfect caches",
+         [](sim::MachineConfig &m) { m.enableCaches = false; }},
+        {"perfect TLBs",
+         [](sim::MachineConfig &m) { m.enableTlbs = false; }},
+    };
+
+    core::TextTable t({"model variant", "env spread %", "link spread %"});
+    for (const auto &row : rows) {
+        sim::MachineConfig m = sim::MachineConfig::core2Like();
+        row.tweak(m);
+        t.addRow({row.name, core::fmt(spreadPct(m, env_setups), 3),
+                  core::fmt(spreadPct(m, link_setups), 3)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("a mechanism 'owns' the bias along a factor when "
+                "disabling it collapses that column\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 2: the O3-over-O2 speedup of every suite workload across 33
+ * link orders — min, median, and max.  Workloads whose [min, max]
+ * range straddles 1.0 are those for which the link order alone decides
+ * whether "O3 is beneficial".
+ */
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+#include "core/table.hh"
+#include "stats/sample.hh"
+#include "workloads/registry.hh"
+
+using namespace mbias;
+
+int
+main()
+{
+    constexpr unsigned num_orders = 33;
+    std::printf("Figure 2: O3 speedup across %u link orders "
+                "(core2like, gcc)\n\n",
+                num_orders);
+    core::TextTable t({"workload", "min", "median", "max", "range",
+                       "crosses 1.0"});
+    unsigned crossing = 0;
+    for (const auto *w : workloads::suite()) {
+        core::ExperimentSpec spec;
+        spec.withWorkload(w->name());
+        core::ExperimentRunner runner(spec);
+        stats::Sample sp;
+        for (unsigned s = 0; s < num_orders; ++s) {
+            core::ExperimentSetup setup;
+            setup.linkOrder = s == 0 ? toolchain::LinkOrder::asGiven()
+                                     : toolchain::LinkOrder::shuffled(s);
+            sp.add(runner.run(setup).speedup);
+        }
+        const bool crosses = sp.min() < 1.0 && sp.max() > 1.0;
+        crossing += crosses;
+        t.addRow({w->name(), core::fmt(sp.min()), core::fmt(sp.median()),
+                  core::fmt(sp.max()), core::fmt(sp.range()),
+                  crosses ? "YES" : "no"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("%u of %zu workloads flip their O2-vs-O3 conclusion "
+                "with link order alone\n",
+                crossing, workloads::suite().size());
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 7: experimental setup randomization (the paper's first
+ * remedy).  For every workload, the O3-over-O2 effect is estimated
+ * from 31 randomized setups with a confidence interval over the setup
+ * distribution, and the single-setup "wrong data" risk is quantified.
+ */
+#include <cstdio>
+
+#include "core/bias.hh"
+#include "core/conclusion.hh"
+#include "core/experiment.hh"
+#include "core/setup.hh"
+#include "core/table.hh"
+#include "workloads/registry.hh"
+
+using namespace mbias;
+
+int
+main()
+{
+    constexpr unsigned num_setups = 31;
+    std::printf("Figure 7: randomized-setup estimation of the O3 effect "
+                "(core2like, gcc, %u setups)\n\n",
+                num_setups);
+    core::TextTable t({"workload", "speedup", "95% CI", "bias", "flips",
+                       "verdict", "wrong data?"});
+
+    core::BiasAnalyzer analyzer;
+    core::ConclusionChecker checker;
+    unsigned wrongable = 0;
+    for (const auto *w : workloads::suite()) {
+        core::ExperimentSpec spec;
+        spec.withWorkload(w->name());
+        core::SetupRandomizer randomizer(
+            core::SetupSpace().varyEnvSize().varyLinkOrder(),
+            /* seed = */ 0xf19u);
+        auto report = analyzer.analyze(spec, randomizer, num_setups);
+        auto check = checker.check(report);
+        wrongable += check.wrongDataPossible;
+        t.addRow({w->name(), core::fmt(report.speedupCI.estimate),
+                  "[" + core::fmt(report.speedupCI.lower) + ", " +
+                      core::fmt(report.speedupCI.upper) + "]",
+                  core::fmt(report.biasMagnitude),
+                  std::to_string(report.conclusionFlips) + "/" +
+                      std::to_string(num_setups),
+                  core::verdictName(report.verdict),
+                  check.wrongDataPossible ? "YES" : "no"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("%u of %zu workloads admit single-setup experiments with "
+                "contradictory conclusions;\n"
+                "the randomized-setup CI reports the effect with its "
+                "setup-induced uncertainty instead.\n",
+                wrongable, workloads::suite().size());
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator substrate: raw
+ * component costs (cache/TLB/predictor models) and end-to-end
+ * simulation rates for representative workloads.  These time the
+ * *simulator*, not the simulated programs.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+#include "sim/machine.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "uarch/branch.hh"
+#include "uarch/cache.hh"
+#include "uarch/tlb.hh"
+#include "workloads/registry.hh"
+
+using namespace mbias;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    uarch::Cache cache({64, 8, 64, 3, 12});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, 8));
+        addr += 72; // mixed hits/misses
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    uarch::Tlb tlb({64, 4096, 30});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.access(addr, 8));
+        addr += 4096 + 64;
+    }
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_GsharePredict(benchmark::State &state)
+{
+    uarch::GsharePredictor pred(12, 8);
+    Addr pc = 0x400000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, taken);
+        taken = !taken;
+        pc += 12;
+    }
+}
+BENCHMARK(BM_GsharePredict);
+
+void
+BM_CompileWorkload(benchmark::State &state)
+{
+    const auto &w = workloads::findWorkload("perl");
+    workloads::WorkloadConfig cfg;
+    const auto sources = w.build(cfg);
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cc.compile(sources));
+}
+BENCHMARK(BM_CompileWorkload);
+
+void
+BM_LinkWorkload(benchmark::State &state)
+{
+    const auto &w = workloads::findWorkload("perl");
+    workloads::WorkloadConfig cfg;
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    const auto objs = cc.compile(w.build(cfg));
+    toolchain::Linker linker;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            linker.link(objs, toolchain::LinkOrder::shuffled(1)));
+}
+BENCHMARK(BM_LinkWorkload);
+
+void
+BM_SimulateWorkload(benchmark::State &state, const char *name)
+{
+    const auto &w = workloads::findWorkload(name);
+    workloads::WorkloadConfig cfg;
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    auto prog = toolchain::Linker().link(cc.compile(w.build(cfg)));
+    auto image = toolchain::Loader::load(std::move(prog), {});
+    sim::Machine machine(sim::MachineConfig::core2Like());
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto rr = machine.run(image);
+        insts += rr.instructions();
+        benchmark::DoNotOptimize(rr);
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_SimulateWorkload, perl, "perl");
+BENCHMARK_CAPTURE(BM_SimulateWorkload, mcf, "mcf");
+BENCHMARK_CAPTURE(BM_SimulateWorkload, lbm, "lbm");
+
+} // namespace
+
+BENCHMARK_MAIN();

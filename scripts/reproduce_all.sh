@@ -1,0 +1,37 @@
+#!/bin/sh
+# Reproduces everything: build, full test suite, every table/figure
+# harness, and the examples.  Outputs are written to results/.
+#
+# Usage: scripts/reproduce_all.sh [build-dir]
+set -e
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== configure & build =="
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+mkdir -p results
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee results/test_output.txt
+
+echo "== tables & figures =="
+: > results/bench_output.txt
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "---- $(basename "$b") ----" | tee -a results/bench_output.txt
+    "$b" 2>&1 | tee -a results/bench_output.txt
+done
+
+echo "== examples =="
+: > results/examples_output.txt
+for e in "$BUILD"/examples/*; do
+    [ -f "$e" ] && [ -x "$e" ] || continue
+    echo "---- $(basename "$e") ----" | tee -a results/examples_output.txt
+    "$e" 2>&1 | tee -a results/examples_output.txt
+done
+
+echo "All outputs are in results/.  Compare against EXPERIMENTS.md."

@@ -1,0 +1,78 @@
+#ifndef MBIAS_BASE_BITUTILS_HH
+#define MBIAS_BASE_BITUTILS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace mbias
+{
+
+/** Returns true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Rounds @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p v down to the previous multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Returns true iff @p v is a multiple of @p align (a power of two). */
+constexpr bool
+isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Floor of log2 of @p v; @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2 of @p v; @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** A mask with the low @p n bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t(0) : ((std::uint64_t(1) << n) - 1);
+}
+
+/** Extracts bits [hi:lo] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & mask(hi - lo + 1);
+}
+
+/** Whether a byte access [addr, addr+size) crosses an @p align boundary. */
+constexpr bool
+crossesBoundary(std::uint64_t addr, unsigned size, std::uint64_t align)
+{
+    return size != 0 && (addr / align) != ((addr + size - 1) / align);
+}
+
+} // namespace mbias
+
+#endif // MBIAS_BASE_BITUTILS_HH

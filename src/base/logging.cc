@@ -1,0 +1,54 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mbias
+{
+
+namespace
+{
+bool logging_on = true;
+} // namespace
+
+void
+setLoggingEnabled(bool enabled)
+{
+    logging_on = enabled;
+}
+
+bool
+loggingEnabled()
+{
+    return logging_on;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (logging_on)
+        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (logging_on)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace mbias

@@ -1,0 +1,74 @@
+#ifndef MBIAS_BASE_LOGGING_HH
+#define MBIAS_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mbias
+{
+
+/**
+ * Terminates the process for an internal library bug.  Call when a
+ * condition arises that should never happen regardless of what the user
+ * does.  Aborts so that a core dump / debugger is available.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/**
+ * Terminates the process for a user error (bad configuration, invalid
+ * arguments).  Exits with status 1.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Prints a warning about suspicious but non-fatal conditions. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Prints an informational status message. */
+void inform(const std::string &msg);
+
+/** Controls whether warn()/inform() produce output (tests silence them). */
+void setLoggingEnabled(bool enabled);
+
+/** Returns whether warn()/inform() currently produce output. */
+bool loggingEnabled();
+
+namespace detail
+{
+
+/** Builds a message string from stream-style arguments. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace mbias
+
+#define mbias_panic(...)                                                    \
+    ::mbias::panicImpl(__FILE__, __LINE__,                                  \
+                       ::mbias::detail::format(__VA_ARGS__))
+
+#define mbias_fatal(...)                                                    \
+    ::mbias::fatalImpl(__FILE__, __LINE__,                                  \
+                       ::mbias::detail::format(__VA_ARGS__))
+
+#define mbias_warn(...)                                                     \
+    ::mbias::warnImpl(__FILE__, __LINE__,                                   \
+                      ::mbias::detail::format(__VA_ARGS__))
+
+/** Panics unless @p cond holds; the message explains the invariant. */
+#define mbias_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            mbias_panic("assertion failed: " #cond ": ", __VA_ARGS__);      \
+    } while (0)
+
+#endif // MBIAS_BASE_LOGGING_HH

@@ -1,0 +1,20 @@
+#ifndef MBIAS_BASE_TYPES_HH
+#define MBIAS_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace mbias
+{
+
+/** A (virtual) memory address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A count of simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+} // namespace mbias
+
+#endif // MBIAS_BASE_TYPES_HH

@@ -1,0 +1,72 @@
+#include "core/conclusion.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::core
+{
+
+std::string
+ConclusionCheck::str() const
+{
+    std::ostringstream os;
+    os << "robust verdict: " << verdictName(robustVerdict) << "\n";
+    os << "single-setup experiments concluding helps/hurts/neutral: "
+       << wouldConcludeHelps << "/" << wouldConcludeHurts << "/"
+       << wouldConcludeNeutral << "\n";
+    os << "contradiction rate: " << contradictionRate << "\n";
+    if (wrongDataPossible)
+        os << "** a single-setup experiment can produce wrong data for "
+              "this study **\n";
+    return os.str();
+}
+
+ConclusionChecker::ConclusionChecker(double threshold)
+    : threshold_(threshold)
+{
+    mbias_assert(threshold >= 0.0, "negative threshold");
+}
+
+Verdict
+ConclusionChecker::singleSetupVerdict(double speedup) const
+{
+    if (speedup > 1.0 + threshold_)
+        return Verdict::TreatmentHelps;
+    if (speedup < 1.0 - threshold_)
+        return Verdict::TreatmentHurts;
+    return Verdict::Inconclusive;
+}
+
+ConclusionCheck
+ConclusionChecker::check(const BiasReport &report) const
+{
+    ConclusionCheck c;
+    c.robustVerdict = report.verdict;
+    int contradicting = 0;
+    for (const auto &o : report.outcomes) {
+        const Verdict v = singleSetupVerdict(o.speedup);
+        switch (v) {
+          case Verdict::TreatmentHelps:
+            ++c.wouldConcludeHelps;
+            break;
+          case Verdict::TreatmentHurts:
+            ++c.wouldConcludeHurts;
+            break;
+          case Verdict::Inconclusive:
+            ++c.wouldConcludeNeutral;
+            break;
+        }
+        if (v != Verdict::Inconclusive && v != c.robustVerdict)
+            ++contradicting;
+    }
+    c.wrongDataPossible =
+        c.wouldConcludeHelps > 0 && c.wouldConcludeHurts > 0;
+    c.contradictionRate = report.outcomes.empty()
+                              ? 0.0
+                              : double(contradicting) /
+                                    double(report.outcomes.size());
+    return c;
+}
+
+} // namespace mbias::core

@@ -1,0 +1,61 @@
+#ifndef MBIAS_CORE_CONCLUSION_HH
+#define MBIAS_CORE_CONCLUSION_HH
+
+#include <string>
+
+#include "core/bias.hh"
+
+namespace mbias::core
+{
+
+/**
+ * The "wrong data" diagnosis: given a bias report, how likely was a
+ * single-setup experiment — the field's standard practice — to reach
+ * each possible conclusion?
+ */
+struct ConclusionCheck
+{
+    /** The robust (randomized-setup) verdict. */
+    Verdict robustVerdict = Verdict::Inconclusive;
+
+    /** Of the measured setups, how many single-setup experiments ... */
+    int wouldConcludeHelps = 0; ///< ... would say the treatment helps
+    int wouldConcludeHurts = 0; ///< ... would say it hurts
+    int wouldConcludeNeutral = 0; ///< ... would call it a wash
+
+    /**
+     * True when at least one measured setup supports a conclusion
+     * opposite to another measured setup — i.e. the experimenter's
+     * (unreported!) setup choice decides the paper's claim.
+     */
+    bool wrongDataPossible = false;
+
+    /** Probability (over measured setups) of contradicting the robust
+     *  verdict. */
+    double contradictionRate = 0.0;
+
+    std::string str() const;
+};
+
+/**
+ * Evaluates how misleading single-setup experimentation would have
+ * been for a given experiment.
+ */
+class ConclusionChecker
+{
+  public:
+    /** @p threshold: relative speedup below which a result is neutral. */
+    explicit ConclusionChecker(double threshold = 0.01);
+
+    ConclusionCheck check(const BiasReport &report) const;
+
+    /** Verdict a single-setup experiment reaches from one speedup. */
+    Verdict singleSetupVerdict(double speedup) const;
+
+  private:
+    double threshold_;
+};
+
+} // namespace mbias::core
+
+#endif // MBIAS_CORE_CONCLUSION_HH

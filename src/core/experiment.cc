@@ -1,0 +1,77 @@
+#include "core/experiment.hh"
+
+#include "base/logging.hh"
+
+namespace mbias::core
+{
+
+std::string
+metricName(Metric m)
+{
+    switch (m) {
+      case Metric::Cycles:
+        return "cycles";
+      case Metric::Cpi:
+        return "cpi";
+      case Metric::Instructions:
+        return "instructions";
+    }
+    mbias_panic("bad metric");
+}
+
+ExperimentSpec &
+ExperimentSpec::withWorkload(std::string name)
+{
+    workload = std::move(name);
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::withMachine(sim::MachineConfig config)
+{
+    machine = std::move(config);
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::withBaseline(toolchain::ToolchainSpec spec)
+{
+    baseline = spec;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::withTreatment(toolchain::ToolchainSpec spec)
+{
+    treatment = spec;
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::withTreatmentMachine(sim::MachineConfig config)
+{
+    treatmentMachine = std::move(config);
+    return *this;
+}
+
+ExperimentSpec &
+ExperimentSpec::withScale(unsigned scale)
+{
+    workloadConfig.scale = scale;
+    return *this;
+}
+
+std::string
+ExperimentSpec::str() const
+{
+    if (treatmentMachine && baseline == treatment)
+        return workload + " (" + baseline.str() + "): " + machine.name +
+               " vs " + treatmentMachine->name;
+    std::string s = workload + ": " + baseline.str() + " vs " +
+                    treatment.str() + " on " + machine.name;
+    if (treatmentMachine)
+        s += " vs " + treatmentMachine->name;
+    return s;
+}
+
+} // namespace mbias::core

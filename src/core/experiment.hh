@@ -1,0 +1,69 @@
+#ifndef MBIAS_CORE_EXPERIMENT_HH
+#define MBIAS_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/config.hh"
+#include "toolchain/compiler.hh"
+#include "workloads/workload.hh"
+
+namespace mbias::core
+{
+
+/** Which measurement the analysis is about. */
+enum class Metric
+{
+    Cycles,
+    Cpi,
+    Instructions,
+};
+
+/** Readable name of a metric. */
+std::string metricName(Metric m);
+
+/**
+ * The question a researcher is asking: "is the treatment toolchain
+ * better than the baseline toolchain for this workload on this
+ * machine?" — e.g. gcc -O3 vs gcc -O2, the paper's running example.
+ *
+ * Deliberately *not* part of the spec: environment size and link
+ * order.  Those are the "innocuous" setup factors (ExperimentSetup)
+ * whose influence this library exists to measure.
+ */
+struct ExperimentSpec
+{
+    std::string workload = "perl";
+    workloads::WorkloadConfig workloadConfig;
+    sim::MachineConfig machine = sim::MachineConfig::core2Like();
+    toolchain::ToolchainSpec baseline{toolchain::CompilerVendor::GccLike,
+                                      toolchain::OptLevel::O2};
+    toolchain::ToolchainSpec treatment{toolchain::CompilerVendor::GccLike,
+                                       toolchain::OptLevel::O3};
+
+    /**
+     * For *hardware* studies: when set, the treatment side runs on
+     * this machine (with the baseline toolchain unless the toolchains
+     * differ too).  Unset = software study on a single machine.
+     */
+    std::optional<sim::MachineConfig> treatmentMachine;
+
+    Metric metric = Metric::Cycles;
+
+    /** @name Fluent setters @{ */
+    ExperimentSpec &withWorkload(std::string name);
+    ExperimentSpec &withMachine(sim::MachineConfig config);
+    ExperimentSpec &withBaseline(toolchain::ToolchainSpec spec);
+    ExperimentSpec &withTreatment(toolchain::ToolchainSpec spec);
+    /** Makes this a hardware study: baseline machine vs @p config. */
+    ExperimentSpec &withTreatmentMachine(sim::MachineConfig config);
+    ExperimentSpec &withScale(unsigned scale);
+    /** @} */
+
+    /** One-line description, e.g. "perl: gcc-O2 vs gcc-O3 on core2like". */
+    std::string str() const;
+};
+
+} // namespace mbias::core
+
+#endif // MBIAS_CORE_EXPERIMENT_HH

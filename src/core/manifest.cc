@@ -1,0 +1,61 @@
+#include "core/manifest.hh"
+
+#include <sstream>
+
+namespace mbias::core
+{
+
+std::string
+SetupManifest::describeMachine(const sim::MachineConfig &m)
+{
+    std::ostringstream os;
+    os << "machine " << m.name << ":\n";
+    os << "  front end   : " << m.fetchWidth << "-wide, "
+       << m.fetchBlockBytes << "B fetch blocks, mispredict "
+       << m.branchMispredictPenalty << "c\n";
+    os << "  predictor   : "
+       << (m.predictor == sim::PredictorKind::Gshare ? "gshare" : "bimodal")
+       << " 2^" << m.predictorTableBits << " entries, "
+       << m.predictorHistoryBits << "b history; BTB " << m.btbSets << "x"
+       << m.btbWays << "\n";
+    os << "  L1I/L1D     : " << m.icache.capacityBytes() / 1024 << "K/"
+       << m.dcache.capacityBytes() / 1024 << "K, " << m.dcache.lineBytes
+       << "B lines, miss " << m.icache.missPenalty << "/"
+       << m.dcache.missPenalty << "c\n";
+    os << "  L2          : " << m.l2.capacityBytes() / 1024 << "K, miss "
+       << m.l2.missPenalty << "c\n";
+    os << "  TLBs        : " << m.itlb.entries << "i/" << m.dtlb.entries
+       << "d entries, miss " << m.itlb.missPenalty << "/"
+       << m.dtlb.missPenalty << "c\n";
+    os << "  hazards     : line split " << m.lineSplitPenalty
+       << "c, 4K alias " << m.aliasPenalty << "c (buffer "
+       << m.storeBufferEntries << "), OoO window " << m.oooWindowCycles
+       << "c\n";
+    os << "  prefetcher  : "
+       << (m.enableNextLinePrefetch ? "next-line" : "none") << "\n";
+    return os.str();
+}
+
+std::string
+SetupManifest::describe(const ExperimentSpec &spec,
+                        const ExperimentSetup &setup)
+{
+    std::ostringstream os;
+    os << "=== experimental setup manifest ===\n";
+    os << "workload      : " << spec.workload << " (scale "
+       << spec.workloadConfig.scale << ", input seed "
+       << spec.workloadConfig.seed << ")\n";
+    os << "baseline      : " << spec.baseline.str() << "\n";
+    os << "treatment     : " << spec.treatment.str() << "\n";
+    os << "metric        : " << metricName(spec.metric) << "\n";
+    os << "env size      : " << setup.envBytes
+       << " bytes   <- the factor nobody reports\n";
+    os << "link order    : " << setup.linkOrder.str()
+       << "   <- the other factor nobody reports\n";
+    os << describeMachine(spec.machine);
+    if (spec.treatmentMachine)
+        os << describeMachine(*spec.treatmentMachine);
+    return os.str();
+}
+
+} // namespace mbias::core

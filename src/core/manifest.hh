@@ -1,0 +1,35 @@
+#ifndef MBIAS_CORE_MANIFEST_HH
+#define MBIAS_CORE_MANIFEST_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/setup.hh"
+
+namespace mbias::core
+{
+
+/**
+ * The experimental-setup manifest: everything another researcher needs
+ * to reproduce a measurement *exactly*, including the "innocuous"
+ * factors the paper's 133-paper survey found nobody reports.
+ *
+ * The paper's minimal ask of authors is precisely this: if you cannot
+ * randomize the setup, at least *document* it so readers can judge
+ * (and replicate) the bias.  `ExperimentRunner`-based harnesses can
+ * emit one manifest per reported number.
+ */
+class SetupManifest
+{
+  public:
+    /** Renders the full manifest for one (spec, setup) measurement. */
+    static std::string describe(const ExperimentSpec &spec,
+                                const ExperimentSetup &setup);
+
+    /** Renders just the machine configuration section. */
+    static std::string describeMachine(const sim::MachineConfig &m);
+};
+
+} // namespace mbias::core
+
+#endif // MBIAS_CORE_MANIFEST_HH

@@ -1,0 +1,137 @@
+#include "core/runner.hh"
+
+#include "base/logging.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/registry.hh"
+
+namespace mbias::core
+{
+
+ExperimentRunner::ExperimentRunner(ExperimentSpec spec)
+    : spec_(std::move(spec))
+{
+}
+
+const std::vector<isa::Module> &
+ExperimentRunner::compiled(const toolchain::ToolchainSpec &tc)
+{
+    const auto key = std::make_pair(int(tc.vendor), int(tc.level));
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    const auto &w = workloads::findWorkload(spec_.workload);
+    toolchain::Compiler cc(tc.vendor, tc.level);
+    auto mods = cc.compile(w.build(spec_.workloadConfig));
+    return cache_.emplace(key, std::move(mods)).first->second;
+}
+
+sim::RunResult
+ExperimentRunner::runSide(const toolchain::ToolchainSpec &tc,
+                          const ExperimentSetup &setup,
+                          bool treatment_side)
+{
+    toolchain::Linker linker;
+    auto prog = linker.link(compiled(tc), setup.linkOrder);
+    toolchain::LoaderConfig lc;
+    lc.envBytes = setup.envBytes;
+    if (spAlign_)
+        lc.spAlign = spAlign_;
+    auto image = toolchain::Loader::load(std::move(prog), lc);
+    const sim::MachineConfig &mc =
+        treatment_side && spec_.treatmentMachine ? *spec_.treatmentMachine
+                                                 : spec_.machine;
+    sim::Machine machine(mc);
+    auto rr = machine.run(image);
+    mbias_assert(rr.halted, "workload did not halt: ", spec_.workload);
+    return rr;
+}
+
+stats::Sample
+ExperimentRunner::repeatedMetric(const toolchain::ToolchainSpec &tc,
+                                 const ExperimentSetup &setup,
+                                 unsigned reps,
+                                 std::uint64_t noise_seed_base)
+{
+    mbias_assert(reps >= 1, "need at least one repetition");
+    toolchain::Linker linker;
+    auto prog = linker.link(compiled(tc), setup.linkOrder);
+    toolchain::LoaderConfig lc;
+    lc.envBytes = setup.envBytes;
+    if (spAlign_)
+        lc.spAlign = spAlign_;
+    auto image = toolchain::Loader::load(std::move(prog), lc);
+    sim::Machine machine(spec_.machine);
+    stats::Sample out;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto noise = sim::NoiseModel::withSeed(noise_seed_base + r);
+        auto rr = machine.run(image, 500'000'000, noise);
+        mbias_assert(rr.halted, "workload did not halt: ", spec_.workload);
+        out.add(metricOf(rr));
+    }
+    return out;
+}
+
+stats::Sample
+ExperimentRunner::aslrRandomizedMetric(const toolchain::ToolchainSpec &tc,
+                                       const ExperimentSetup &setup,
+                                       unsigned reps,
+                                       std::uint64_t aslr_seed_base)
+{
+    mbias_assert(reps >= 1, "need at least one repetition");
+    toolchain::Linker linker;
+    auto prog = linker.link(compiled(tc), setup.linkOrder);
+    stats::Sample out;
+    sim::Machine machine(spec_.machine);
+    for (unsigned r = 0; r < reps; ++r) {
+        toolchain::LoaderConfig lc;
+        lc.envBytes = setup.envBytes;
+        lc.aslrSeed = aslr_seed_base + r;
+        if (spAlign_)
+            lc.spAlign = spAlign_;
+        auto image = toolchain::Loader::load(prog, lc);
+        auto rr = machine.run(image);
+        mbias_assert(rr.halted, "workload did not halt: ", spec_.workload);
+        out.add(metricOf(rr));
+    }
+    return out;
+}
+
+double
+ExperimentRunner::metricOf(const sim::RunResult &rr) const
+{
+    switch (spec_.metric) {
+      case Metric::Cycles:
+        return double(rr.cycles());
+      case Metric::Cpi:
+        return rr.cpi();
+      case Metric::Instructions:
+        return double(rr.instructions());
+    }
+    mbias_panic("bad metric");
+}
+
+RunOutcome
+ExperimentRunner::run(const ExperimentSetup &setup)
+{
+    RunOutcome o;
+    o.setup = setup;
+    o.baseline = runSide(spec_.baseline, setup, false);
+    o.treatment = runSide(spec_.treatment, setup, true);
+    const double treat = metricOf(o.treatment);
+    mbias_assert(treat > 0.0, "degenerate metric");
+    o.speedup = metricOf(o.baseline) / treat;
+    return o;
+}
+
+std::vector<RunOutcome>
+ExperimentRunner::runAll(const std::vector<ExperimentSetup> &setups)
+{
+    std::vector<RunOutcome> out;
+    out.reserve(setups.size());
+    for (const auto &s : setups)
+        out.push_back(run(s));
+    return out;
+}
+
+} // namespace mbias::core

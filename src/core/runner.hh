@@ -1,0 +1,97 @@
+#ifndef MBIAS_CORE_RUNNER_HH
+#define MBIAS_CORE_RUNNER_HH
+
+#include <map>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/setup.hh"
+#include "sim/machine.hh"
+#include "stats/sample.hh"
+
+namespace mbias::core
+{
+
+/** The measurements of one setup: baseline, treatment, and the ratio. */
+struct RunOutcome
+{
+    ExperimentSetup setup;
+    sim::RunResult baseline;
+    sim::RunResult treatment;
+
+    /**
+     * Speedup of the treatment over the baseline on the spec's metric
+     * (ratio of baseline to treatment, so > 1 means treatment wins).
+     */
+    double speedup = 0.0;
+};
+
+/**
+ * Executes an ExperimentSpec under chosen setups: builds the workload,
+ * compiles baseline and treatment once each (modules are cached), and
+ * links/loads/runs per setup.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentSpec spec);
+
+    const ExperimentSpec &spec() const { return spec_; }
+
+    /** Runs baseline and treatment in one setup. */
+    RunOutcome run(const ExperimentSetup &setup);
+
+    /** Runs all setups. */
+    std::vector<RunOutcome> runAll(const std::vector<ExperimentSetup> &s);
+
+    /** Runs only one side (used by causal analysis).
+     *  @p treatment_side selects the treatment machine for hardware
+     *  studies. */
+    sim::RunResult runSide(const toolchain::ToolchainSpec &tc,
+                           const ExperimentSetup &setup,
+                           bool treatment_side = false);
+
+    /**
+     * Repeats one side @p reps times in one setup under seeded
+     * OS-interrupt noise (seeds base, base+1, ...), returning the
+     * metric sample — the conventional "repeat the run k times"
+     * methodology the paper contrasts with setup randomization.
+     */
+    stats::Sample repeatedMetric(const toolchain::ToolchainSpec &tc,
+                                 const ExperimentSetup &setup,
+                                 unsigned reps,
+                                 std::uint64_t noise_seed_base);
+
+    /**
+     * The Stabilizer-style remedy: runs one side @p reps times in one
+     * setup with a *different stack ASLR layout per run* (seeds base,
+     * base+1, ...).  Layout bias becomes visible variance; the mean of
+     * the sample estimates the layout-marginalized metric.
+     */
+    stats::Sample aslrRandomizedMetric(const toolchain::ToolchainSpec &tc,
+                                       const ExperimentSetup &setup,
+                                       unsigned reps,
+                                       std::uint64_t aslr_seed_base);
+
+    /** Extracts the spec's metric from a run result. */
+    double metricOf(const sim::RunResult &rr) const;
+
+    /**
+     * Loader override hook: when set, forces the initial stack pointer
+     * alignment (the paper-style "align the stack" causal
+     * intervention).  0 = no override.
+     */
+    void setSpAlignOverride(std::uint64_t align) { spAlign_ = align; }
+
+  private:
+    const std::vector<isa::Module> &
+    compiled(const toolchain::ToolchainSpec &tc);
+
+    ExperimentSpec spec_;
+    std::uint64_t spAlign_ = 0;
+    std::map<std::pair<int, int>, std::vector<isa::Module>> cache_;
+};
+
+} // namespace mbias::core
+
+#endif // MBIAS_CORE_RUNNER_HH

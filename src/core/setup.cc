@@ -1,0 +1,89 @@
+#include "core/setup.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::core
+{
+
+std::string
+ExperimentSetup::str() const
+{
+    std::ostringstream os;
+    os << "env=" << envBytes << " link=" << linkOrder.str();
+    return os.str();
+}
+
+SetupSpace &
+SetupSpace::varyEnvSize(std::uint64_t min, std::uint64_t max)
+{
+    mbias_assert(min <= max, "bad env range");
+    varyEnv_ = true;
+    envMin_ = min;
+    envMax_ = max;
+    return *this;
+}
+
+SetupSpace &
+SetupSpace::varyLinkOrder()
+{
+    varyLink_ = true;
+    return *this;
+}
+
+ExperimentSetup
+SetupSpace::sample(Rng &rng) const
+{
+    mbias_assert(varyEnv_ || varyLink_,
+                 "setup space has no varying factor");
+    ExperimentSetup s;
+    if (varyEnv_)
+        s.envBytes = std::uint64_t(
+            rng.nextRange(std::int64_t(envMin_), std::int64_t(envMax_)));
+    if (varyLink_)
+        s.linkOrder = toolchain::LinkOrder::shuffled(rng.next());
+    return s;
+}
+
+std::vector<ExperimentSetup>
+SetupSpace::grid(unsigned points) const
+{
+    mbias_assert(points >= 1, "grid needs at least one point");
+    mbias_assert(varyEnv_ || varyLink_,
+                 "setup space has no varying factor");
+    std::vector<ExperimentSetup> out;
+    out.reserve(points);
+    for (unsigned i = 0; i < points; ++i) {
+        ExperimentSetup s;
+        if (varyEnv_) {
+            const std::uint64_t span = envMax_ - envMin_;
+            s.envBytes =
+                points == 1
+                    ? envMin_
+                    : envMin_ + span * i / (points - 1);
+        }
+        if (varyLink_ && !varyEnv_)
+            s.linkOrder = i == 0 ? toolchain::LinkOrder::asGiven()
+                                 : toolchain::LinkOrder::shuffled(i);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+SetupRandomizer::SetupRandomizer(SetupSpace space, std::uint64_t seed)
+    : space_(space), rng_(seed)
+{
+}
+
+std::vector<ExperimentSetup>
+SetupRandomizer::sample(unsigned n)
+{
+    std::vector<ExperimentSetup> out;
+    out.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(space_.sample(rng_));
+    return out;
+}
+
+} // namespace mbias::core

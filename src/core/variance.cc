@@ -1,0 +1,71 @@
+#include "core/variance.hh"
+
+#include <limits>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::core
+{
+
+std::string
+VarianceReport::str() const
+{
+    std::ostringstream os;
+    os << "variance decomposition for " << specDescription << "\n";
+    os << "  within one setup (" << withinSetup.count()
+       << " noisy repetitions): speedup " << withinCI.str() << "\n";
+    os << "  across setups (" << betweenSetups.count()
+       << " setups): speedup " << betweenCI.str() << "\n";
+    os << "  between/within variance ratio: " << varianceRatio << "\n";
+    if (falseConfidence)
+        os << "  ** FALSE CONFIDENCE: the repetition CI excludes the "
+              "cross-setup mean — a tight interval around the wrong "
+              "value **\n";
+    return os.str();
+}
+
+VarianceAnalyzer::VarianceAnalyzer(unsigned reps, std::uint64_t noise_seed)
+    : reps_(reps), noiseSeed_(noise_seed)
+{
+    mbias_assert(reps >= 2, "variance needs >= 2 repetitions");
+}
+
+VarianceReport
+VarianceAnalyzer::analyze(const ExperimentSpec &spec,
+                          const ExperimentSetup &home,
+                          const std::vector<ExperimentSetup> &setups) const
+{
+    mbias_assert(setups.size() >= 2, "need >= 2 setups");
+    ExperimentRunner runner(spec);
+
+    VarianceReport r;
+    r.specDescription = spec.str();
+
+    // Within: repeat base and treatment at the home setup.
+    auto base = runner.repeatedMetric(spec.baseline, home, reps_,
+                                      noiseSeed_);
+    auto treat = runner.repeatedMetric(spec.treatment, home, reps_,
+                                       noiseSeed_ + 7919);
+    for (unsigned i = 0; i < reps_; ++i)
+        r.withinSetup.add(base.values()[i] / treat.values()[i]);
+    r.withinCI = stats::tInterval(r.withinSetup);
+
+    // Between: one noisy repetition per setup.
+    std::uint64_t seed = noiseSeed_ + 104729;
+    for (const auto &s : setups) {
+        auto b = runner.repeatedMetric(spec.baseline, s, 1, seed);
+        auto t = runner.repeatedMetric(spec.treatment, s, 1, seed + 1);
+        r.betweenSetups.add(b.values()[0] / t.values()[0]);
+        seed += 2;
+    }
+    r.betweenCI = stats::tInterval(r.betweenSetups);
+
+    const double wv = r.withinSetup.variance();
+    r.varianceRatio = wv > 0.0 ? r.betweenSetups.variance() / wv
+                               : std::numeric_limits<double>::infinity();
+    r.falseConfidence = !r.withinCI.contains(r.betweenSetups.mean());
+    return r;
+}
+
+} // namespace mbias::core

@@ -1,0 +1,70 @@
+#ifndef MBIAS_CORE_VARIANCE_HH
+#define MBIAS_CORE_VARIANCE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "stats/ci.hh"
+#include "stats/sample.hh"
+
+namespace mbias::core
+{
+
+/**
+ * The false-confidence diagnosis: within-setup (visible) variance vs
+ * between-setup (invisible) bias.
+ *
+ * The conventional methodology repeats a run k times in one setup and
+ * reports mean +- CI.  The paper's observation is that this CI can be
+ * *tight around the wrong value*: run-to-run noise is small, while the
+ * setup-induced offset is large and perfectly reproducible, so no
+ * amount of repetition reveals it.
+ */
+struct VarianceReport
+{
+    std::string specDescription;
+
+    /** Speedups from @c reps noisy repetitions at the home setup. */
+    stats::Sample withinSetup;
+    stats::ConfidenceInterval withinCI;
+
+    /** Speedups across distinct setups (one noisy run each). */
+    stats::Sample betweenSetups;
+    stats::ConfidenceInterval betweenCI;
+
+    /** Between-setup variance over within-setup variance. */
+    double varianceRatio = 0.0;
+
+    /**
+     * The trap: the within-setup CI (what a careful single-setup paper
+     * would publish) excludes the cross-setup mean (the truth).
+     */
+    bool falseConfidence = false;
+
+    std::string str() const;
+};
+
+/** Decomposes measurement variation into noise and bias components. */
+class VarianceAnalyzer
+{
+  public:
+    explicit VarianceAnalyzer(unsigned reps = 15,
+                              std::uint64_t noise_seed = 0xfeed);
+
+    /**
+     * @p home is the setup the hypothetical experimenter happens to
+     * have; @p setups the space their peers might have instead.
+     */
+    VarianceReport analyze(const ExperimentSpec &spec,
+                           const ExperimentSetup &home,
+                           const std::vector<ExperimentSetup> &setups) const;
+
+  private:
+    unsigned reps_;
+    std::uint64_t noiseSeed_;
+};
+
+} // namespace mbias::core
+
+#endif // MBIAS_CORE_VARIANCE_HH

@@ -1,0 +1,223 @@
+#include "isa/builder.hh"
+
+#include "base/logging.hh"
+
+namespace mbias::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string module_name)
+    : module_(std::move(module_name))
+{
+}
+
+void
+ProgramBuilder::global(const std::string &name, std::uint64_t size,
+                       unsigned alignment)
+{
+    module_.addGlobal(name, size, alignment);
+}
+
+void
+ProgramBuilder::globalInit(const std::string &name,
+                           std::vector<std::uint8_t> init, unsigned alignment)
+{
+    module_.addGlobal(name, std::move(init), alignment);
+}
+
+void
+ProgramBuilder::globalWords(const std::string &name,
+                            const std::vector<std::uint64_t> &words,
+                            unsigned alignment)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 8);
+    for (std::uint64_t w : words)
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(std::uint8_t(w >> (8 * i)));
+    module_.addGlobal(name, std::move(bytes), alignment);
+}
+
+void
+ProgramBuilder::func(const std::string &name)
+{
+    mbias_assert(!inFunction_, "func() while function ",
+                 current_.name(), " still open");
+    current_ = Function(name);
+    labelIds_.clear();
+    inFunction_ = true;
+}
+
+void
+ProgramBuilder::endFunc()
+{
+    mbias_assert(inFunction_, "endFunc() without func()");
+    mbias_assert(current_.allLabelsBound(), "unbound label in ",
+                 current_.name());
+    module_.addFunction(std::move(current_));
+    inFunction_ = false;
+}
+
+Function &
+ProgramBuilder::cur()
+{
+    mbias_assert(inFunction_, "instruction emitted outside a function");
+    return current_;
+}
+
+std::int32_t
+ProgramBuilder::labelId(const std::string &name)
+{
+    auto it = labelIds_.find(name);
+    if (it != labelIds_.end())
+        return it->second;
+    std::int32_t id = cur().newLabel(name);
+    labelIds_.emplace(name, id);
+    return id;
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    std::int32_t id = labelId(name);
+    cur().bindLabel(id, std::uint32_t(cur().insts().size()));
+}
+
+void
+ProgramBuilder::emit(Instruction inst)
+{
+    cur().insts().push_back(std::move(inst));
+}
+
+// --- register-register ALU ---
+
+#define MBIAS_RR(mnemonic, OP)                                              \
+    void ProgramBuilder::mnemonic(Reg rd, Reg rs1, Reg rs2)                 \
+    {                                                                       \
+        emit(makeRR(Opcode::OP, rd, rs1, rs2));                             \
+    }
+
+MBIAS_RR(add, Add)
+MBIAS_RR(sub, Sub)
+MBIAS_RR(mul, Mul)
+MBIAS_RR(divu, Divu)
+MBIAS_RR(remu, Remu)
+MBIAS_RR(and_, And)
+MBIAS_RR(or_, Or)
+MBIAS_RR(xor_, Xor)
+MBIAS_RR(sll, Sll)
+MBIAS_RR(srl, Srl)
+MBIAS_RR(sra, Sra)
+MBIAS_RR(slt, Slt)
+MBIAS_RR(sltu, Sltu)
+#undef MBIAS_RR
+
+// --- register-immediate ALU ---
+
+#define MBIAS_RI(mnemonic, OP)                                              \
+    void ProgramBuilder::mnemonic(Reg rd, Reg rs1, std::int64_t imm)        \
+    {                                                                       \
+        emit(makeRI(Opcode::OP, rd, rs1, imm));                             \
+    }
+
+MBIAS_RI(addi, Addi)
+MBIAS_RI(andi, Andi)
+MBIAS_RI(ori, Ori)
+MBIAS_RI(xori, Xori)
+MBIAS_RI(slli, Slli)
+MBIAS_RI(srli, Srli)
+MBIAS_RI(srai, Srai)
+MBIAS_RI(slti, Slti)
+#undef MBIAS_RI
+
+void
+ProgramBuilder::li(Reg rd, std::int64_t imm)
+{
+    emit(makeLi(rd, imm));
+}
+
+void
+ProgramBuilder::la(Reg rd, const std::string &global_name)
+{
+    emit(makeLa(rd, global_name));
+}
+
+void
+ProgramBuilder::mv(Reg rd, Reg rs1)
+{
+    emit(makeRI(Opcode::Addi, rd, rs1, 0));
+}
+
+// --- memory ---
+
+#define MBIAS_MEM(mnemonic, OP)                                             \
+    void ProgramBuilder::mnemonic(Reg data, Reg base, std::int64_t off)     \
+    {                                                                       \
+        emit(makeMem(Opcode::OP, data, base, off));                         \
+    }
+
+MBIAS_MEM(ld1, Ld1)
+MBIAS_MEM(ld2, Ld2)
+MBIAS_MEM(ld4, Ld4)
+MBIAS_MEM(ld8, Ld8)
+MBIAS_MEM(st1, St1)
+MBIAS_MEM(st2, St2)
+MBIAS_MEM(st4, St4)
+MBIAS_MEM(st8, St8)
+#undef MBIAS_MEM
+
+// --- control flow ---
+
+#define MBIAS_BR(mnemonic, OP)                                              \
+    void ProgramBuilder::mnemonic(Reg rs1, Reg rs2,                         \
+                                  const std::string &label_name)            \
+    {                                                                       \
+        emit(makeBranch(Opcode::OP, rs1, rs2, labelId(label_name)));        \
+    }
+
+MBIAS_BR(beq, Beq)
+MBIAS_BR(bne, Bne)
+MBIAS_BR(blt, Blt)
+MBIAS_BR(bge, Bge)
+MBIAS_BR(bltu, Bltu)
+MBIAS_BR(bgeu, Bgeu)
+#undef MBIAS_BR
+
+void
+ProgramBuilder::jmp(const std::string &label_name)
+{
+    emit(makeJmp(labelId(label_name)));
+}
+
+void
+ProgramBuilder::call(const std::string &callee)
+{
+    emit(makeCall(callee));
+}
+
+void
+ProgramBuilder::ret()
+{
+    emit(makeRet());
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit(makeNop());
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(makeHalt());
+}
+
+Module
+ProgramBuilder::build()
+{
+    mbias_assert(!inFunction_, "build() while function ",
+                 current_.name(), " still open");
+    return std::move(module_);
+}
+
+} // namespace mbias::isa

@@ -1,0 +1,131 @@
+#ifndef MBIAS_ISA_BUILDER_HH
+#define MBIAS_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "isa/module.hh"
+
+namespace mbias::isa
+{
+
+/**
+ * Assembler-style builder for µRISC modules.
+ *
+ * Workloads are written against this interface much like hand-written
+ * assembly: named labels (forward references allowed), one method per
+ * mnemonic, and named globals.  Example:
+ *
+ * @code
+ * ProgramBuilder b("kernel");
+ * b.global("buf", 4096);
+ * b.func("main");
+ * b.li(reg::t0, 100);
+ * b.label("loop");
+ * b.addi(reg::t0, reg::t0, -1);
+ * b.bne(reg::t0, reg::zero, "loop");
+ * b.halt();
+ * b.endFunc();
+ * Module m = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string module_name);
+
+    /** @name Data definitions @{ */
+    void global(const std::string &name, std::uint64_t size,
+                unsigned alignment = 8);
+    void globalInit(const std::string &name,
+                    std::vector<std::uint8_t> init, unsigned alignment = 8);
+    /** Defines a global of 64-bit little-endian words. */
+    void globalWords(const std::string &name,
+                     const std::vector<std::uint64_t> &words,
+                     unsigned alignment = 8);
+    /** @} */
+
+    /** @name Function scope @{ */
+    void func(const std::string &name);
+    void endFunc();
+    /** Binds (or creates and binds) label @p name at the next inst. */
+    void label(const std::string &name);
+    /** @} */
+
+    /** @name Register-register ALU @{ */
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void remu(Reg rd, Reg rs1, Reg rs2);
+    void and_(Reg rd, Reg rs1, Reg rs2);
+    void or_(Reg rd, Reg rs1, Reg rs2);
+    void xor_(Reg rd, Reg rs1, Reg rs2);
+    void sll(Reg rd, Reg rs1, Reg rs2);
+    void srl(Reg rd, Reg rs1, Reg rs2);
+    void sra(Reg rd, Reg rs1, Reg rs2);
+    void slt(Reg rd, Reg rs1, Reg rs2);
+    void sltu(Reg rd, Reg rs1, Reg rs2);
+    /** @} */
+
+    /** @name Register-immediate ALU @{ */
+    void addi(Reg rd, Reg rs1, std::int64_t imm);
+    void andi(Reg rd, Reg rs1, std::int64_t imm);
+    void ori(Reg rd, Reg rs1, std::int64_t imm);
+    void xori(Reg rd, Reg rs1, std::int64_t imm);
+    void slli(Reg rd, Reg rs1, std::int64_t imm);
+    void srli(Reg rd, Reg rs1, std::int64_t imm);
+    void srai(Reg rd, Reg rs1, std::int64_t imm);
+    void slti(Reg rd, Reg rs1, std::int64_t imm);
+    void li(Reg rd, std::int64_t imm);
+    void la(Reg rd, const std::string &global_name);
+    /** Copies rs1 into rd (addi rd, rs1, 0). */
+    void mv(Reg rd, Reg rs1);
+    /** @} */
+
+    /** @name Memory @{ */
+    void ld1(Reg rd, Reg base, std::int64_t off = 0);
+    void ld2(Reg rd, Reg base, std::int64_t off = 0);
+    void ld4(Reg rd, Reg base, std::int64_t off = 0);
+    void ld8(Reg rd, Reg base, std::int64_t off = 0);
+    void st1(Reg data, Reg base, std::int64_t off = 0);
+    void st2(Reg data, Reg base, std::int64_t off = 0);
+    void st4(Reg data, Reg base, std::int64_t off = 0);
+    void st8(Reg data, Reg base, std::int64_t off = 0);
+    /** @} */
+
+    /** @name Control flow @{ */
+    void beq(Reg rs1, Reg rs2, const std::string &label_name);
+    void bne(Reg rs1, Reg rs2, const std::string &label_name);
+    void blt(Reg rs1, Reg rs2, const std::string &label_name);
+    void bge(Reg rs1, Reg rs2, const std::string &label_name);
+    void bltu(Reg rs1, Reg rs2, const std::string &label_name);
+    void bgeu(Reg rs1, Reg rs2, const std::string &label_name);
+    void jmp(const std::string &label_name);
+    void call(const std::string &callee);
+    void ret();
+    void nop();
+    void halt();
+    /** @} */
+
+    /**
+     * Finalizes and returns the module.  Panics if a function is still
+     * open or a referenced label was never bound.
+     */
+    Module build();
+
+  private:
+    std::int32_t labelId(const std::string &name);
+    void emit(Instruction inst);
+    Function &cur();
+
+    Module module_;
+    Function current_;
+    bool inFunction_ = false;
+    std::unordered_map<std::string, std::int32_t> labelIds_;
+};
+
+} // namespace mbias::isa
+
+#endif // MBIAS_ISA_BUILDER_HH

@@ -1,0 +1,98 @@
+#include "isa/function.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::isa
+{
+
+std::int32_t
+Function::newLabel(std::string label_name)
+{
+    label_targets_.push_back(unbound);
+    label_names_.push_back(std::move(label_name));
+    return std::int32_t(label_targets_.size() - 1);
+}
+
+void
+Function::bindLabel(std::int32_t id, std::uint32_t inst_idx)
+{
+    mbias_assert(id >= 0 && std::size_t(id) < label_targets_.size(),
+                 "label id out of range in ", name_);
+    mbias_assert(label_targets_[id] == unbound,
+                 "label bound twice in ", name_);
+    label_targets_[id] = inst_idx;
+}
+
+std::uint32_t
+Function::labelTarget(std::int32_t id) const
+{
+    mbias_assert(id >= 0 && std::size_t(id) < label_targets_.size(),
+                 "label id out of range in ", name_);
+    mbias_assert(label_targets_[id] != unbound,
+                 "label ", id, " unbound in ", name_);
+    return label_targets_[id];
+}
+
+void
+Function::retarget(std::int32_t id, std::uint32_t inst_idx)
+{
+    mbias_assert(id >= 0 && std::size_t(id) < label_targets_.size(),
+                 "label id out of range in ", name_);
+    label_targets_[id] = inst_idx;
+}
+
+const std::string &
+Function::labelName(std::int32_t id) const
+{
+    mbias_assert(id >= 0 && std::size_t(id) < label_names_.size(),
+                 "label id out of range in ", name_);
+    return label_names_[id];
+}
+
+bool
+Function::allLabelsBound() const
+{
+    for (auto t : label_targets_)
+        if (t == unbound)
+            return false;
+    return true;
+}
+
+bool
+Function::isLeaf() const
+{
+    for (const auto &i : insts_)
+        if (i.op == Opcode::Call)
+            return false;
+    return true;
+}
+
+std::uint64_t
+Function::codeBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &i : insts_)
+        bytes += i.encodedSize();
+    return bytes;
+}
+
+std::string
+Function::str() const
+{
+    std::ostringstream os;
+    os << name_ << ":\n";
+    for (std::size_t idx = 0; idx < insts_.size(); ++idx) {
+        for (std::size_t l = 0; l < label_targets_.size(); ++l)
+            if (label_targets_[l] == idx)
+                os << "  L" << l
+                   << (label_names_[l].empty() ? "" : " <" + label_names_[l] +
+                                                         ">")
+                   << ":\n";
+        os << "    " << insts_[idx].str() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mbias::isa

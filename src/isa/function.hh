@@ -1,0 +1,81 @@
+#ifndef MBIAS_ISA_FUNCTION_HH
+#define MBIAS_ISA_FUNCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace mbias::isa
+{
+
+/**
+ * One function: a named sequence of instructions with local labels.
+ *
+ * Labels are integer ids; labelTarget maps an id to the index of the
+ * instruction it precedes (a label at end-of-function is allowed and
+ * points one past the last instruction).
+ */
+class Function
+{
+  public:
+    Function() = default;
+    explicit Function(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** The instruction sequence (mutable for compiler passes). */
+    std::vector<Instruction> &insts() { return insts_; }
+    const std::vector<Instruction> &insts() const { return insts_; }
+
+    /** Creates a new label id bound later via bindLabel. */
+    std::int32_t newLabel(std::string label_name = "");
+
+    /** Binds label @p id to instruction index @p inst_idx. */
+    void bindLabel(std::int32_t id, std::uint32_t inst_idx);
+
+    /** Instruction index a label points at. */
+    std::uint32_t labelTarget(std::int32_t id) const;
+
+    /** Number of labels allocated. */
+    std::size_t numLabels() const { return label_targets_.size(); }
+
+    /** Overwrites the target of label @p id (compiler passes only). */
+    void retarget(std::int32_t id, std::uint32_t inst_idx);
+
+    /** Debug name of a label (may be empty). */
+    const std::string &labelName(std::int32_t id) const;
+
+    /** True iff every allocated label has been bound. */
+    bool allLabelsBound() const;
+
+    /** True iff the function contains no Call instructions. */
+    bool isLeaf() const;
+
+    /** Sum of encoded instruction sizes in bytes. */
+    std::uint64_t codeBytes() const;
+
+    /**
+     * Required start alignment in bytes (set by the compiler per
+     * vendor/opt level; the linker honours it).
+     */
+    unsigned alignment() const { return alignment_; }
+    void setAlignment(unsigned a) { alignment_ = a; }
+
+    /** Multi-line disassembly listing. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> insts_;
+    std::vector<std::uint32_t> label_targets_;
+    std::vector<std::string> label_names_;
+    unsigned alignment_ = 1;
+
+    static constexpr std::uint32_t unbound = UINT32_MAX;
+};
+
+} // namespace mbias::isa
+
+#endif // MBIAS_ISA_FUNCTION_HH

@@ -1,0 +1,281 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::isa
+{
+
+namespace
+{
+
+bool
+fitsInt8(std::int64_t v)
+{
+    return v >= -128 && v <= 127;
+}
+
+bool
+fitsInt32(std::int64_t v)
+{
+    return v >= INT32_MIN && v <= INT32_MAX;
+}
+
+} // namespace
+
+unsigned
+Instruction::encodedSize() const
+{
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        switch (op) {
+          case Opcode::Li:
+            return fitsInt32(imm) ? 6 : 10;
+          case Opcode::La:
+            return 6; // always a 32-bit absolute data address
+          case Opcode::Addi:
+          case Opcode::Andi:
+          case Opcode::Ori:
+          case Opcode::Xori:
+          case Opcode::Slli:
+          case Opcode::Srli:
+          case Opcode::Srai:
+          case Opcode::Slti:
+            return fitsInt8(imm) ? 4 : 6;
+          default:
+            return 3; // compact register-register form
+        }
+      case OpClass::Load:
+      case OpClass::Store:
+        return fitsInt8(imm) ? 4 : 6;
+      case OpClass::CondBranch:
+        return 4;
+      case OpClass::Jump:
+        return 5;
+      case OpClass::Call:
+        return 5;
+      case OpClass::Ret:
+        return 1;
+      case OpClass::Nop:
+        // Multi-byte nop: imm carries the encoded width (1..15 bytes),
+        // as x86 alignment padding does.  One fetch/decode slot either
+        // way.
+        return imm >= 1 && imm <= 15 ? unsigned(imm) : 1;
+      case OpClass::Halt:
+        return 2;
+    }
+    mbias_panic("unreachable opclass");
+}
+
+bool
+Instruction::reads(Reg r) const
+{
+    if (r == reg::zero)
+        return false;
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        if (op == Opcode::Li || op == Opcode::La)
+            return false;
+        switch (op) {
+          case Opcode::Addi:
+          case Opcode::Andi:
+          case Opcode::Ori:
+          case Opcode::Xori:
+          case Opcode::Slli:
+          case Opcode::Srli:
+          case Opcode::Srai:
+          case Opcode::Slti:
+            return rs1 == r;
+          default:
+            return rs1 == r || rs2 == r;
+        }
+      case OpClass::Load:
+        return rs1 == r;
+      case OpClass::Store:
+        return rs1 == r || rd == r; // rd holds the stored data
+      case OpClass::CondBranch:
+        return rs1 == r || rs2 == r;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writes(Reg r) const
+{
+    if (r == reg::zero)
+        return false;
+    const int d = destReg();
+    return d >= 0 && Reg(d) == r;
+}
+
+int
+Instruction::destReg() const
+{
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+      case OpClass::Load:
+        return rd == reg::zero ? -1 : int(rd);
+      default:
+        return -1;
+    }
+}
+
+std::string
+Instruction::str() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        if (op == Opcode::Li) {
+            os << " x" << int(rd) << ", " << imm;
+        } else if (op == Opcode::La) {
+            os << " x" << int(rd) << ", &" << sym;
+        } else if (op == Opcode::Addi || op == Opcode::Andi ||
+                   op == Opcode::Ori || op == Opcode::Xori ||
+                   op == Opcode::Slli || op == Opcode::Srli ||
+                   op == Opcode::Srai || op == Opcode::Slti) {
+            os << " x" << int(rd) << ", x" << int(rs1) << ", " << imm;
+        } else {
+            os << " x" << int(rd) << ", x" << int(rs1) << ", x" << int(rs2);
+        }
+        break;
+      case OpClass::Load:
+        os << " x" << int(rd) << ", [x" << int(rs1) << " + " << imm << "]";
+        break;
+      case OpClass::Store:
+        os << " [x" << int(rs1) << " + " << imm << "], x" << int(rd);
+        break;
+      case OpClass::CondBranch:
+        os << " x" << int(rs1) << ", x" << int(rs2) << ", L" << target;
+        break;
+      case OpClass::Jump:
+        os << " L" << target;
+        break;
+      case OpClass::Call:
+        os << " " << sym;
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+Instruction
+makeRR(Opcode op, Reg rd, Reg rs1, Reg rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+makeRI(Opcode op, Reg rd, Reg rs1, std::int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLi(Reg rd, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLa(Reg rd, std::string global)
+{
+    Instruction i;
+    i.op = Opcode::La;
+    i.rd = rd;
+    i.sym = std::move(global);
+    return i;
+}
+
+Instruction
+makeMem(Opcode op, Reg data, Reg base, std::int64_t offset)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = data;
+    i.rs1 = base;
+    i.imm = offset;
+    return i;
+}
+
+Instruction
+makeBranch(Opcode op, Reg rs1, Reg rs2, std::int32_t label)
+{
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.target = label;
+    return i;
+}
+
+Instruction
+makeJmp(std::int32_t label)
+{
+    Instruction i;
+    i.op = Opcode::Jmp;
+    i.target = label;
+    return i;
+}
+
+Instruction
+makeCall(std::string callee)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.sym = std::move(callee);
+    return i;
+}
+
+Instruction
+makeRet()
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    return i;
+}
+
+Instruction
+makeNop(unsigned width)
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    i.imm = width;
+    return i;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return i;
+}
+
+} // namespace mbias::isa

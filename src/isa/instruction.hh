@@ -1,0 +1,92 @@
+#ifndef MBIAS_ISA_INSTRUCTION_HH
+#define MBIAS_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace mbias::isa
+{
+
+/** Register numbers 0..31.  x0 is hardwired to zero. */
+using Reg = std::uint8_t;
+
+/** Architectural register roles (RISC-V flavoured ABI). */
+namespace reg
+{
+constexpr Reg zero = 0; ///< hardwired zero
+constexpr Reg ra = 1;   ///< return address (spilled to stack by Call)
+constexpr Reg sp = 2;   ///< stack pointer
+constexpr Reg gp = 3;   ///< global pointer (loader: data-segment base)
+constexpr Reg hp = 4;   ///< heap pointer (loader: heap base)
+constexpr Reg t0 = 5, t1 = 6, t2 = 7, t3 = 8, t4 = 9; ///< caller-saved
+constexpr Reg a0 = 10, a1 = 11, a2 = 12, a3 = 13;     ///< args / return
+constexpr Reg a4 = 14, a5 = 15, a6 = 16, a7 = 17;     ///< args
+constexpr Reg s0 = 18, s1 = 19, s2 = 20, s3 = 21;     ///< callee-saved
+constexpr Reg s4 = 22, s5 = 23, s6 = 24, s7 = 25;     ///< callee-saved
+constexpr Reg s8 = 26, s9 = 27;                       ///< callee-saved
+constexpr Reg t5 = 28, t6 = 29, t7 = 30, t8 = 31;     ///< caller-saved
+constexpr unsigned numRegs = 32;
+} // namespace reg
+
+/** Sentinel for "no label attached / no target". */
+constexpr std::int32_t no_target = -1;
+
+/**
+ * One µRISC instruction in unlinked form.
+ *
+ * Branch/jump targets are label ids local to the enclosing Function;
+ * Call and La refer to symbols by name (resolved by the Linker).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    std::int64_t imm = 0;
+
+    /** Label id (within the function) for branches and Jmp. */
+    std::int32_t target = no_target;
+
+    /** Callee function name (Call) or global name (La). */
+    std::string sym;
+
+    /**
+     * Encoded size in bytes.  The encoding is variable-length (x86
+     * flavoured): compact register forms, wider immediate forms.  The
+     * size never depends on final addresses, so layout is a single
+     * deterministic pass.
+     */
+    unsigned encodedSize() const;
+
+    /** Human-readable rendering for debug dumps. */
+    std::string str() const;
+
+    /** True if this instruction reads register @p r (r != x0). */
+    bool reads(Reg r) const;
+
+    /** True if this instruction writes register @p r (r != x0). */
+    bool writes(Reg r) const;
+
+    /** Destination register or -1 if none. */
+    int destReg() const;
+};
+
+/** Convenience factory functions for the common shapes. */
+Instruction makeRR(Opcode op, Reg rd, Reg rs1, Reg rs2);
+Instruction makeRI(Opcode op, Reg rd, Reg rs1, std::int64_t imm);
+Instruction makeLi(Reg rd, std::int64_t imm);
+Instruction makeLa(Reg rd, std::string global);
+Instruction makeMem(Opcode op, Reg data, Reg base, std::int64_t offset);
+Instruction makeBranch(Opcode op, Reg rs1, Reg rs2, std::int32_t label);
+Instruction makeJmp(std::int32_t label);
+Instruction makeCall(std::string callee);
+Instruction makeRet();
+Instruction makeNop(unsigned width = 1);
+Instruction makeHalt();
+
+} // namespace mbias::isa
+
+#endif // MBIAS_ISA_INSTRUCTION_HH

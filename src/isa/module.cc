@@ -1,0 +1,59 @@
+#include "isa/module.hh"
+
+#include "base/logging.hh"
+
+namespace mbias::isa
+{
+
+void
+Module::addGlobal(std::string name, std::uint64_t size, unsigned alignment)
+{
+    mbias_assert(size > 0, "global ", name, " has zero size");
+    GlobalData g;
+    g.name = std::move(name);
+    g.size = size;
+    g.alignment = alignment;
+    globals_.push_back(std::move(g));
+}
+
+void
+Module::addGlobal(std::string name, std::vector<std::uint8_t> init,
+                  unsigned alignment)
+{
+    mbias_assert(!init.empty(), "global ", name, " has empty initializer");
+    GlobalData g;
+    g.name = std::move(name);
+    g.size = init.size();
+    g.alignment = alignment;
+    g.init = std::move(init);
+    globals_.push_back(std::move(g));
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : funcs_)
+        if (f.name() == name)
+            return &f;
+    return nullptr;
+}
+
+Function *
+Module::findFunction(const std::string &name)
+{
+    for (auto &f : funcs_)
+        if (f.name() == name)
+            return &f;
+    return nullptr;
+}
+
+std::uint64_t
+Module::codeBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &f : funcs_)
+        bytes += f.codeBytes();
+    return bytes;
+}
+
+} // namespace mbias::isa

@@ -1,0 +1,70 @@
+#ifndef MBIAS_ISA_MODULE_HH
+#define MBIAS_ISA_MODULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/function.hh"
+
+namespace mbias::isa
+{
+
+/**
+ * A statically allocated data object.  The initializer may be shorter
+ * than @c size; the remainder is zero-filled by the loader.
+ */
+struct GlobalData
+{
+    std::string name;
+    std::uint64_t size = 0;
+    unsigned alignment = 8;
+    std::vector<std::uint8_t> init;
+};
+
+/**
+ * A compilation unit: the µRISC analogue of one .o file.  The linker's
+ * *link order* permutes Modules, which is one of the two "innocuous"
+ * setup factors the paper studies.
+ */
+class Module
+{
+  public:
+    Module() = default;
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    std::vector<Function> &functions() { return funcs_; }
+    const std::vector<Function> &functions() const { return funcs_; }
+
+    std::vector<GlobalData> &globals() { return globals_; }
+    const std::vector<GlobalData> &globals() const { return globals_; }
+
+    /** Adds a function; names must be unique within the program. */
+    void addFunction(Function f) { funcs_.push_back(std::move(f)); }
+
+    /** Adds a zero-initialized global of @p size bytes. */
+    void addGlobal(std::string name, std::uint64_t size,
+                   unsigned alignment = 8);
+
+    /** Adds an initialized global (size = init.size()). */
+    void addGlobal(std::string name, std::vector<std::uint8_t> init,
+                   unsigned alignment = 8);
+
+    /** Looks up a function by name; nullptr if absent. */
+    const Function *findFunction(const std::string &name) const;
+    Function *findFunction(const std::string &name);
+
+    /** Total encoded code bytes over all functions (without padding). */
+    std::uint64_t codeBytes() const;
+
+  private:
+    std::string name_;
+    std::vector<Function> funcs_;
+    std::vector<GlobalData> globals_;
+};
+
+} // namespace mbias::isa
+
+#endif // MBIAS_ISA_MODULE_HH

@@ -1,0 +1,120 @@
+#include "isa/opcode.hh"
+
+#include "base/logging.hh"
+
+namespace mbias::isa
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    std::string_view name;
+    OpClass cls;
+};
+
+constexpr OpInfo op_table[] = {
+    {"add", OpClass::IntAlu},   {"sub", OpClass::IntAlu},
+    {"mul", OpClass::IntMul},   {"divu", OpClass::IntDiv},
+    {"remu", OpClass::IntDiv},  {"and", OpClass::IntAlu},
+    {"or", OpClass::IntAlu},    {"xor", OpClass::IntAlu},
+    {"sll", OpClass::IntAlu},   {"srl", OpClass::IntAlu},
+    {"sra", OpClass::IntAlu},   {"slt", OpClass::IntAlu},
+    {"sltu", OpClass::IntAlu},  {"addi", OpClass::IntAlu},
+    {"andi", OpClass::IntAlu},  {"ori", OpClass::IntAlu},
+    {"xori", OpClass::IntAlu},  {"slli", OpClass::IntAlu},
+    {"srli", OpClass::IntAlu},  {"srai", OpClass::IntAlu},
+    {"slti", OpClass::IntAlu},  {"li", OpClass::IntAlu},
+    {"la", OpClass::IntAlu},    {"ld1", OpClass::Load},
+    {"ld2", OpClass::Load},     {"ld4", OpClass::Load},
+    {"ld8", OpClass::Load},     {"st1", OpClass::Store},
+    {"st2", OpClass::Store},    {"st4", OpClass::Store},
+    {"st8", OpClass::Store},    {"beq", OpClass::CondBranch},
+    {"bne", OpClass::CondBranch}, {"blt", OpClass::CondBranch},
+    {"bge", OpClass::CondBranch}, {"bltu", OpClass::CondBranch},
+    {"bgeu", OpClass::CondBranch}, {"jmp", OpClass::Jump},
+    {"call", OpClass::Call},    {"ret", OpClass::Ret},
+    {"nop", OpClass::Nop},      {"halt", OpClass::Halt},
+};
+
+static_assert(sizeof(op_table) / sizeof(op_table[0]) ==
+                  std::size_t(Opcode::NumOpcodes),
+              "opcode table out of sync with Opcode enum");
+
+} // namespace
+
+std::string_view
+opcodeName(Opcode op)
+{
+    return op_table[std::size_t(op)].name;
+}
+
+OpClass
+opClass(Opcode op)
+{
+    return op_table[std::size_t(op)].cls;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opClass(op) == OpClass::CondBranch;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opClass(op) == OpClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opClass(op) == OpClass::Store;
+}
+
+unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ld1:
+      case Opcode::St1:
+        return 1;
+      case Opcode::Ld2:
+      case Opcode::St2:
+        return 2;
+      case Opcode::Ld4:
+      case Opcode::St4:
+        return 4;
+      case Opcode::Ld8:
+      case Opcode::St8:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+Opcode
+invertCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+        return Opcode::Bne;
+      case Opcode::Bne:
+        return Opcode::Beq;
+      case Opcode::Blt:
+        return Opcode::Bge;
+      case Opcode::Bge:
+        return Opcode::Blt;
+      case Opcode::Bltu:
+        return Opcode::Bgeu;
+      case Opcode::Bgeu:
+        return Opcode::Bltu;
+      default:
+        mbias_panic("invertCondBranch on non-branch opcode ",
+                    opcodeName(op));
+    }
+}
+
+} // namespace mbias::isa

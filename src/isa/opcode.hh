@@ -1,0 +1,84 @@
+#ifndef MBIAS_ISA_OPCODE_HH
+#define MBIAS_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace mbias::isa
+{
+
+/**
+ * Operations of the µRISC instruction set.
+ *
+ * The ISA is deliberately small but *variable-length encoded* (see
+ * Instruction::encodedSize): code layout therefore shifts in non-trivial
+ * ways when the toolchain changes inlining, unrolling, or link order,
+ * which is exactly the mechanism behind the measurement bias studied in
+ * the paper.
+ */
+enum class Opcode : std::uint8_t
+{
+    // Register-register ALU.
+    Add, Sub, Mul, Divu, Remu, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    // Register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    // Load immediate (up to 64 bits) and load address of a global.
+    Li, La,
+    // Zero-extending loads of 1/2/4/8 bytes from [rs1 + imm].
+    Ld1, Ld2, Ld4, Ld8,
+    // Stores of 1/2/4/8 bytes to [rs1 + imm].
+    St1, St2, St4, St8,
+    // Conditional branches on (rs1, rs2) to a label.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Unconditional control flow.
+    Jmp, Call, Ret,
+    // Misc.
+    Nop, Halt,
+
+    NumOpcodes,
+};
+
+/** Broad functional classes used by the timing model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Load,
+    Store,
+    CondBranch,
+    Jump,
+    Call,
+    Ret,
+    Nop,
+    Halt,
+};
+
+/** Mnemonic of @p op (e.g. "add"). */
+std::string_view opcodeName(Opcode op);
+
+/** Functional class of @p op. */
+OpClass opClass(Opcode op);
+
+/** True for Beq/Bne/Blt/Bge/Bltu/Bgeu. */
+bool isCondBranch(Opcode op);
+
+/** True for loads (Ld1..Ld8). */
+bool isLoad(Opcode op);
+
+/** True for stores (St1..St8). */
+bool isStore(Opcode op);
+
+/** Access size in bytes for loads/stores; 0 otherwise. */
+unsigned memAccessSize(Opcode op);
+
+/**
+ * The opposite condition (Beq <-> Bne etc.).  Used by the compiler's
+ * loop unroller, which rewrites intermediate back-branches as inverted
+ * forward exits.
+ */
+Opcode invertCondBranch(Opcode op);
+
+} // namespace mbias::isa
+
+#endif // MBIAS_ISA_OPCODE_HH

@@ -1,0 +1,101 @@
+#include "sim/config.hh"
+
+namespace mbias::sim
+{
+
+MachineConfig
+MachineConfig::core2Like()
+{
+    MachineConfig c;
+    c.name = "core2like";
+    c.fetchBlockBytes = 16;
+    c.fetchWidth = 4;
+    c.branchMispredictPenalty = 15;
+    c.btbMissPenalty = 3;
+    c.btbSets = 128;
+    c.btbWays = 4;
+    c.predictor = PredictorKind::Gshare;
+    c.predictorTableBits = 12;
+    c.predictorHistoryBits = 8;
+    c.icache = {64, 8, 64, 0, 12};   // 32 KiB
+    c.dcache = {64, 8, 64, 3, 12};   // 32 KiB
+    c.l2 = {4096, 16, 64, 0, 200};   // 4 MiB
+    c.itlb = {128, 4096, 20};
+    c.dtlb = {256, 4096, 30};
+    c.storeBufferEntries = 20;
+    c.aliasPenalty = 6;
+    c.lineSplitPenalty = 12;
+    c.intMulLatency = 3;
+    c.intDivLatency = 22;
+    c.oooWindowCycles = 3;
+    return c;
+}
+
+MachineConfig
+MachineConfig::p4Like()
+{
+    MachineConfig c;
+    c.name = "p4like";
+    c.fetchBlockBytes = 16;
+    c.fetchWidth = 3;
+    c.branchMispredictPenalty = 30; // the long NetBurst pipeline
+    c.btbMissPenalty = 5;
+    c.btbSets = 512;
+    c.btbWays = 4;
+    c.predictor = PredictorKind::Bimodal;
+    c.predictorTableBits = 12;
+    c.predictorHistoryBits = 0;
+    c.icache = {32, 8, 64, 0, 18};   // 16 KiB trace-cache stand-in
+    c.dcache = {32, 8, 64, 2, 18};   // 16 KiB
+    c.l2 = {1024, 8, 64, 0, 250};    // 1 MiB
+    c.itlb = {64, 4096, 30};
+    c.dtlb = {64, 4096, 50};
+    c.storeBufferEntries = 24;
+    c.aliasPenalty = 40;             // notorious 4K-aliasing cost
+    c.lineSplitPenalty = 20;
+    c.intMulLatency = 10;
+    c.intDivLatency = 60;
+    c.oooWindowCycles = 1;
+    return c;
+}
+
+MachineConfig
+MachineConfig::o3Like()
+{
+    MachineConfig c;
+    c.name = "o3like";
+    c.fetchBlockBytes = 32;
+    c.fetchWidth = 8;
+    c.branchMispredictPenalty = 12;
+    c.btbMissPenalty = 2;
+    c.btbSets = 1024;
+    c.btbWays = 4;
+    c.predictor = PredictorKind::Gshare;
+    c.predictorTableBits = 13;
+    c.predictorHistoryBits = 11;
+    c.icache = {256, 2, 64, 0, 14};  // 32 KiB 2-way (m5 default flavour)
+    c.dcache = {512, 2, 64, 2, 14};  // 64 KiB 2-way
+    c.l2 = {2048, 8, 64, 0, 180};    // 2 MiB
+    c.itlb = {64, 4096, 25};
+    c.dtlb = {64, 4096, 25};
+    // m5's classic memory model does not implement 4K-aliasing stalls:
+    // simulators embed their own (different) bias structure.
+    c.enableStoreBufferAliasing = false;
+    c.storeBufferEntries = 32;
+    c.aliasPenalty = 0;
+    c.lineSplitPenalty = 4;
+    c.intMulLatency = 3;
+    c.intDivLatency = 20;
+    c.oooWindowCycles = 8;
+    return c;
+}
+
+const std::vector<MachineConfig> &
+MachineConfig::allPresets()
+{
+    static const std::vector<MachineConfig> presets = {
+        p4Like(), core2Like(), o3Like()};
+    return presets;
+}
+
+} // namespace mbias::sim

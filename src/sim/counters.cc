@@ -1,0 +1,71 @@
+#include "sim/counters.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::sim
+{
+
+namespace
+{
+
+constexpr std::string_view names[] = {
+    "cycles",          "instructions",      "fetch_groups",
+    "icache_misses",   "dcache_misses",     "l2_misses",
+    "itlb_misses",     "dtlb_misses",       "branches",
+    "taken_branches",  "branch_mispredicts", "btb_misses",
+    "line_splits",     "alias_stalls",      "stall_cycles",
+    "loads",           "stores",            "calls",
+    "nops",            "os_interrupts",    "prefetches",
+};
+
+static_assert(sizeof(names) / sizeof(names[0]) == num_counters,
+              "counter name table out of sync");
+
+} // namespace
+
+std::string_view
+counterName(Counter c)
+{
+    return names[std::size_t(c)];
+}
+
+const std::vector<Counter> &
+allCounters()
+{
+    static const std::vector<Counter> all = [] {
+        std::vector<Counter> v;
+        for (unsigned i = 0; i < num_counters; ++i)
+            v.push_back(Counter(i));
+        return v;
+    }();
+    return all;
+}
+
+double
+PerfCounters::ratePerKiloInst(Counter c) const
+{
+    const std::uint64_t insts = get(Counter::Instructions);
+    mbias_assert(insts > 0, "no instructions executed");
+    return double(get(c)) * 1000.0 / double(insts);
+}
+
+double
+PerfCounters::cpi() const
+{
+    const std::uint64_t insts = get(Counter::Instructions);
+    mbias_assert(insts > 0, "no instructions executed");
+    return double(get(Counter::Cycles)) / double(insts);
+}
+
+std::string
+PerfCounters::str() const
+{
+    std::ostringstream os;
+    for (Counter c : allCounters())
+        os << counterName(c) << " = " << get(c) << "\n";
+    return os.str();
+}
+
+} // namespace mbias::sim

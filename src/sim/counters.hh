@@ -1,0 +1,81 @@
+#ifndef MBIAS_SIM_COUNTERS_HH
+#define MBIAS_SIM_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbias::sim
+{
+
+/**
+ * Hardware performance counter identities.  These play the role the
+ * paper's perfmon2-read hardware counters play: the raw material of
+ * causal analysis ("which event explains the cycle difference?").
+ */
+enum class Counter : unsigned
+{
+    Cycles,
+    Instructions,
+    FetchGroups,
+    IcacheMisses,
+    DcacheMisses,
+    L2Misses,
+    ItlbMisses,
+    DtlbMisses,
+    BranchesExecuted,
+    TakenBranches,
+    BranchMispredicts,
+    BtbMisses,
+    LineSplits,
+    AliasStalls,
+    StallCycles,
+    Loads,
+    Stores,
+    Calls,
+    NopsExecuted,
+    OsInterrupts,
+    PrefetchesIssued,
+
+    NumCounters,
+};
+
+constexpr std::size_t num_counters = std::size_t(Counter::NumCounters);
+
+/** Readable mnemonic of a counter (e.g. "dcache_misses"). */
+std::string_view counterName(Counter c);
+
+/** All counters, for iteration. */
+const std::vector<Counter> &allCounters();
+
+/** A bank of performance counters. */
+class PerfCounters
+{
+  public:
+    PerfCounters() { counts_.fill(0); }
+
+    std::uint64_t get(Counter c) const { return counts_[index(c)]; }
+    void inc(Counter c, std::uint64_t by = 1) { counts_[index(c)] += by; }
+    void set(Counter c, std::uint64_t v) { counts_[index(c)] = v; }
+    void reset() { counts_.fill(0); }
+
+    /** Per-thousand-instruction rate of @p c. */
+    double ratePerKiloInst(Counter c) const;
+
+    /** Cycles per instruction. */
+    double cpi() const;
+
+    /** Multi-line "perf stat" style rendering. */
+    std::string str() const;
+
+  private:
+    static std::size_t index(Counter c) { return std::size_t(c); }
+
+    std::array<std::uint64_t, num_counters> counts_;
+};
+
+} // namespace mbias::sim
+
+#endif // MBIAS_SIM_COUNTERS_HH

@@ -1,0 +1,571 @@
+#include "sim/machine.hh"
+
+#include "base/bitutils.hh"
+#include "base/random.hh"
+
+#include <algorithm>
+#include "base/logging.hh"
+
+namespace mbias::sim
+{
+
+using isa::Opcode;
+using isa::OpClass;
+using toolchain::PlacedInst;
+
+namespace
+{
+
+std::unique_ptr<uarch::BranchPredictor>
+makePredictor(const MachineConfig &c)
+{
+    switch (c.predictor) {
+      case PredictorKind::Bimodal:
+        return std::make_unique<uarch::BimodalPredictor>(
+            c.predictorTableBits);
+      case PredictorKind::Gshare:
+        return std::make_unique<uarch::GsharePredictor>(
+            c.predictorTableBits, c.predictorHistoryBits);
+    }
+    mbias_panic("bad predictor kind");
+}
+
+} // namespace
+
+/** Per-run pipeline/timing state. */
+struct Machine::Pipeline
+{
+    Cycles now = 0;
+    std::array<Cycles, isa::reg::numRegs> regReady{};
+
+    std::uint64_t icount = 0;
+
+    // Fetch-group state.
+    unsigned groupSlots = 0;
+    Addr groupBlockEnd = 0;
+    bool forceNewGroup = true;
+
+    // Code line/page last touched (sequential-fetch reuse).
+    Addr lastCodeLine = ~Addr(0);
+    Addr lastCodePage = ~Addr(0);
+};
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      icache_(config.icache),
+      dcache_(config.dcache),
+      l2_(config.l2),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb),
+      predictor_(makePredictor(config)),
+      btb_(config.btbSets, config.btbWays),
+      storeBuffer_(config.storeBufferEntries, config.aliasWindowBits)
+{
+}
+
+void
+Machine::fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
+                         PerfCounters &ctrs)
+{
+    const bool model_blocks = config_.enableFetchBlockModel;
+    const bool new_group = pipe.forceNewGroup || pipe.groupSlots == 0 ||
+                           (model_blocks && pc >= pipe.groupBlockEnd);
+    if (new_group) {
+        pipe.now += 1;
+        ctrs.inc(Counter::FetchGroups);
+        pipe.groupSlots = config_.fetchWidth;
+        pipe.groupBlockEnd =
+            model_blocks
+                ? alignDown(pc, config_.fetchBlockBytes) +
+                      config_.fetchBlockBytes
+                : ~Addr(0);
+        pipe.forceNewGroup = false;
+    }
+    pipe.groupSlots -= 1;
+    if (model_blocks && pc + size > pipe.groupBlockEnd) {
+        // Variable-length instruction spilling into the next block
+        // consumes the rest of this group.
+        pipe.groupSlots = 0;
+    }
+
+    // Instruction-side cache and TLB, at line/page crossing granularity
+    // (sequential fetch reuses the current line without a new access).
+    if (config_.enableCaches) {
+        const Addr first = alignDown(pc, config_.icache.lineBytes);
+        const Addr last =
+            alignDown(pc + size - 1, config_.icache.lineBytes);
+        for (Addr line = first; line <= last;
+             line += config_.icache.lineBytes) {
+            if (line == pipe.lastCodeLine)
+                continue;
+            pipe.lastCodeLine = line;
+            if (!icache_.accessLine(line)) {
+                ctrs.inc(Counter::IcacheMisses);
+                pipe.now += config_.icache.missPenalty;
+                if (!l2_.accessLine(line)) {
+                    ctrs.inc(Counter::L2Misses);
+                    pipe.now += config_.l2.missPenalty;
+                }
+            }
+        }
+    }
+    if (config_.enableTlbs) {
+        const Addr page = pc / config_.itlb.pageBytes;
+        if (page != pipe.lastCodePage) {
+            pipe.lastCodePage = page;
+            const unsigned misses = itlb_.access(pc, size);
+            if (misses) {
+                ctrs.inc(Counter::ItlbMisses, misses);
+                pipe.now += misses * config_.itlb.missPenalty;
+            }
+        }
+    }
+}
+
+Cycles
+Machine::memoryAccess(Pipeline &pipe, Addr addr, unsigned size,
+                      bool is_store, PerfCounters &ctrs)
+{
+    Cycles lat = is_store ? 0 : config_.dcache.hitLatency;
+
+    if (config_.enableTlbs) {
+        const unsigned misses = dtlb_.access(addr, size);
+        if (misses) {
+            ctrs.inc(Counter::DtlbMisses, misses);
+            lat += misses * config_.dtlb.missPenalty;
+        }
+    }
+
+    const Addr first = alignDown(addr, config_.dcache.lineBytes);
+    const Addr last = alignDown(addr + size - 1, config_.dcache.lineBytes);
+    if (config_.enableCaches) {
+        for (Addr line = first; line <= last;
+             line += config_.dcache.lineBytes) {
+            if (!dcache_.accessLine(line)) {
+                ctrs.inc(Counter::DcacheMisses);
+                lat += config_.dcache.missPenalty;
+                if (!l2_.accessLine(line)) {
+                    ctrs.inc(Counter::L2Misses);
+                    lat += config_.l2.missPenalty;
+                }
+                if (config_.enableNextLinePrefetch) {
+                    // Background fill of the next line; no demand
+                    // latency, but it can pollute (and be perturbed
+                    // by) set placement.
+                    ctrs.inc(Counter::PrefetchesIssued);
+                    dcache_.accessLine(line + config_.dcache.lineBytes);
+                    l2_.accessLine(line + config_.dcache.lineBytes);
+                }
+            }
+        }
+    }
+    if (last != first) {
+        ctrs.inc(Counter::LineSplits);
+        if (config_.enableLineSplitPenalty)
+            lat += config_.lineSplitPenalty;
+    }
+
+    if (is_store) {
+        // A line-crossing store occupies the store port for an extra
+        // cycle; unlike load latency this cannot be hidden by the
+        // out-of-order window (the port is a structural resource).
+        if (last != first && config_.enableLineSplitPenalty)
+            pipe.now += 1;
+        storeBuffer_.recordStore(addr, size, pipe.icount);
+        return 0; // the store buffer otherwise hides store latency
+    }
+    if (config_.enableStoreBufferAliasing &&
+        storeBuffer_.loadAliases(addr, size, pipe.icount)) {
+        ctrs.inc(Counter::AliasStalls);
+        lat += config_.aliasPenalty;
+    }
+    return lat;
+}
+
+RunResult
+Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
+             const NoiseModel &noise, Profile *profile)
+{
+    // Cold start: deterministic from the image alone.
+    icache_.reset();
+    dcache_.reset();
+    l2_.reset();
+    itlb_.reset();
+    dtlb_.reset();
+    predictor_->reset();
+    btb_.reset();
+    storeBuffer_.reset();
+
+    const toolchain::LinkedProgram &prog = image.program;
+    mbias_assert(!prog.code.empty(), "empty program");
+
+    RunResult rr;
+    PerfCounters &ctrs = rr.counters;
+
+    SparseMemory mem;
+    mem.writeBlock(prog.dataBase, prog.dataInit);
+
+    std::array<std::uint64_t, isa::reg::numRegs> regs{};
+    regs[isa::reg::sp] = image.initialSp;
+    regs[isa::reg::gp] = image.gp;
+    regs[isa::reg::hp] = image.heapBase;
+
+    Pipeline pipe;
+
+    auto set_reg = [&](isa::Reg rd, std::uint64_t v, Cycles ready) {
+        if (rd != isa::reg::zero) {
+            regs[rd] = v;
+            pipe.regReady[rd] = ready;
+        }
+    };
+    auto wait_for = [&](isa::Reg r) {
+        const Cycles ready = pipe.regReady[r];
+        if (ready > pipe.now) {
+            const Cycles stall = ready - pipe.now;
+            const Cycles hidden =
+                std::min<Cycles>(stall, config_.oooWindowCycles);
+            const Cycles exposed = stall - hidden;
+            if (exposed) {
+                pipe.now += exposed;
+                ctrs.inc(Counter::StallCycles, exposed);
+            }
+        }
+    };
+
+    // Optional per-function attribution (index-range lookup; functions
+    // are placed contiguously, so instruction index intervals identify
+    // them).
+    std::vector<std::uint32_t> fn_begin;
+    std::size_t cur_fn = 0;
+    std::uint32_t cur_begin = 1, cur_end = 0; // empty: force first lookup
+    if (profile) {
+        profile->functions.clear();
+        for (const auto &lf : prog.functions) {
+            FunctionProfile fp;
+            fp.name = lf.name;
+            fp.base = lf.base;
+            fp.bytes = lf.bytes;
+            profile->functions.push_back(std::move(fp));
+            fn_begin.push_back(lf.entryIdx);
+        }
+    }
+    Cycles prof_now = 0;
+    std::uint64_t prof_ic = 0, prof_dc = 0, prof_mp = 0, prof_ls = 0,
+                  prof_as = 0, prof_calls = 0;
+
+    // OS-interrupt noise (seeded; disabled by default).
+    Rng noise_rng(noise.seed ^ 0x05e1f00dULL);
+    Cycles next_interrupt = ~Cycles(0);
+    auto schedule_interrupt = [&](Cycles from) {
+        const double jitter = 0.5 + noise_rng.nextDouble();
+        next_interrupt =
+            from + Cycles(double(noise.meanIntervalCycles) * jitter);
+    };
+    if (noise.enabled)
+        schedule_interrupt(0);
+
+    std::uint64_t icount = 0;
+    std::uint32_t idx = image.entryIdx;
+    bool halted = false;
+
+    while (!halted && icount < max_insts) {
+        if (noise.enabled && pipe.now >= next_interrupt) {
+            ctrs.inc(Counter::OsInterrupts);
+            pipe.now += noise.costCycles;
+            for (unsigned e = 0; e < noise.linesEvictedPerInterrupt; ++e) {
+                dcache_.invalidateSet(noise_rng.next());
+                icache_.invalidateSet(noise_rng.next());
+            }
+            pipe.lastCodeLine = ~Addr(0); // force an icache re-access
+            schedule_interrupt(pipe.now);
+        }
+
+        if (profile) {
+            if (idx < cur_begin || idx >= cur_end) {
+                const auto it = std::upper_bound(fn_begin.begin(),
+                                                 fn_begin.end(), idx);
+                cur_fn = std::size_t(it - fn_begin.begin()) - 1;
+                cur_begin = fn_begin[cur_fn];
+                cur_end = cur_fn + 1 < fn_begin.size()
+                              ? fn_begin[cur_fn + 1]
+                              : std::uint32_t(prog.code.size());
+            }
+            prof_now = pipe.now;
+            prof_ic = ctrs.get(Counter::IcacheMisses);
+            prof_dc = ctrs.get(Counter::DcacheMisses);
+            prof_mp = ctrs.get(Counter::BranchMispredicts);
+            prof_ls = ctrs.get(Counter::LineSplits);
+            prof_as = ctrs.get(Counter::AliasStalls);
+            prof_calls = ctrs.get(Counter::Calls);
+        }
+
+        const PlacedInst &pi = prog.code[idx];
+        const isa::Instruction &in = pi.inst;
+        ++icount;
+        pipe.icount = icount;
+
+        fetchAccounting(pipe, pi.pc, pi.size, ctrs);
+
+        std::uint32_t next = idx + 1;
+
+        switch (in.op) {
+          // ---- register-register ALU ----
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Divu:
+          case Opcode::Remu:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Sll:
+          case Opcode::Srl:
+          case Opcode::Sra:
+          case Opcode::Slt:
+          case Opcode::Sltu: {
+              wait_for(in.rs1);
+              wait_for(in.rs2);
+              const std::uint64_t a = regs[in.rs1];
+              const std::uint64_t b = regs[in.rs2];
+              std::uint64_t v = 0;
+              Cycles lat = 1;
+              switch (in.op) {
+                case Opcode::Add: v = a + b; break;
+                case Opcode::Sub: v = a - b; break;
+                case Opcode::Mul:
+                  v = a * b;
+                  lat = config_.intMulLatency;
+                  break;
+                case Opcode::Divu:
+                  v = b == 0 ? ~std::uint64_t(0) : a / b;
+                  lat = config_.intDivLatency;
+                  break;
+                case Opcode::Remu:
+                  v = b == 0 ? a : a % b;
+                  lat = config_.intDivLatency;
+                  break;
+                case Opcode::And: v = a & b; break;
+                case Opcode::Or: v = a | b; break;
+                case Opcode::Xor: v = a ^ b; break;
+                case Opcode::Sll: v = a << (b & 63); break;
+                case Opcode::Srl: v = a >> (b & 63); break;
+                case Opcode::Sra:
+                  v = std::uint64_t(std::int64_t(a) >> (b & 63));
+                  break;
+                case Opcode::Slt:
+                  v = std::int64_t(a) < std::int64_t(b) ? 1 : 0;
+                  break;
+                case Opcode::Sltu: v = a < b ? 1 : 0; break;
+                default: mbias_panic("unreachable");
+              }
+              set_reg(in.rd, v, pipe.now + lat);
+              break;
+          }
+
+          // ---- register-immediate ALU ----
+          case Opcode::Addi:
+          case Opcode::Andi:
+          case Opcode::Ori:
+          case Opcode::Xori:
+          case Opcode::Slli:
+          case Opcode::Srli:
+          case Opcode::Srai:
+          case Opcode::Slti: {
+              wait_for(in.rs1);
+              const std::uint64_t a = regs[in.rs1];
+              const std::uint64_t m = std::uint64_t(in.imm);
+              std::uint64_t v = 0;
+              switch (in.op) {
+                case Opcode::Addi: v = a + m; break;
+                case Opcode::Andi: v = a & m; break;
+                case Opcode::Ori: v = a | m; break;
+                case Opcode::Xori: v = a ^ m; break;
+                case Opcode::Slli: v = a << (m & 63); break;
+                case Opcode::Srli: v = a >> (m & 63); break;
+                case Opcode::Srai:
+                  v = std::uint64_t(std::int64_t(a) >> (m & 63));
+                  break;
+                case Opcode::Slti:
+                  v = std::int64_t(a) < in.imm ? 1 : 0;
+                  break;
+                default: mbias_panic("unreachable");
+              }
+              set_reg(in.rd, v, pipe.now + 1);
+              break;
+          }
+
+          case Opcode::Li:
+            set_reg(in.rd, std::uint64_t(in.imm), pipe.now + 1);
+            break;
+
+          case Opcode::La:
+            mbias_panic("unresolved La reached the simulator");
+
+          // ---- loads ----
+          case Opcode::Ld1:
+          case Opcode::Ld2:
+          case Opcode::Ld4:
+          case Opcode::Ld8: {
+              wait_for(in.rs1);
+              const unsigned size = isa::memAccessSize(in.op);
+              const Addr addr = regs[in.rs1] + std::uint64_t(in.imm);
+              ctrs.inc(Counter::Loads);
+              const Cycles lat =
+                  memoryAccess(pipe, addr, size, false, ctrs);
+              set_reg(in.rd, mem.read(addr, size), pipe.now + lat);
+              break;
+          }
+
+          // ---- stores ----
+          case Opcode::St1:
+          case Opcode::St2:
+          case Opcode::St4:
+          case Opcode::St8: {
+              wait_for(in.rs1);
+              wait_for(in.rd); // data register
+              const unsigned size = isa::memAccessSize(in.op);
+              const Addr addr = regs[in.rs1] + std::uint64_t(in.imm);
+              ctrs.inc(Counter::Stores);
+              memoryAccess(pipe, addr, size, true, ctrs);
+              mem.write(addr, size, regs[in.rd]);
+              break;
+          }
+
+          // ---- conditional branches ----
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Bltu:
+          case Opcode::Bgeu: {
+              wait_for(in.rs1);
+              wait_for(in.rs2);
+              const std::uint64_t a = regs[in.rs1];
+              const std::uint64_t b = regs[in.rs2];
+              bool taken = false;
+              switch (in.op) {
+                case Opcode::Beq: taken = a == b; break;
+                case Opcode::Bne: taken = a != b; break;
+                case Opcode::Blt:
+                  taken = std::int64_t(a) < std::int64_t(b);
+                  break;
+                case Opcode::Bge:
+                  taken = std::int64_t(a) >= std::int64_t(b);
+                  break;
+                case Opcode::Bltu: taken = a < b; break;
+                case Opcode::Bgeu: taken = a >= b; break;
+                default: mbias_panic("unreachable");
+              }
+              ctrs.inc(Counter::BranchesExecuted);
+              if (config_.enableBranchPrediction) {
+                  const bool pred = predictor_->predict(pi.pc);
+                  predictor_->update(pi.pc, taken);
+                  if (pred != taken) {
+                      ctrs.inc(Counter::BranchMispredicts);
+                      pipe.now += config_.branchMispredictPenalty;
+                      pipe.forceNewGroup = true;
+                  }
+              }
+              if (taken) {
+                  ctrs.inc(Counter::TakenBranches);
+                  const Addr target = prog.code[pi.targetIdx].pc;
+                  if (config_.enableBtb &&
+                      !btb_.lookupAndUpdate(pi.pc, target)) {
+                      ctrs.inc(Counter::BtbMisses);
+                      pipe.now += config_.btbMissPenalty;
+                  }
+                  pipe.forceNewGroup = true;
+                  next = pi.targetIdx;
+              }
+              break;
+          }
+
+          case Opcode::Jmp: {
+              const Addr target = prog.code[pi.targetIdx].pc;
+              if (config_.enableBtb &&
+                  !btb_.lookupAndUpdate(pi.pc, target)) {
+                  ctrs.inc(Counter::BtbMisses);
+                  pipe.now += config_.btbMissPenalty;
+              }
+              pipe.forceNewGroup = true;
+              next = pi.targetIdx;
+              break;
+          }
+
+          case Opcode::Call: {
+              wait_for(isa::reg::sp);
+              ctrs.inc(Counter::Calls);
+              const Addr new_sp = regs[isa::reg::sp] - 8;
+              const Addr ret_addr = pi.pc + pi.size;
+              ctrs.inc(Counter::Stores);
+              memoryAccess(pipe, new_sp, 8, true, ctrs);
+              mem.write(new_sp, 8, ret_addr);
+              set_reg(isa::reg::sp, new_sp, pipe.now + 1);
+              const Addr target = prog.code[pi.targetIdx].pc;
+              if (config_.enableBtb &&
+                  !btb_.lookupAndUpdate(pi.pc, target)) {
+                  ctrs.inc(Counter::BtbMisses);
+                  pipe.now += config_.btbMissPenalty;
+              }
+              pipe.forceNewGroup = true;
+              next = pi.targetIdx;
+              break;
+          }
+
+          case Opcode::Ret: {
+              wait_for(isa::reg::sp);
+              const Addr sp = regs[isa::reg::sp];
+              ctrs.inc(Counter::Loads);
+              // Return-address stack: the target is predicted
+              // perfectly, so the load latency is off the critical
+              // path, but the access still exercises the cache/TLB.
+              memoryAccess(pipe, sp, 8, false, ctrs);
+              const Addr ret_addr = mem.read(sp, 8);
+              set_reg(isa::reg::sp, sp + 8, pipe.now + 1);
+              auto it = prog.addrToIdx.find(ret_addr);
+              mbias_assert(it != prog.addrToIdx.end(),
+                           "corrupted return address 0x", std::hex,
+                           ret_addr);
+              pipe.forceNewGroup = true;
+              next = it->second;
+              break;
+          }
+
+          case Opcode::Nop:
+            ctrs.inc(Counter::NopsExecuted);
+            break;
+
+          case Opcode::Halt:
+            halted = true;
+            break;
+
+          default:
+            mbias_panic("bad opcode");
+        }
+
+        if (profile) {
+            FunctionProfile &fp = profile->functions[cur_fn];
+            fp.instructions += 1;
+            fp.cycles += pipe.now - prof_now;
+            fp.icacheMisses +=
+                ctrs.get(Counter::IcacheMisses) - prof_ic;
+            fp.dcacheMisses +=
+                ctrs.get(Counter::DcacheMisses) - prof_dc;
+            fp.branchMispredicts +=
+                ctrs.get(Counter::BranchMispredicts) - prof_mp;
+            fp.lineSplits += ctrs.get(Counter::LineSplits) - prof_ls;
+            fp.aliasStalls += ctrs.get(Counter::AliasStalls) - prof_as;
+            fp.calls += ctrs.get(Counter::Calls) - prof_calls;
+        }
+
+        idx = next;
+    }
+
+    ctrs.set(Counter::Cycles, pipe.now);
+    ctrs.set(Counter::Instructions, icount);
+    rr.halted = halted;
+    rr.result = regs[isa::reg::a0];
+    return rr;
+}
+
+} // namespace mbias::sim

@@ -1,0 +1,93 @@
+#ifndef MBIAS_SIM_MACHINE_HH
+#define MBIAS_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/config.hh"
+#include "sim/counters.hh"
+#include "sim/noise.hh"
+#include "sim/profile.hh"
+#include "sim/memory.hh"
+#include "toolchain/loader.hh"
+#include "uarch/branch.hh"
+#include "uarch/cache.hh"
+#include "uarch/storebuffer.hh"
+#include "uarch/tlb.hh"
+
+namespace mbias::sim
+{
+
+/** Outcome of one simulated program run. */
+struct RunResult
+{
+    PerfCounters counters;
+    bool halted = false;        ///< reached Halt (vs. hit maxInsts)
+    std::uint64_t result = 0;   ///< value of a0 (x10) at Halt
+
+    Cycles cycles() const { return counters.get(Counter::Cycles); }
+    std::uint64_t instructions() const
+    {
+        return counters.get(Counter::Instructions);
+    }
+    double cpi() const { return counters.cpi(); }
+};
+
+/**
+ * A simulated machine: functional µRISC execution plus a deterministic
+ * timing model with address-sensitive components (fetch blocks, caches,
+ * TLBs, branch predictor, BTB, store buffer).
+ *
+ * The timing model is a coarse in-order accounting of an out-of-order
+ * pipeline: instructions are charged fetch-group cycles (fetchWidth per
+ * aligned fetch block), producer-consumer stalls beyond what the OoO
+ * window can hide, and event penalties (mispredicts, cache/TLB misses,
+ * line splits, 4K-alias stalls).  Every one of those penalties depends
+ * on *addresses*, so the measured cycle count responds to link order
+ * and environment size exactly the way the paper's hardware does.
+ *
+ * Determinism: given the same ProcessImage and config, run() returns
+ * bit-identical results.  All components start cold on each run().
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    /** Runs the image to Halt (or @p max_insts).  A NoiseModel adds
+     *  seeded run-to-run variation (OS-interrupt jitter); the default
+     *  disabled model keeps runs bit-deterministic. */
+    RunResult run(const toolchain::ProcessImage &image,
+                  std::uint64_t max_insts = 500'000'000,
+                  const NoiseModel &noise = NoiseModel::none(),
+                  Profile *profile = nullptr);
+
+    const MachineConfig &config() const { return config_; }
+
+  private:
+    struct Pipeline; // per-run timing state
+
+    /** Charges fetch/decode costs for the instruction at @p pc. */
+    void fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
+                         PerfCounters &ctrs);
+
+    /** Data-side access: returns added load latency (0 for stores). */
+    Cycles memoryAccess(Pipeline &pipe, Addr addr, unsigned size,
+                        bool is_store, PerfCounters &ctrs);
+
+    MachineConfig config_;
+
+    uarch::Cache icache_;
+    uarch::Cache dcache_;
+    uarch::Cache l2_;
+    uarch::Tlb itlb_;
+    uarch::Tlb dtlb_;
+    std::unique_ptr<uarch::BranchPredictor> predictor_;
+    uarch::Btb btb_;
+    uarch::StoreBuffer storeBuffer_;
+};
+
+} // namespace mbias::sim
+
+#endif // MBIAS_SIM_MACHINE_HH

@@ -1,0 +1,51 @@
+#ifndef MBIAS_SIM_MEMORY_HH
+#define MBIAS_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mbias::sim
+{
+
+/**
+ * Sparse byte-addressable memory for the functional side of the
+ * simulator.  Pages are allocated on first touch and zero-filled,
+ * which matches anonymous-mapping semantics and lets workloads use
+ * multi-megabyte zero-initialized globals cheaply.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned page_bytes = 4096;
+
+    /** Reads @p size (1/2/4/8) bytes, little-endian, zero-extended. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Writes the low @p size bytes of @p value, little-endian. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Bulk-copies @p bytes into memory starting at @p addr. */
+    void writeBlock(Addr addr, const std::vector<std::uint8_t> &bytes);
+
+    /** Releases all pages. */
+    void clear();
+
+    /** Number of pages currently allocated. */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    mutable std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+} // namespace mbias::sim
+
+#endif // MBIAS_SIM_MEMORY_HH

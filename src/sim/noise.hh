@@ -1,0 +1,46 @@
+#ifndef MBIAS_SIM_NOISE_HH
+#define MBIAS_SIM_NOISE_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace mbias::sim
+{
+
+/**
+ * Run-to-run measurement noise: a model of OS timer interrupts and
+ * their cache pollution.  Real measurements vary between runs even in
+ * a fixed setup; the paper's point is that this *visible* variance is
+ * small and well-behaved compared to the *invisible* setup bias — so
+ * a tight confidence interval computed from repeated runs can be a
+ * tight interval around the wrong value.
+ *
+ * The model is deterministic given @c seed: an interrupt fires every
+ * roughly @c meanIntervalCycles (uniform in [0.5x, 1.5x]), costs
+ * @c costCycles, and evicts a few cache sets.
+ */
+struct NoiseModel
+{
+    bool enabled = false;
+    std::uint64_t seed = 0;
+    Cycles meanIntervalCycles = 20000; ///< ~ a 50 us tick at 1 GHz-ish
+    Cycles costCycles = 600;           ///< handler + refill cost
+    unsigned linesEvictedPerInterrupt = 8;
+
+    /** A disabled model (the default for deterministic studies). */
+    static NoiseModel none() { return {}; }
+
+    /** A model with the given seed and default magnitude. */
+    static NoiseModel withSeed(std::uint64_t s)
+    {
+        NoiseModel n;
+        n.enabled = true;
+        n.seed = s;
+        return n;
+    }
+};
+
+} // namespace mbias::sim
+
+#endif // MBIAS_SIM_NOISE_HH

@@ -1,0 +1,69 @@
+#include "sim/profile.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::sim
+{
+
+std::vector<FunctionProfile>
+Profile::byCycles() const
+{
+    std::vector<FunctionProfile> out = functions;
+    std::sort(out.begin(), out.end(),
+              [](const FunctionProfile &a, const FunctionProfile &b) {
+                  return a.cycles > b.cycles;
+              });
+    return out;
+}
+
+Cycles
+Profile::totalCycles() const
+{
+    Cycles total = 0;
+    for (const auto &f : functions)
+        total += f.cycles;
+    return total;
+}
+
+const FunctionProfile &
+Profile::of(const std::string &name) const
+{
+    for (const auto &f : functions)
+        if (f.name == name)
+            return f;
+    mbias_panic("no profile for function ", name);
+}
+
+std::string
+Profile::str(unsigned top) const
+{
+    const double total = double(totalCycles());
+    std::ostringstream os;
+    os << std::left << std::setw(16) << "function" << std::right
+       << std::setw(8) << "cyc%" << std::setw(12) << "cycles"
+       << std::setw(12) << "insts" << std::setw(8) << "i$miss"
+       << std::setw(8) << "d$miss" << std::setw(8) << "mispred"
+       << std::setw(8) << "splits" << "\n";
+    unsigned shown = 0;
+    for (const auto &f : byCycles()) {
+        if (shown++ >= top)
+            break;
+        if (f.instructions == 0)
+            continue;
+        os << std::left << std::setw(16) << f.name << std::right
+           << std::setw(7) << std::fixed << std::setprecision(1)
+           << (total > 0 ? 100.0 * double(f.cycles) / total : 0.0) << "%"
+           << std::setw(12) << f.cycles << std::setw(12)
+           << f.instructions << std::setw(8) << f.icacheMisses
+           << std::setw(8) << f.dcacheMisses << std::setw(8)
+           << f.branchMispredicts << std::setw(8) << f.lineSplits
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mbias::sim

@@ -1,0 +1,57 @@
+#ifndef MBIAS_SIM_PROFILE_HH
+#define MBIAS_SIM_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mbias::sim
+{
+
+/** Events attributed to one function during a profiled run. */
+struct FunctionProfile
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0; ///< clock advance while executing this function
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t lineSplits = 0;
+    std::uint64_t aliasStalls = 0;
+    std::uint64_t calls = 0; ///< calls executed *by* this function
+};
+
+/**
+ * A flat per-function execution profile, the analogue of `perf report`.
+ *
+ * Bias diagnosis use: profile the same binary in two setups and diff —
+ * the function whose cycles moved is where the setup factor bites
+ * (e.g. perl's vm_run absorbs the whole env-size effect because its VM
+ * stack inherits the stack pointer's alignment).
+ */
+struct Profile
+{
+    std::vector<FunctionProfile> functions;
+
+    /** Functions sorted by attributed cycles, descending. */
+    std::vector<FunctionProfile> byCycles() const;
+
+    /** Total cycles attributed (equals the run's cycle counter). */
+    Cycles totalCycles() const;
+
+    /** The profile of function @p name; panics if absent. */
+    const FunctionProfile &of(const std::string &name) const;
+
+    /** perf-report-style text rendering of the top @p top functions. */
+    std::string str(unsigned top = 10) const;
+};
+
+} // namespace mbias::sim
+
+#endif // MBIAS_SIM_PROFILE_HH

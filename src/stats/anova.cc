@@ -1,0 +1,54 @@
+#include "stats/anova.hh"
+
+#include <limits>
+
+#include "base/logging.hh"
+#include "stats/distributions.hh"
+
+namespace mbias::stats
+{
+
+AnovaResult
+oneWayAnova(const std::vector<Sample> &groups)
+{
+    mbias_assert(groups.size() >= 2, "ANOVA needs >= 2 groups");
+    std::size_t total_n = 0;
+    double grand_sum = 0.0;
+    for (const auto &g : groups) {
+        mbias_assert(!g.empty(), "ANOVA group is empty");
+        total_n += g.count();
+        grand_sum += g.sum();
+    }
+    const double grand_mean = grand_sum / double(total_n);
+
+    AnovaResult r;
+    for (const auto &g : groups) {
+        const double gm = g.mean();
+        r.ssBetween += double(g.count()) * (gm - grand_mean) * (gm - grand_mean);
+        for (double v : g.values())
+            r.ssWithin += (v - gm) * (v - gm);
+    }
+    r.dfBetween = double(groups.size() - 1);
+    r.dfWithin = double(total_n - groups.size());
+    mbias_assert(r.dfWithin >= 1.0, "ANOVA needs residual df >= 1");
+
+    const double ms_between = r.ssBetween / r.dfBetween;
+    const double ms_within = r.ssWithin / r.dfWithin;
+    const double ss_total = r.ssBetween + r.ssWithin;
+    r.etaSquared = ss_total > 0.0 ? r.ssBetween / ss_total : 0.0;
+
+    if (ms_within == 0.0) {
+        // All within-group variance is zero: either the groups are
+        // identical (no effect) or they differ exactly (certain effect).
+        r.fStatistic = r.ssBetween > 0.0
+                           ? std::numeric_limits<double>::infinity()
+                           : 0.0;
+        r.pValue = r.ssBetween > 0.0 ? 0.0 : 1.0;
+        return r;
+    }
+    r.fStatistic = ms_between / ms_within;
+    r.pValue = 1.0 - fCdf(r.fStatistic, r.dfBetween, r.dfWithin);
+    return r;
+}
+
+} // namespace mbias::stats

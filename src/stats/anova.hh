@@ -1,0 +1,37 @@
+#ifndef MBIAS_STATS_ANOVA_HH
+#define MBIAS_STATS_ANOVA_HH
+
+#include <vector>
+
+#include "stats/sample.hh"
+
+namespace mbias::stats
+{
+
+/** Result of a one-way analysis of variance. */
+struct AnovaResult
+{
+    double fStatistic = 0.0;   ///< between/within mean-square ratio
+    double pValue = 1.0;       ///< P(F >= fStatistic) under H0
+    double dfBetween = 0.0;    ///< k - 1
+    double dfWithin = 0.0;     ///< N - k
+    double ssBetween = 0.0;    ///< between-group sum of squares
+    double ssWithin = 0.0;     ///< within-group sum of squares
+    double etaSquared = 0.0;   ///< effect size: ssBetween / ssTotal
+
+    /** True at the conventional 0.05 significance level. */
+    bool significant() const { return pValue < 0.05; }
+};
+
+/**
+ * One-way ANOVA across @p groups (each a Sample of observations under
+ * one factor level).  Used by the bias toolkit to test whether an
+ * "innocuous" setup factor has a statistically significant effect on
+ * the measured outcome.  Requires >= 2 groups and >= 2 total residual
+ * degrees of freedom.
+ */
+AnovaResult oneWayAnova(const std::vector<Sample> &groups);
+
+} // namespace mbias::stats
+
+#endif // MBIAS_STATS_ANOVA_HH

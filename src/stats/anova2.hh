@@ -1,0 +1,45 @@
+#ifndef MBIAS_STATS_ANOVA2_HH
+#define MBIAS_STATS_ANOVA2_HH
+
+#include <vector>
+
+#include "stats/anova.hh"
+
+namespace mbias::stats
+{
+
+/** Result of a two-way (factorial) analysis of variance. */
+struct TwoWayAnovaResult
+{
+    /** Main effect of factor A (rows). */
+    double fA = 0.0;
+    double pA = 1.0;
+    /** Main effect of factor B (columns). */
+    double fB = 0.0;
+    double pB = 1.0;
+    /** A x B interaction. */
+    double fAB = 0.0;
+    double pAB = 1.0;
+
+    double ssA = 0.0, ssB = 0.0, ssAB = 0.0, ssWithin = 0.0;
+    double dfA = 0.0, dfB = 0.0, dfAB = 0.0, dfWithin = 0.0;
+
+    bool mainEffectASignificant() const { return pA < 0.05; }
+    bool mainEffectBSignificant() const { return pB < 0.05; }
+    bool interactionSignificant() const { return pAB < 0.05; }
+};
+
+/**
+ * Balanced two-way ANOVA over @p cells, indexed cells[a][b] with every
+ * cell holding the same number (>= 2) of replicate observations.  Used
+ * by the bias toolkit to ask whether the two setup factors (environment
+ * size, link order) merely add up or genuinely *interact* — interaction
+ * meaning the env effect itself depends on the link order, so
+ * controlling one factor cannot de-bias the other.
+ */
+TwoWayAnovaResult
+twoWayAnova(const std::vector<std::vector<Sample>> &cells);
+
+} // namespace mbias::stats
+
+#endif // MBIAS_STATS_ANOVA2_HH

@@ -1,0 +1,34 @@
+#include "stats/signtest.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "stats/distributions.hh"
+
+namespace mbias::stats
+{
+
+SignTestResult
+signTest(const std::vector<double> &a, const std::vector<double> &b)
+{
+    mbias_assert(a.size() == b.size(), "sign test needs paired data");
+    SignTestResult r;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            ++r.positive;
+        else if (a[i] < b[i])
+            ++r.negative;
+        else
+            ++r.ties;
+    }
+    const int n = r.positive + r.negative;
+    if (n == 0) {
+        r.pValue = 1.0;
+        return r;
+    }
+    const int k = std::max(r.positive, r.negative);
+    r.pValue = std::min(1.0, 2.0 * binomialTailAtLeast(k, n, 0.5));
+    return r;
+}
+
+} // namespace mbias::stats

@@ -1,0 +1,30 @@
+#ifndef MBIAS_STATS_SIGNTEST_HH
+#define MBIAS_STATS_SIGNTEST_HH
+
+#include <vector>
+
+namespace mbias::stats
+{
+
+/** Result of a paired sign test. */
+struct SignTestResult
+{
+    int positive = 0;    ///< pairs where a > b
+    int negative = 0;    ///< pairs where a < b
+    int ties = 0;        ///< pairs where a == b (excluded from the test)
+    double pValue = 1.0; ///< two-sided exact binomial p-value
+
+    bool significant() const { return pValue < 0.05; }
+};
+
+/**
+ * Exact two-sided sign test over paired observations.  The bias toolkit
+ * uses it to ask "does the treatment win more often than chance across
+ * randomized setups?" without assuming normality of the differences.
+ */
+SignTestResult signTest(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+} // namespace mbias::stats
+
+#endif // MBIAS_STATS_SIGNTEST_HH

@@ -1,0 +1,57 @@
+#include "survey/analyzer.hh"
+
+namespace mbias::survey
+{
+
+SurveyAnalyzer::SurveyAnalyzer(const SurveyDatabase &db) : db_(db) {}
+
+VenueSummary
+SurveyAnalyzer::summarizeRecords(const std::string &name,
+                                 const std::vector<PaperRecord> &rs) const
+{
+    VenueSummary s;
+    s.venue = name;
+    s.papers = unsigned(rs.size());
+    for (const auto &p : rs) {
+        s.evaluatePerformance += p.evaluatesPerformance;
+        s.useSpecCpu += p.usesSpecCpu;
+        s.compareToBaseline += p.comparesToBaseline;
+        s.reportVariability += p.reportsVariability;
+        s.reportEnvironment += p.reportsEnvironment;
+        s.reportLinkOrder += p.reportsLinkOrder;
+        s.addressBias += p.addressesMeasurementBias;
+    }
+    return s;
+}
+
+std::vector<VenueSummary>
+SurveyAnalyzer::summarize() const
+{
+    std::vector<VenueSummary> out;
+    for (Venue v : allVenues())
+        out.push_back(summarizeRecords(venueName(v), db_.byVenue(v)));
+    out.push_back(summarizeRecords("total", db_.papers()));
+    return out;
+}
+
+unsigned
+SurveyAnalyzer::papersAddressingBias() const
+{
+    unsigned n = 0;
+    for (const auto &p : db_.papers())
+        n += p.addressesMeasurementBias;
+    return n;
+}
+
+unsigned
+SurveyAnalyzer::vulnerablePapers() const
+{
+    unsigned n = 0;
+    for (const auto &p : db_.papers())
+        if (p.evaluatesPerformance && !p.reportsEnvironment &&
+            !p.reportsLinkOrder && !p.reportsVariability)
+            ++n;
+    return n;
+}
+
+} // namespace mbias::survey

@@ -1,0 +1,53 @@
+#ifndef MBIAS_SURVEY_ANALYZER_HH
+#define MBIAS_SURVEY_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "survey/database.hh"
+
+namespace mbias::survey
+{
+
+/** Aggregates for one venue (or for the whole survey). */
+struct VenueSummary
+{
+    std::string venue;
+    unsigned papers = 0;
+    unsigned evaluatePerformance = 0;
+    unsigned useSpecCpu = 0;
+    unsigned compareToBaseline = 0;
+    unsigned reportVariability = 0;
+    unsigned reportEnvironment = 0;
+    unsigned reportLinkOrder = 0;
+    unsigned addressBias = 0;
+};
+
+/** Computes the paper's literature-survey summary table. */
+class SurveyAnalyzer
+{
+  public:
+    explicit SurveyAnalyzer(const SurveyDatabase &db);
+
+    /** Per-venue rows plus a final "total" row. */
+    std::vector<VenueSummary> summarize() const;
+
+    /** The headline number: papers addressing measurement bias. */
+    unsigned papersAddressingBias() const;
+
+    /**
+     * Papers *vulnerable* to measurement bias: they evaluate
+     * performance but report neither setup factor nor variability.
+     */
+    unsigned vulnerablePapers() const;
+
+  private:
+    VenueSummary summarizeRecords(const std::string &name,
+                                  const std::vector<PaperRecord> &rs) const;
+
+    const SurveyDatabase &db_;
+};
+
+} // namespace mbias::survey
+
+#endif // MBIAS_SURVEY_ANALYZER_HH

@@ -1,0 +1,70 @@
+#ifndef MBIAS_SURVEY_DATABASE_HH
+#define MBIAS_SURVEY_DATABASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbias::survey
+{
+
+/** The four venues the paper surveyed. */
+enum class Venue
+{
+    ASPLOS,
+    PACT,
+    PLDI,
+    CGO,
+};
+
+/** Readable venue name. */
+std::string venueName(Venue v);
+
+/** All venues. */
+const std::vector<Venue> &allVenues();
+
+/**
+ * One surveyed paper's methodology attributes, in the paper's terms.
+ *
+ * The aggregate totals (133 papers over ASPLOS/PACT/PLDI/CGO, none
+ * addressing measurement bias) are the published survey result; the
+ * per-paper rows are a synthetic elaboration consistent with those
+ * aggregates, generated deterministically (see DESIGN.md on
+ * substitutions).
+ */
+struct PaperRecord
+{
+    std::uint32_t id = 0;
+    Venue venue = Venue::ASPLOS;
+    int year = 2008;
+
+    bool evaluatesPerformance = false; ///< reports speedup-style claims
+    bool usesSpecCpu = false;          ///< SPEC CPU workloads
+    bool comparesToBaseline = false;   ///< quantitative baseline compare
+    bool reportsVariability = false;   ///< error bars / CI / repetitions
+    bool reportsEnvironment = false;   ///< documents UNIX env contents
+    bool reportsLinkOrder = false;     ///< documents link order
+    bool addressesMeasurementBias = false; ///< acknowledges/controls bias
+};
+
+/** The bundled 133-paper survey. */
+class SurveyDatabase
+{
+  public:
+    /** Loads the bundled dataset. */
+    static const SurveyDatabase &bundled();
+
+    const std::vector<PaperRecord> &papers() const { return papers_; }
+
+    /** Papers from one venue. */
+    std::vector<PaperRecord> byVenue(Venue v) const;
+
+    std::size_t size() const { return papers_.size(); }
+
+  private:
+    std::vector<PaperRecord> papers_;
+};
+
+} // namespace mbias::survey
+
+#endif // MBIAS_SURVEY_DATABASE_HH

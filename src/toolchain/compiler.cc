@@ -1,0 +1,539 @@
+#include "toolchain/compiler.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/bitutils.hh"
+#include "base/logging.hh"
+
+namespace mbias::toolchain
+{
+
+using isa::Function;
+using isa::Instruction;
+using isa::Module;
+using isa::OpClass;
+using isa::Opcode;
+
+std::string
+optLevelName(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::O0:
+        return "O0";
+      case OptLevel::O1:
+        return "O1";
+      case OptLevel::O2:
+        return "O2";
+      case OptLevel::O3:
+        return "O3";
+    }
+    mbias_panic("bad OptLevel");
+}
+
+std::string
+vendorName(CompilerVendor vendor)
+{
+    return vendor == CompilerVendor::GccLike ? "gcc" : "icc";
+}
+
+std::string
+ToolchainSpec::str() const
+{
+    return vendorName(vendor) + "-" + optLevelName(level);
+}
+
+CompilerTuning
+CompilerTuning::forVendor(CompilerVendor vendor, OptLevel level)
+{
+    CompilerTuning t;
+    const bool gcc = vendor == CompilerVendor::GccLike;
+    switch (level) {
+      case OptLevel::O0:
+        t.functionAlignBytes = 4;
+        break;
+      case OptLevel::O1:
+        t.scheduleWindowPasses = gcc ? 1 : 2;
+        t.functionAlignBytes = 8;
+        break;
+      case OptLevel::O2:
+        t.scheduleWindowPasses = gcc ? 2 : 3;
+        t.loopAlignBytes = 16;
+        t.loopAlignMaxPad = gcc ? 10 : 12;
+        t.functionAlignBytes = 16;
+        t.frameAlignBytes = gcc ? 8 : 16;
+        break;
+      case OptLevel::O3:
+        t.inlineLeafCalls = true;
+        t.inlineMaxInsts = gcc ? 10 : 20;
+        t.unrollLoops = true;
+        t.unrollFactor = gcc ? 2 : 4;
+        t.unrollMaxBodyInsts = gcc ? 12 : 10;
+        t.scheduleWindowPasses = gcc ? 2 : 3;
+        t.loopAlignBytes = gcc ? 16 : 32;
+        t.loopAlignMaxPad = gcc ? 15 : 31;
+        t.functionAlignBytes = gcc ? 16 : 32;
+        t.frameAlignBytes = gcc ? 16 : 32;
+        break;
+    }
+    return t;
+}
+
+Compiler::Compiler(CompilerVendor vendor, OptLevel level)
+    : vendor_(vendor), level_(level),
+      tuning_(CompilerTuning::forVendor(vendor, level))
+{
+}
+
+std::vector<Module>
+Compiler::compile(const std::vector<Module> &sources) const
+{
+    stats_ = CompileStats{};
+    std::vector<Module> out = sources;
+    if (tuning_.inlineLeafCalls)
+        inlinePass(out);
+    for (auto &m : out) {
+        for (auto &f : m.functions()) {
+            if (tuning_.unrollLoops)
+                unrollPass(f);
+            if (tuning_.scheduleWindowPasses > 0)
+                schedulePass(f);
+            if (tuning_.frameAlignBytes > 1)
+                framePass(f);
+            if (tuning_.loopAlignBytes > 1)
+                alignPass(f);
+            f.setAlignment(tuning_.functionAlignBytes);
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Inlining
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * A callee is inlinable when it is a small leaf, never touches the
+ * stack pointer (so removing the Call's return-address push is safe),
+ * and has exactly one Ret, as its final instruction.
+ */
+bool
+inlinable(const Function &f, unsigned max_insts)
+{
+    const auto &insts = f.insts();
+    if (insts.empty() || insts.size() > max_insts)
+        return false;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const Instruction &in = insts[i];
+        if (in.op == Opcode::Call || in.op == Opcode::Halt)
+            return false;
+        if (in.op == Opcode::Ret && i + 1 != insts.size())
+            return false;
+        if (in.reads(isa::reg::sp) || in.writes(isa::reg::sp))
+            return false;
+    }
+    return insts.back().op == Opcode::Ret;
+}
+
+} // namespace
+
+void
+Compiler::inlinePass(std::vector<Module> &modules) const
+{
+    // Whole-program view of inlinable callees (pointers stay valid: we
+    // only mutate caller bodies, never the callee functions found here,
+    // and a function is never both caller-modified and callee because a
+    // callee body contains no Call).
+    std::unordered_map<std::string, const Function *> candidates;
+    for (const auto &m : modules)
+        for (const auto &f : m.functions())
+            if (inlinable(f, tuning_.inlineMaxInsts))
+                candidates.emplace(f.name(), &f);
+
+    for (auto &m : modules) {
+        for (auto &caller : m.functions()) {
+            if (candidates.count(caller.name()))
+                continue; // keep callees byte-identical
+            for (std::size_t idx = 0; idx < caller.insts().size(); ++idx) {
+                const Instruction &in = caller.insts()[idx];
+                if (in.op != Opcode::Call)
+                    continue;
+                auto it = candidates.find(in.sym);
+                if (it == candidates.end())
+                    continue;
+                const Function &callee = *it->second;
+                const std::size_t body_len = callee.insts().size() - 1;
+
+                // Map callee labels to fresh caller labels at their
+                // post-insertion positions.  A callee label that points
+                // at the final Ret (or one past it) maps to the first
+                // instruction after the inlined body.
+                std::vector<std::int32_t> label_map(callee.numLabels());
+                std::vector<std::uint32_t> label_pos(callee.numLabels());
+                for (std::size_t l = 0; l < callee.numLabels(); ++l) {
+                    const std::uint32_t t = callee.labelTarget(l);
+                    label_map[l] = caller.newLabel();
+                    label_pos[l] = std::uint32_t(
+                        idx + std::min<std::size_t>(t, body_len));
+                }
+
+                // Shift caller labels past the call site.
+                for (std::size_t l = 0;
+                     l + callee.numLabels() < caller.numLabels(); ++l) {
+                    const std::uint32_t t = caller.labelTarget(l);
+                    if (t > idx)
+                        caller.retarget(std::int32_t(l),
+                                        t + std::uint32_t(body_len) - 1);
+                }
+
+                // Splice in the body (without the trailing Ret).
+                std::vector<Instruction> body(callee.insts().begin(),
+                                              callee.insts().end() - 1);
+                for (auto &bi : body)
+                    if (bi.target != isa::no_target)
+                        bi.target = label_map[bi.target];
+                caller.insts().erase(caller.insts().begin() + idx);
+                caller.insts().insert(caller.insts().begin() + idx,
+                                      body.begin(), body.end());
+                for (std::size_t l = 0; l < label_map.size(); ++l)
+                    caller.bindLabel(label_map[l], label_pos[l]);
+
+                ++stats_.callsInlined;
+                idx += body_len == 0 ? 0 : body_len - 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop unrolling
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct LoopCandidate
+{
+    std::size_t head;   ///< index of the first body instruction
+    std::size_t branch; ///< index of the back branch
+};
+
+/** Finds innermost, single-entry, call-free backward-branch loops. */
+std::vector<LoopCandidate>
+findLoops(const Function &f, unsigned max_body)
+{
+    const auto &insts = f.insts();
+    std::vector<LoopCandidate> loops;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (!isCondBranch(insts[i].op))
+            continue;
+        const std::uint32_t t = f.labelTarget(insts[i].target);
+        if (t > i)
+            continue; // forward branch
+        const std::size_t j = t;
+        const std::size_t body_len = i - j + 1;
+        if (body_len > max_body || body_len < 2)
+            continue;
+
+        bool ok = true;
+        // Body must be straight-line except for the back branch and
+        // forward branches within the body.
+        for (std::size_t k = j; k < i && ok; ++k) {
+            const Instruction &in = insts[k];
+            switch (opClass(in.op)) {
+              case OpClass::Call:
+              case OpClass::Ret:
+              case OpClass::Halt:
+              case OpClass::Jump:
+                ok = false;
+                break;
+              case OpClass::CondBranch: {
+                  const std::uint32_t bt = f.labelTarget(in.target);
+                  if (bt <= k || bt > i + 1)
+                      ok = false; // inner backward or escaping branch
+                  break;
+              }
+              default:
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+
+        // Single entry: no branch outside [j, i] may target (j, i].
+        for (std::size_t k = 0; k < insts.size() && ok; ++k) {
+            if (k >= j && k <= i)
+                continue;
+            const Instruction &in = insts[k];
+            if (in.target == isa::no_target)
+                continue;
+            const std::uint32_t bt = f.labelTarget(in.target);
+            if (bt > j && bt <= i)
+                ok = false;
+        }
+        if (ok)
+            loops.push_back({j, i});
+    }
+    return loops;
+}
+
+} // namespace
+
+void
+Compiler::unrollPass(Function &f) const
+{
+    const unsigned k = tuning_.unrollFactor;
+    if (k < 2)
+        return;
+    auto loops = findLoops(f, tuning_.unrollMaxBodyInsts);
+    // Apply highest-index first so earlier candidates stay valid; skip
+    // overlapping regions.
+    std::sort(loops.begin(), loops.end(),
+              [](const LoopCandidate &a, const LoopCandidate &b) {
+                  return a.head > b.head;
+              });
+    std::size_t last_applied_head = SIZE_MAX;
+    for (const auto &loop : loops) {
+        if (loop.branch >= last_applied_head)
+            continue;
+        last_applied_head = loop.head;
+
+        auto &insts = f.insts();
+        const std::size_t j = loop.head;
+        const std::size_t i = loop.branch;
+        const std::size_t body_len = i - j + 1;
+        const std::size_t delta = (k - 1) * body_len;
+
+        // Labels that existed before this unroll; only these are
+        // rebound below (fresh ones are bound at creation sites).
+        const std::size_t num_labels = f.numLabels();
+
+        // Fresh exit label bound to the instruction after the loop.
+        const std::int32_t exit_label = f.newLabel("unroll_exit");
+
+        std::vector<Instruction> body(insts.begin() + j,
+                                      insts.begin() + i + 1);
+
+        std::vector<Instruction> unrolled;
+        unrolled.reserve(k * body_len);
+        std::vector<std::pair<std::int32_t, std::uint32_t>> new_bindings;
+        for (unsigned c = 0; c + 1 < k; ++c) {
+            // Copies 0..k-2: body with fresh interior labels and an
+            // inverted exit branch instead of the back branch.
+            std::unordered_map<std::int32_t, std::int32_t> fresh;
+            const std::size_t copy_base = j + c * body_len;
+            for (std::size_t b = 0; b < body_len; ++b) {
+                Instruction in = body[b];
+                if (in.target != isa::no_target) {
+                    const std::uint32_t t = f.labelTarget(in.target);
+                    if (t > j && t <= i) {
+                        auto [it, inserted] =
+                            fresh.emplace(in.target, 0);
+                        if (inserted) {
+                            it->second = f.newLabel();
+                            new_bindings.emplace_back(
+                                it->second,
+                                std::uint32_t(copy_base + (t - j)));
+                        }
+                        in.target = it->second;
+                    }
+                    // Targets at j (the head) or i+1 keep their label.
+                }
+                if (b + 1 == body_len) {
+                    // The back branch becomes an inverted exit.
+                    in.op = invertCondBranch(in.op);
+                    in.target = exit_label;
+                }
+                unrolled.push_back(std::move(in));
+            }
+        }
+        // Final copy: verbatim, original labels rebind into it below.
+        for (std::size_t b = 0; b < body_len; ++b)
+            unrolled.push_back(body[b]);
+
+        insts.erase(insts.begin() + j, insts.begin() + i + 1);
+        insts.insert(insts.begin() + j, unrolled.begin(), unrolled.end());
+
+        // Rebind pre-existing labels.
+        for (std::size_t l = 0; l < num_labels; ++l) {
+            const std::uint32_t t = f.labelTarget(std::int32_t(l));
+            if (t > j && t <= i) {
+                // Interior label: now lives in the final copy.
+                f.retarget(std::int32_t(l),
+                           std::uint32_t(j + delta + (t - j)));
+            } else if (t > i) {
+                f.retarget(std::int32_t(l), t + std::uint32_t(delta));
+            }
+        }
+        for (auto [label, pos] : new_bindings)
+            f.bindLabel(label, pos);
+        f.bindLabel(exit_label, std::uint32_t(j + k * body_len));
+
+        ++stats_.loopsUnrolled;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduling: hoist loads away from their uses within straight-line
+// regions, approximating list scheduling for load-use latency.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+bool
+isRegionBoundary(const Instruction &in)
+{
+    switch (opClass(in.op)) {
+      case OpClass::CondBranch:
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Ret:
+      case OpClass::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True when swapping adjacent (a, b) -> (b, a) preserves semantics. */
+bool
+canSwap(const Instruction &a, const Instruction &b)
+{
+    // Memory order: never move a load above a store or vice versa.
+    const bool a_mem = isLoad(a.op) || isStore(a.op);
+    const bool b_mem = isLoad(b.op) || isStore(b.op);
+    if (a_mem && b_mem)
+        return false;
+    // Data dependences.
+    const int ad = a.destReg();
+    const int bd = b.destReg();
+    if (ad >= 0 && (b.reads(isa::Reg(ad)) || b.writes(isa::Reg(ad))))
+        return false;
+    if (bd >= 0 && (a.reads(isa::Reg(bd)) || a.writes(isa::Reg(bd))))
+        return false;
+    // Stores read their data register; handled by reads() above.
+    return true;
+}
+
+} // namespace
+
+void
+Compiler::schedulePass(Function &f) const
+{
+    auto &insts = f.insts();
+    // Positions that must not move relative to labels.
+    std::vector<bool> label_at(insts.size() + 1, false);
+    for (std::size_t l = 0; l < f.numLabels(); ++l)
+        label_at[f.labelTarget(std::int32_t(l))] = true;
+
+    for (unsigned pass = 0; pass < tuning_.scheduleWindowPasses; ++pass) {
+        for (std::size_t p = 0; p + 1 < insts.size(); ++p) {
+            const Instruction &a = insts[p];
+            const Instruction &b = insts[p + 1];
+            if (label_at[p + 1])
+                continue; // a label pins this boundary
+            if (isRegionBoundary(a) || isRegionBoundary(b))
+                continue;
+            // Hoist loads upward past non-load ALU work.
+            if (!isLoad(b.op) || isLoad(a.op))
+                continue;
+            if (!canSwap(a, b))
+                continue;
+            std::swap(insts[p], insts[p + 1]);
+            ++stats_.instsReordered;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame rounding: every stack allocation/deallocation immediate is
+// rounded up to the vendor's frame alignment.  Allocations and
+// deallocations are written with matching constants in well-formed
+// code, so rounding both consistently preserves semantics while
+// moving every frame-relative address.
+// ---------------------------------------------------------------------
+
+void
+Compiler::framePass(Function &f) const
+{
+    const std::uint64_t align = tuning_.frameAlignBytes;
+    for (auto &in : f.insts()) {
+        if (in.op != Opcode::Addi || in.rd != isa::reg::sp ||
+            in.rs1 != isa::reg::sp || in.imm == 0)
+            continue;
+        if (in.imm < 0)
+            in.imm = -std::int64_t(alignUp(std::uint64_t(-in.imm), align));
+        else
+            in.imm = std::int64_t(alignUp(std::uint64_t(in.imm), align));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop alignment: pad loop heads to the vendor's preferred boundary by
+// inserting single-byte nops (executed on the fall-in path, exactly as
+// real compilers' .p2align padding is).
+// ---------------------------------------------------------------------
+
+void
+Compiler::alignPass(Function &f) const
+{
+    const unsigned align = tuning_.loopAlignBytes;
+
+    // Loop heads: labels targeted by at least one backward branch.
+    auto loop_heads = [&]() {
+        std::vector<std::uint32_t> heads;
+        const auto &insts = f.insts();
+        for (std::size_t idx = 0; idx < insts.size(); ++idx) {
+            const Instruction &in = insts[idx];
+            if (in.target == isa::no_target || !isCondBranch(in.op))
+                continue;
+            const std::uint32_t t = f.labelTarget(in.target);
+            if (t <= idx)
+                heads.push_back(t);
+        }
+        std::sort(heads.begin(), heads.end());
+        heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+        return heads;
+    };
+
+    // Process heads in increasing position order, recomputing positions
+    // after each insertion (padding a head shifts every later head, but
+    // never an earlier one).
+    const std::size_t num_heads = loop_heads().size();
+    for (std::size_t h = 0; h < num_heads; ++h) {
+        const std::uint32_t head = loop_heads()[h];
+        auto &insts = f.insts();
+        std::uint64_t offset = 0;
+        for (std::uint32_t idx = 0; idx < head; ++idx)
+            offset += insts[idx].encodedSize();
+        const unsigned pad =
+            unsigned((align - offset % align) % align);
+        if (pad == 0 || pad > tuning_.loopAlignMaxPad)
+            continue;
+        // Pad with multi-byte nops (at most 8 bytes each), so the
+        // fall-in path pays one decode slot per ~8 pad bytes, as on
+        // real hardware.
+        std::vector<isa::Instruction> pad_insts;
+        for (unsigned left = pad; left > 0;) {
+            const unsigned w = std::min(left, 8u);
+            pad_insts.push_back(isa::makeNop(w));
+            left -= w;
+        }
+        insts.insert(insts.begin() + head, pad_insts.begin(),
+                     pad_insts.end());
+        const std::uint32_t shift = std::uint32_t(pad_insts.size());
+        for (std::size_t l = 0; l < f.numLabels(); ++l) {
+            const std::uint32_t t = f.labelTarget(std::int32_t(l));
+            if (t >= head)
+                f.retarget(std::int32_t(l), t + shift);
+        }
+        stats_.alignmentNopsInserted += shift;
+    }
+}
+
+} // namespace mbias::toolchain

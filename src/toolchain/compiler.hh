@@ -1,0 +1,134 @@
+#ifndef MBIAS_TOOLCHAIN_COMPILER_HH
+#define MBIAS_TOOLCHAIN_COMPILER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace mbias::toolchain
+{
+
+/** Optimization level, mirroring the paper's gcc/icc -O0..-O3 study. */
+enum class OptLevel
+{
+    O0, ///< no optimization passes
+    O1, ///< scheduling only
+    O2, ///< scheduling + conservative alignment (the paper's baseline)
+    O3, ///< O2 + inlining + loop unrolling + aggressive loop alignment
+};
+
+/** Returns "O0".."O3". */
+std::string optLevelName(OptLevel level);
+
+/**
+ * Compiler-vendor heuristic profile.  The paper evaluates both gcc and
+ * Intel's icc; the two vendors differ not in *which* transformations
+ * they apply but in thresholds (inline size, unroll factor, alignment
+ * aggressiveness), which this profile captures.
+ */
+enum class CompilerVendor
+{
+    GccLike,
+    IccLike,
+};
+
+/** Returns "gcc" or "icc". */
+std::string vendorName(CompilerVendor vendor);
+
+/** Tunable thresholds of one vendor at one opt level. */
+struct CompilerTuning
+{
+    bool inlineLeafCalls = false;
+    unsigned inlineMaxInsts = 0;   ///< max callee size to inline
+    bool unrollLoops = false;
+    unsigned unrollFactor = 1;     ///< total body copies after unrolling
+    unsigned unrollMaxBodyInsts = 0;
+    unsigned scheduleWindowPasses = 0; ///< load-hoisting passes
+    unsigned loopAlignBytes = 1;   ///< desired loop-top alignment
+    unsigned loopAlignMaxPad = 0;  ///< skip alignment if pad exceeds this
+    unsigned functionAlignBytes = 4;
+    /**
+     * Stack frames (addi sp, sp, +/-N) are rounded up to this
+     * alignment, as real compilers do when re-laying-out frames at
+     * higher opt levels.  The paper's env-size bias hinges on exactly
+     * this: two binaries of the same program place their hot stack
+     * slots at different offsets, so a given stack-pointer alignment
+     * helps one and hurts the other.
+     */
+    unsigned frameAlignBytes = 8;
+
+    /** The tuning a given vendor applies at a given level. */
+    static CompilerTuning forVendor(CompilerVendor vendor, OptLevel level);
+};
+
+/** Per-compilation statistics, useful for tests and reports. */
+struct CompileStats
+{
+    unsigned callsInlined = 0;
+    unsigned loopsUnrolled = 0;
+    unsigned instsReordered = 0;
+    unsigned alignmentNopsInserted = 0;
+};
+
+/**
+ * The µRISC optimizing "compiler".  It consumes workload modules (the
+ * analogue of source files) and produces optimized modules (the
+ * analogue of .o files) for the Linker.
+ *
+ * Passes, in order:
+ *  1. leaf-call inlining            (O3)
+ *  2. innermost-loop unrolling      (O3)
+ *  3. load-hoisting scheduling      (O1+)
+ *  4. loop-top alignment padding    (O2+: conservative, O3: aggressive)
+ *  5. stack-frame rounding          (width per vendor/level)
+ *  6. function alignment attribute  (always; width per vendor/level)
+ *
+ * All passes are deterministic and semantics-preserving; tests verify
+ * that programs compute identical results at every opt level.
+ */
+class Compiler
+{
+  public:
+    Compiler(CompilerVendor vendor, OptLevel level);
+
+    CompilerVendor vendor() const { return vendor_; }
+    OptLevel optLevel() const { return level_; }
+    const CompilerTuning &tuning() const { return tuning_; }
+
+    /**
+     * Compiles a set of source modules together (whole-program: the
+     * inliner may inline across modules, as -O3 with LTO-ish behaviour).
+     */
+    std::vector<isa::Module>
+    compile(const std::vector<isa::Module> &sources) const;
+
+    /** Statistics of the most recent compile() call. */
+    const CompileStats &lastStats() const { return stats_; }
+
+  private:
+    void inlinePass(std::vector<isa::Module> &modules) const;
+    void framePass(isa::Function &f) const;
+    void unrollPass(isa::Function &f) const;
+    void schedulePass(isa::Function &f) const;
+    void alignPass(isa::Function &f) const;
+
+    CompilerVendor vendor_;
+    OptLevel level_;
+    CompilerTuning tuning_;
+    mutable CompileStats stats_;
+};
+
+/** A (vendor, level) pair: the "system under test" descriptor. */
+struct ToolchainSpec
+{
+    CompilerVendor vendor = CompilerVendor::GccLike;
+    OptLevel level = OptLevel::O2;
+
+    std::string str() const;
+    bool operator==(const ToolchainSpec &) const = default;
+};
+
+} // namespace mbias::toolchain
+
+#endif // MBIAS_TOOLCHAIN_COMPILER_HH

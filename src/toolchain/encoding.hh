@@ -1,0 +1,67 @@
+#ifndef MBIAS_TOOLCHAIN_ENCODING_HH
+#define MBIAS_TOOLCHAIN_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/instruction.hh"
+#include "toolchain/linker.hh"
+
+namespace mbias::toolchain
+{
+
+/**
+ * Binary encoding of linked µRISC code.
+ *
+ * The byte sizes the rest of the system reasons about
+ * (Instruction::encodedSize) are realized exactly by this format: a
+ * 6-bit encoding opcode (wide-immediate forms get their own encoding
+ * opcodes), 5-bit register fields, LSB-first bit packing, sign-
+ * extended immediates, 16-bit pc-relative branch displacements
+ * (measured from the end of the instruction), and 32-bit absolute
+ * jump/call targets.  Trailing bits up to the declared size are zero.
+ *
+ * The simulator executes the object form directly — this codec exists
+ * so the toolchain is complete (a real text image can be emitted,
+ * hex-dumped, and disassembled from bytes) and as an executable
+ * specification of the size model: round-trip tests enforce
+ * encode/decode fidelity for every instruction the suite generates.
+ */
+
+/** A decoded instruction plus its decoded byte length. */
+struct DecodedInst
+{
+    /**
+     * The instruction; control-flow targets are materialized as
+     * absolute addresses in @c imm (labels and symbol names are a
+     * link-time concept and do not survive encoding).
+     */
+    isa::Instruction inst;
+    unsigned size = 0; ///< bytes consumed
+};
+
+/**
+ * Encodes one placed instruction.  @p prog supplies resolved control
+ * transfer targets.  The result is exactly pi.size bytes.
+ */
+std::vector<std::uint8_t> encode(const PlacedInst &pi,
+                                 const LinkedProgram &prog);
+
+/**
+ * Encodes a whole program's text segment: byte i corresponds to
+ * address prog.codeBase + i; alignment gaps are zero-filled.
+ */
+std::vector<std::uint8_t> encodeProgram(const LinkedProgram &prog);
+
+/**
+ * Decodes the instruction at @p offset in @p image, where the image
+ * starts at address @p image_base (needed to materialize pc-relative
+ * branch targets as absolute addresses).
+ */
+DecodedInst decode(const std::vector<std::uint8_t> &image,
+                   std::size_t offset, Addr image_base);
+
+} // namespace mbias::toolchain
+
+#endif // MBIAS_TOOLCHAIN_ENCODING_HH

@@ -1,0 +1,178 @@
+#include "toolchain/linker.hh"
+
+#include "base/bitutils.hh"
+#include "base/logging.hh"
+
+namespace mbias::toolchain
+{
+
+using isa::Instruction;
+using isa::Module;
+using isa::Opcode;
+
+std::uint32_t
+LinkedProgram::entryOf(const std::string &name) const
+{
+    auto it = functionByName.find(name);
+    mbias_assert(it != functionByName.end(),
+                 "no such function: ", name);
+    return functions[it->second].entryIdx;
+}
+
+Addr
+LinkedProgram::globalAddr(const std::string &name) const
+{
+    auto it = globalByName.find(name);
+    mbias_assert(it != globalByName.end(), "no such global: ", name);
+    return globals[it->second].addr;
+}
+
+Linker::Linker(LinkerConfig config) : config_(config) {}
+
+LinkedProgram
+Linker::link(const std::vector<Module> &modules,
+             const LinkOrder &order) const
+{
+    LinkedProgram prog;
+    prog.codeBase = config_.codeBase;
+
+    std::vector<std::string> names;
+    names.reserve(modules.size());
+    for (const auto &m : modules)
+        names.push_back(m.name());
+    const auto perm = order.permutation(names);
+    for (std::size_t p : perm)
+        prog.moduleOrder.push_back(names[p]);
+
+    // ---- pass 1: place code ----
+    // Remember, per placed function, where each instruction landed so
+    // label targets can be resolved to code indices in pass 2.
+    struct FuncRef
+    {
+        const isa::Function *f;
+        std::uint32_t firstIdx;
+    };
+    std::vector<FuncRef> placed;
+
+    Addr cur = prog.codeBase;
+    for (std::size_t p : perm) {
+        const Module &m = modules[p];
+        for (const auto &f : m.functions()) {
+            mbias_assert(isPowerOf2(f.alignment()),
+                         "function alignment must be a power of two");
+            cur = alignUp(cur, f.alignment());
+            LinkedFunction lf;
+            lf.name = f.name();
+            lf.base = cur;
+            lf.entryIdx = std::uint32_t(prog.code.size());
+            mbias_assert(!prog.functionByName.count(f.name()),
+                         "duplicate function ", f.name());
+            placed.push_back({&f, lf.entryIdx});
+            for (const auto &inst : f.insts()) {
+                PlacedInst pi;
+                pi.inst = inst;
+                pi.pc = cur;
+                pi.size = std::uint8_t(inst.encodedSize());
+                prog.addrToIdx.emplace(pi.pc,
+                                       std::uint32_t(prog.code.size()));
+                prog.code.push_back(std::move(pi));
+                cur += prog.code.back().size;
+            }
+            lf.bytes = cur - lf.base;
+            prog.functionByName.emplace(
+                lf.name, std::uint32_t(prog.functions.size()));
+            prog.functions.push_back(std::move(lf));
+        }
+    }
+    prog.codeEnd = cur;
+
+    // ---- pass 1b: place data ----
+    prog.dataBase = alignUp(prog.codeEnd + config_.dataGap,
+                            config_.dataPageAlign);
+    Addr dcur = prog.dataBase;
+    for (std::size_t p : perm) {
+        const Module &m = modules[p];
+        for (const auto &g : m.globals()) {
+            mbias_assert(isPowerOf2(g.alignment),
+                         "global alignment must be a power of two");
+            dcur = alignUp(dcur, g.alignment);
+            mbias_assert(!prog.globalByName.count(g.name),
+                         "duplicate global ", g.name);
+            LinkedGlobal lg;
+            lg.name = g.name;
+            lg.addr = dcur;
+            lg.size = g.size;
+            prog.globalByName.emplace(
+                g.name, std::uint32_t(prog.globals.size()));
+            prog.globals.push_back(std::move(lg));
+            dcur += g.size;
+        }
+    }
+    prog.dataEnd = dcur;
+
+    // Build the initial data image.
+    prog.dataInit.assign(prog.dataEnd - prog.dataBase, 0);
+    {
+        std::size_t gi = 0;
+        for (std::size_t p : perm) {
+            const Module &m = modules[p];
+            for (const auto &g : m.globals()) {
+                const Addr base = prog.globals[gi].addr - prog.dataBase;
+                for (std::size_t b = 0; b < g.init.size(); ++b)
+                    prog.dataInit[base + b] = g.init[b];
+                ++gi;
+            }
+        }
+    }
+
+    // ---- pass 2: resolve references ----
+    for (const auto &fr : placed) {
+        const isa::Function &f = *fr.f;
+        for (std::size_t i = 0; i < f.insts().size(); ++i) {
+            PlacedInst &pi = prog.code[fr.firstIdx + i];
+            Instruction &in = pi.inst;
+            switch (isa::opClass(in.op)) {
+              case isa::OpClass::CondBranch:
+              case isa::OpClass::Jump: {
+                  const std::uint32_t t = f.labelTarget(in.target);
+                  mbias_assert(t <= f.insts().size(),
+                               "label beyond function in ", f.name());
+                  mbias_assert(t < f.insts().size(),
+                               "branch to end-of-function in ", f.name(),
+                               " (must target an instruction)");
+                  pi.targetIdx = fr.firstIdx + t;
+                  break;
+              }
+              case isa::OpClass::Call: {
+                  auto it = prog.functionByName.find(in.sym);
+                  mbias_assert(it != prog.functionByName.end(),
+                               "unresolved call to ", in.sym, " from ",
+                               f.name());
+                  pi.targetIdx = prog.functions[it->second].entryIdx;
+                  break;
+              }
+              default:
+                if (in.op == Opcode::La) {
+                    auto it = prog.globalByName.find(in.sym);
+                    mbias_assert(it != prog.globalByName.end(),
+                                 "unresolved global ", in.sym, " in ",
+                                 f.name());
+                    // Rewrite La into a concrete Li.  The encoded size
+                    // must not change (both are 6 bytes for 32-bit
+                    // immediates); data addresses always fit.
+                    const Addr a = prog.globals[it->second].addr;
+                    mbias_assert(a <= 0x7fffffff,
+                                 "data address exceeds La encoding");
+                    in.op = Opcode::Li;
+                    in.imm = std::int64_t(a);
+                    in.sym.clear();
+                }
+                break;
+            }
+        }
+    }
+
+    return prog;
+}
+
+} // namespace mbias::toolchain

@@ -1,0 +1,116 @@
+#ifndef MBIAS_TOOLCHAIN_LINKER_HH
+#define MBIAS_TOOLCHAIN_LINKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/module.hh"
+#include "toolchain/linkorder.hh"
+
+namespace mbias::toolchain
+{
+
+/** One instruction placed at its final address, targets resolved. */
+struct PlacedInst
+{
+    isa::Instruction inst;
+    Addr pc = 0;
+    std::uint8_t size = 0;
+
+    /**
+     * Resolved control-flow target as an index into LinkedProgram::code
+     * (branches, Jmp, Call); unused otherwise.
+     */
+    std::uint32_t targetIdx = 0;
+};
+
+/** Layout record for one linked function. */
+struct LinkedFunction
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t entryIdx = 0; ///< index of the first instruction
+};
+
+/** Layout record for one linked global. */
+struct LinkedGlobal
+{
+    std::string name;
+    Addr addr = 0;
+    std::uint64_t size = 0;
+};
+
+/**
+ * A fully linked program: placed code, placed data, and the symbol
+ * tables needed by the Loader and the Simulator.
+ */
+struct LinkedProgram
+{
+    std::vector<PlacedInst> code;
+    Addr codeBase = 0;
+    Addr codeEnd = 0;
+
+    std::vector<LinkedFunction> functions;
+    std::unordered_map<std::string, std::uint32_t> functionByName;
+
+    std::vector<LinkedGlobal> globals;
+    std::unordered_map<std::string, std::uint32_t> globalByName;
+    Addr dataBase = 0;
+    Addr dataEnd = 0;
+    /** Initial data image (dataEnd - dataBase bytes, zero-filled). */
+    std::vector<std::uint8_t> dataInit;
+
+    /** Maps an instruction address to its code index (for Ret). */
+    std::unordered_map<Addr, std::uint32_t> addrToIdx;
+
+    /** Names of the modules in their linked order. */
+    std::vector<std::string> moduleOrder;
+
+    /** Entry instruction index of function @p name; panics if absent. */
+    std::uint32_t entryOf(const std::string &name) const;
+
+    /** Address of global @p name; panics if absent. */
+    Addr globalAddr(const std::string &name) const;
+};
+
+/** Linker configuration. */
+struct LinkerConfig
+{
+    Addr codeBase = 0x400000;
+    /** Data is placed on the next page boundary after the code. */
+    std::uint64_t dataPageAlign = 4096;
+    std::uint64_t dataGap = 4096; ///< guard gap between code and data
+};
+
+/**
+ * The µRISC static linker.  Places each module's functions and globals
+ * in link order, honouring per-function alignment, and resolves label,
+ * call, and global-address references.
+ *
+ * Link order changes code addresses, which changes I-cache sets,
+ * branch-predictor indices, and fetch-block alignment — the paper's
+ * Figure-1/2 bias mechanism.
+ */
+class Linker
+{
+  public:
+    explicit Linker(LinkerConfig config = {});
+
+    /**
+     * Links @p modules in @p order.  Every Call/La symbol must resolve
+     * and function/global names must be unique program-wide.
+     */
+    LinkedProgram link(const std::vector<isa::Module> &modules,
+                       const LinkOrder &order = LinkOrder::asGiven()) const;
+
+  private:
+    LinkerConfig config_;
+};
+
+} // namespace mbias::toolchain
+
+#endif // MBIAS_TOOLCHAIN_LINKER_HH

@@ -1,0 +1,91 @@
+#include "toolchain/linkorder.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace mbias::toolchain
+{
+
+LinkOrder
+LinkOrder::asGiven()
+{
+    return LinkOrder(Kind::AsGiven, 0);
+}
+
+LinkOrder
+LinkOrder::alphabetical()
+{
+    return LinkOrder(Kind::Alphabetical, 0);
+}
+
+LinkOrder
+LinkOrder::shuffled(std::uint64_t seed)
+{
+    return LinkOrder(Kind::Seeded, seed);
+}
+
+LinkOrder
+LinkOrder::explicitOrder(std::vector<std::size_t> perm)
+{
+    return LinkOrder(Kind::Explicit, 0, std::move(perm));
+}
+
+std::vector<std::size_t>
+LinkOrder::permutation(const std::vector<std::string> &module_names) const
+{
+    const std::size_t n = module_names.size();
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    switch (kind_) {
+      case Kind::AsGiven:
+        break;
+      case Kind::Alphabetical:
+        std::sort(perm.begin(), perm.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return module_names[a] < module_names[b];
+                  });
+        break;
+      case Kind::Seeded: {
+          Rng rng(seed_ ^ 0x11bfc0de11bfc0deULL);
+          rng.shuffle(perm);
+          break;
+      }
+      case Kind::Explicit: {
+          mbias_assert(perm_.size() == n,
+                       "explicit link order has wrong length");
+          std::vector<bool> seen(n, false);
+          for (std::size_t p : perm_) {
+              mbias_assert(p < n && !seen[p],
+                           "explicit link order is not a permutation");
+              seen[p] = true;
+          }
+          return perm_;
+      }
+    }
+    return perm;
+}
+
+std::string
+LinkOrder::str() const
+{
+    switch (kind_) {
+      case Kind::AsGiven:
+        return "as-given";
+      case Kind::Alphabetical:
+        return "alphabetical";
+      case Kind::Seeded: {
+          std::ostringstream os;
+          os << "shuffled(" << seed_ << ")";
+          return os.str();
+      }
+      case Kind::Explicit:
+        return "explicit";
+    }
+    mbias_panic("bad LinkOrder kind");
+}
+
+} // namespace mbias::toolchain

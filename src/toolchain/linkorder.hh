@@ -1,0 +1,70 @@
+#ifndef MBIAS_TOOLCHAIN_LINKORDER_HH
+#define MBIAS_TOOLCHAIN_LINKORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbias::toolchain
+{
+
+/**
+ * The order in which modules (.o analogues) are presented to the
+ * linker — the paper's second "innocuous" setup factor.  Real projects
+ * pick this implicitly (Makefile wildcard order, alphabetical `ls`,
+ * the order in which files were added); the paper shows the choice
+ * changes measured performance enough to flip conclusions.
+ */
+class LinkOrder
+{
+  public:
+    enum class Kind
+    {
+        AsGiven,      ///< the order the build system produced
+        Alphabetical, ///< sorted by module name
+        Seeded,       ///< a seeded pseudo-random permutation
+        Explicit,     ///< caller-provided permutation
+    };
+
+    /** The default order (identity). */
+    static LinkOrder asGiven();
+
+    /** Alphabetical by module name ("ls" order). */
+    static LinkOrder alphabetical();
+
+    /** Deterministic random permutation from @p seed. */
+    static LinkOrder shuffled(std::uint64_t seed);
+
+    /** Explicit permutation of indices into the module list. */
+    static LinkOrder explicitOrder(std::vector<std::size_t> perm);
+
+    Kind kind() const { return kind_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Computes the permutation: result[i] is the index (into
+     * @p module_names) of the module placed i-th.
+     */
+    std::vector<std::size_t>
+    permutation(const std::vector<std::string> &module_names) const;
+
+    /** Short description, e.g. "shuffled(17)". */
+    std::string str() const;
+
+    bool operator==(const LinkOrder &) const = default;
+
+  private:
+    LinkOrder(Kind kind, std::uint64_t seed,
+              std::vector<std::size_t> perm = {})
+        : kind_(kind), seed_(seed), perm_(std::move(perm))
+    {
+    }
+
+    Kind kind_;
+    std::uint64_t seed_;
+    std::vector<std::size_t> perm_;
+};
+
+} // namespace mbias::toolchain
+
+#endif // MBIAS_TOOLCHAIN_LINKORDER_HH

@@ -1,0 +1,145 @@
+#include "uarch/branch.hh"
+
+#include "base/bitutils.hh"
+#include "base/logging.hh"
+
+namespace mbias::uarch
+{
+
+// ---------------------------------------------------------------------
+// BimodalPredictor
+// ---------------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(unsigned table_bits)
+    : tableBits_(table_bits)
+{
+    mbias_assert(table_bits >= 1 && table_bits <= 24,
+                 "unreasonable bimodal table size");
+    counters_.assign(std::size_t(1) << table_bits, 2); // weakly taken
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    // Variable-length ISA: no bits are guaranteed zero, use the low
+    // bits directly (as real fetch-address-indexed tables do).
+    return std::size_t(pc ^ (pc >> tableBits_)) & mask(tableBits_);
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return counters_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &c = counters_[index(pc)];
+    if (taken && c < 3)
+        ++c;
+    else if (!taken && c > 0)
+        --c;
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 2);
+}
+
+// ---------------------------------------------------------------------
+// GsharePredictor
+// ---------------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned table_bits, unsigned history_bits)
+    : tableBits_(table_bits), historyBits_(history_bits)
+{
+    mbias_assert(table_bits >= 1 && table_bits <= 24,
+                 "unreasonable gshare table size");
+    mbias_assert(history_bits <= table_bits,
+                 "history longer than index");
+    counters_.assign(std::size_t(1) << table_bits, 2);
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    const std::uint64_t h = history_ & mask(historyBits_);
+    return std::size_t((pc ^ (pc >> tableBits_) ^ h)) & mask(tableBits_);
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return counters_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &c = counters_[index(pc)];
+    if (taken && c < 3)
+        ++c;
+    else if (!taken && c > 0)
+        --c;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 2);
+    history_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Btb
+// ---------------------------------------------------------------------
+
+Btb::Btb(unsigned sets, unsigned ways) : sets_(sets), ways_(ways)
+{
+    mbias_assert(isPowerOf2(sets), "BTB sets must be a power of two");
+    mbias_assert(ways >= 1, "BTB needs at least one way");
+    entries_.assign(std::size_t(sets) * ways, Entry{});
+}
+
+void
+Btb::reset()
+{
+    std::fill(entries_.begin(), entries_.end(), Entry{});
+    hits_ = misses_ = 0;
+}
+
+bool
+Btb::lookupAndUpdate(Addr pc, Addr target)
+{
+    const std::size_t set = std::size_t(pc ^ (pc >> 16)) & (sets_ - 1);
+    const std::size_t base = set * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.pc == pc) {
+            const bool correct = e.target == target;
+            // Move to MRU and refresh the target.
+            Entry updated = e;
+            updated.target = target;
+            for (unsigned k = w; k > 0; --k)
+                entries_[base + k] = entries_[base + k - 1];
+            entries_[base] = updated;
+            if (correct) {
+                ++hits_;
+                return true;
+            }
+            ++misses_;
+            return false;
+        }
+    }
+    // Install at MRU.
+    for (unsigned k = ways_ - 1; k > 0; --k)
+        entries_[base + k] = entries_[base + k - 1];
+    entries_[base] = Entry{pc, target, true};
+    ++misses_;
+    return false;
+}
+
+} // namespace mbias::uarch

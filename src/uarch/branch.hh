@@ -1,0 +1,108 @@
+#ifndef MBIAS_UARCH_BRANCH_HH
+#define MBIAS_UARCH_BRANCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mbias::uarch
+{
+
+/**
+ * Direction predictor interface.  Predictors index prediction tables
+ * with (hashed) branch addresses, so distinct branches can alias — and
+ * *which* branches alias depends on where the linker put them.  That
+ * address dependence is one of the causal mechanisms behind link-order
+ * measurement bias.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predicted direction for the branch at @p pc. */
+    virtual bool predict(Addr pc) const = 0;
+
+    /** Trains the predictor with the resolved direction. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Clears all state. */
+    virtual void reset() = 0;
+};
+
+/** Classic 2-bit-counter bimodal predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @p table_bits log2 of the number of counters. */
+    explicit BimodalPredictor(unsigned table_bits);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    unsigned tableBits_;
+    std::vector<std::uint8_t> counters_;
+};
+
+/** Gshare: global history XOR-folded into the table index. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    GsharePredictor(unsigned table_bits, unsigned history_bits);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    unsigned tableBits_;
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+};
+
+/**
+ * Branch target buffer: a set-associative cache of branch target
+ * addresses.  A taken control transfer whose target is absent costs a
+ * fetch bubble.
+ */
+class Btb
+{
+  public:
+    Btb(unsigned sets, unsigned ways);
+
+    /** True iff pc hits with the correct target; updates the entry. */
+    bool lookupAndUpdate(Addr pc, Addr target);
+
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<Entry> entries_; ///< MRU-ordered within each set
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mbias::uarch
+
+#endif // MBIAS_UARCH_BRANCH_HH

@@ -1,0 +1,130 @@
+#include "workloads/bzip.hh"
+
+#include "base/random.hh"
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned alphabet = 16;
+
+unsigned
+inputLength(const WorkloadConfig &cfg)
+{
+    return 2600 * cfg.scale;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+BzipWorkload::makeInput(std::uint64_t seed, unsigned n)
+{
+    Rng rng(seed ^ 0xb21b'0000'b21bULL);
+    std::vector<std::uint8_t> in;
+    in.reserve(n);
+    std::uint8_t cur = std::uint8_t(rng.nextBounded(alphabet));
+    for (unsigned i = 0; i < n; ++i) {
+        // Run-structured: mostly repeats, occasionally a new symbol.
+        if (rng.nextBounded(100) >= 60)
+            cur = std::uint8_t(rng.nextBounded(alphabet));
+        in.push_back(cur);
+    }
+    return in;
+}
+
+std::uint64_t
+BzipWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    const auto in = makeInput(cfg.seed, inputLength(cfg));
+    std::uint8_t mtf[alphabet];
+    for (unsigned i = 0; i < alphabet; ++i)
+        mtf[i] = std::uint8_t(i);
+    std::uint64_t acc = 0;
+    for (std::uint8_t b : in) {
+        unsigned i = 0;
+        while (mtf[i] != b)
+            ++i;
+        for (unsigned j = i; j > 0; --j)
+            mtf[j] = mtf[j - 1];
+        mtf[0] = b;
+        acc = cksumStep(acc, i);
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+BzipWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        isa::ProgramBuilder b("bzip_data");
+        b.globalInit("bzin", makeInput(cfg.seed, inputLength(cfg)));
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("bzip_main");
+        b.func("main");
+        b.addi(sp, sp, -32); // MTF table lives on the stack
+        // mtf[i] = i
+        b.li(t0, 0);
+        b.li(t2, alphabet);
+        b.label("init_loop");
+        b.add(t1, sp, t0);
+        b.st1(t0, t1, 0);
+        b.addi(t0, t0, 1);
+        b.bne(t0, t2, "init_loop");
+
+        b.la(s0, "bzin");
+        b.li(s1, 0);                 // index
+        b.li(s2, inputLength(cfg));  // n
+        b.li(s3, 0);                 // checksum
+        b.label("outer");
+        b.add(t0, s0, s1);
+        b.ld1(t1, t0, 0); // input byte
+        // Linear scan for the symbol's MTF position.
+        b.li(t2, 0);
+        b.label("scan");
+        b.add(t3, sp, t2);
+        b.ld1(t4, t3, 0);
+        b.beq(t4, t1, "found");
+        b.addi(t2, t2, 1);
+        b.jmp("scan");
+        b.label("found");
+        // Shift mtf[0..i-1] up by one.
+        b.mv(t3, t2);
+        b.label("shift");
+        b.beq(t3, zero, "shift_done");
+        b.add(t4, sp, t3);
+        b.ld1(t5, t4, -1);
+        b.st1(t5, t4, 0);
+        b.addi(t3, t3, -1);
+        b.jmp("shift");
+        b.label("shift_done");
+        b.st1(t1, sp, 0);
+        // acc = acc*31 + i
+        b.mv(a0, s3);
+        b.mv(a1, t2);
+        b.call("rt_cksum");
+        b.mv(s3, a0);
+        b.addi(s1, s1, 1);
+        b.bne(s1, s2, "outer");
+        b.mv(a0, s3);
+        b.addi(sp, sp, 32);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,35 @@
+#ifndef MBIAS_WORKLOADS_BZIP_HH
+#define MBIAS_WORKLOADS_BZIP_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "bzip": move-to-front coding of a run-structured byte stream, the
+ * archetype of 401.bzip2.  The hot code is a data-dependent linear
+ * scan of a small table kept on the machine stack plus a shift loop —
+ * branchy, with a stack-resident working set.
+ */
+class BzipWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "bzip"; }
+    std::string archetype() const override { return "401.bzip2"; }
+    std::string description() const override
+    {
+        return "move-to-front transform over a run-structured stream";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+
+    /** The generated input stream (exposed for tests). */
+    static std::vector<std::uint8_t> makeInput(std::uint64_t seed,
+                                               unsigned n);
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_BZIP_HH

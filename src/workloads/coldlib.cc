@@ -1,0 +1,61 @@
+#include "workloads/coldlib.hh"
+
+#include "isa/builder.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+/** Emits a cold function with a small loop and ~odd encoded size. */
+void
+coldFunc(isa::ProgramBuilder &b, const std::string &name, unsigned body,
+         std::int64_t imm)
+{
+    b.func(name);
+    b.li(t0, imm);
+    b.li(t1, 0);
+    const std::string loop = name + "_loop";
+    b.label(loop);
+    for (unsigned i = 0; i < body; ++i)
+        b.addi(t1, t1, std::int64_t(i) + 1);
+    b.xor_(t1, t1, t0);
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, loop);
+    b.mv(a0, t1);
+    b.ret();
+    b.endFunc();
+}
+
+} // namespace
+
+std::vector<isa::Module>
+coldModules()
+{
+    std::vector<isa::Module> mods;
+    {
+        isa::ProgramBuilder b("cold_err");
+        coldFunc(b, "cold_report_error", 3, 17);
+        coldFunc(b, "cold_abort_path", 7, 5);
+        mods.push_back(b.build());
+    }
+    {
+        isa::ProgramBuilder b("cold_init");
+        coldFunc(b, "cold_startup", 11, 3);
+        coldFunc(b, "cold_parse_args", 2, 41);
+        coldFunc(b, "cold_env_scan", 5, 23);
+        mods.push_back(b.build());
+    }
+    {
+        isa::ProgramBuilder b("cold_util");
+        coldFunc(b, "cold_format", 9, 13);
+        coldFunc(b, "cold_log", 4, 29);
+        mods.push_back(b.build());
+    }
+    return mods;
+}
+
+} // namespace mbias::workloads

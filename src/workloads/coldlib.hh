@@ -1,0 +1,26 @@
+#ifndef MBIAS_WORKLOADS_COLDLIB_HH
+#define MBIAS_WORKLOADS_COLDLIB_HH
+
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * Cold library modules: linked but never-executed code, standing in for
+ * the utility/error-handling/startup objects every real program drags
+ * along.  Their only effect is on layout — permuting them with the
+ * LinkOrder moves every hot function downstream, which is exactly how
+ * innocuous .o ordering perturbs performance in the paper.
+ *
+ * The functions have deliberately odd byte sizes (and size that varies
+ * with opt level, since the optimizer processes them like any other
+ * code), so permutations explore many distinct placements.
+ */
+std::vector<isa::Module> coldModules();
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_COLDLIB_HH

@@ -1,0 +1,172 @@
+#include "workloads/gcclike.hh"
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned table_slots = 2048;
+constexpr std::uint64_t key_stride = 2654435761ULL;
+
+unsigned
+numKeys(const WorkloadConfig &)
+{
+    // ~0.88 load factor; larger scales repeat the phases rather than
+    // grow the key count, so the table never overflows.
+    return 1800;
+}
+
+unsigned
+phaseRepeats(const WorkloadConfig &cfg)
+{
+    return cfg.scale;
+}
+
+std::uint64_t
+keyOf(std::uint64_t seed, unsigned i)
+{
+    return mix64(std::uint64_t(i) * key_stride + seed) | 1;
+}
+
+} // namespace
+
+std::uint64_t
+GccLikeWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::vector<std::uint64_t> tab(table_slots, 0);
+    std::uint64_t acc = 0;
+    for (unsigned rep = 0; rep < phaseRepeats(cfg); ++rep) {
+        // Phase 1: insert.
+        for (unsigned i = 0; i < numKeys(cfg); ++i) {
+            const std::uint64_t key = keyOf(cfg.seed, i);
+            std::uint64_t idx = key & (table_slots - 1);
+            for (;;) {
+                if (tab[idx] == 0) {
+                    tab[idx] = key;
+                    break;
+                }
+                if (tab[idx] == key)
+                    break;
+                idx = (idx + 1) & (table_slots - 1);
+            }
+            acc = cksumStep(acc, idx);
+        }
+        // Phase 2: look up.
+        for (unsigned i = 0; i < numKeys(cfg); ++i) {
+            const std::uint64_t key = keyOf(cfg.seed, i);
+            std::uint64_t idx = key & (table_slots - 1);
+            for (;;) {
+                if (tab[idx] == key || tab[idx] == 0)
+                    break;
+                idx = (idx + 1) & (table_slots - 1);
+            }
+            acc = cksumStep(acc, idx);
+        }
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+GccLikeWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        isa::ProgramBuilder b("gcc_data");
+        b.global("symtab", table_slots * 8, 64);
+        mods.push_back(b.build());
+    }
+
+    // Key derivation: key = rt_mix64(i * stride + seed) | 1.
+    {
+        isa::ProgramBuilder b("gcc_keys");
+        b.func("make_key"); // a0 = i -> a0 = key
+        b.li(t0, std::int64_t(key_stride));
+        b.mul(a0, a0, t0);
+        b.li(t0, std::int64_t(cfg.seed));
+        b.add(a0, a0, t0);
+        b.call("rt_mix64");
+        b.ori(a0, a0, 1);
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("gcc_main");
+        b.func("main");
+        b.la(s2, "symtab");
+        b.li(s1, 0);               // checksum
+        b.li(s5, phaseRepeats(cfg));
+        b.label("rep_loop");
+
+        // ---- phase 1: insert ----
+        b.li(s0, 0); // i
+        b.li(s3, numKeys(cfg));
+        b.label("phase1");
+        b.mv(a0, s0);
+        b.call("make_key");
+        b.mv(s4, a0); // key
+        b.andi(t1, s4, table_slots - 1);
+        b.label("probe1");
+        b.slli(t2, t1, 3);
+        b.add(t2, s2, t2);
+        b.ld8(t3, t2, 0);
+        b.beq(t3, zero, "do_insert");
+        b.beq(t3, s4, "inserted");
+        b.addi(t1, t1, 1);
+        b.andi(t1, t1, table_slots - 1);
+        b.jmp("probe1");
+        b.label("do_insert");
+        b.st8(s4, t2, 0);
+        b.label("inserted");
+        b.mv(a0, s1);
+        b.mv(a1, t1);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s0, s0, 1);
+        b.bne(s0, s3, "phase1");
+
+        // ---- phase 2: look up ----
+        b.li(s0, 0);
+        b.label("phase2");
+        b.mv(a0, s0);
+        b.call("make_key");
+        b.mv(s4, a0);
+        b.andi(t1, s4, table_slots - 1);
+        b.label("probe2");
+        b.slli(t2, t1, 3);
+        b.add(t2, s2, t2);
+        b.ld8(t3, t2, 0);
+        b.beq(t3, s4, "found2");
+        b.beq(t3, zero, "found2");
+        b.addi(t1, t1, 1);
+        b.andi(t1, t1, table_slots - 1);
+        b.jmp("probe2");
+        b.label("found2");
+        b.mv(a0, s1);
+        b.mv(a1, t1);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s0, s0, 1);
+        b.bne(s0, s3, "phase2");
+
+        b.addi(s5, s5, -1);
+        b.bne(s5, zero, "rep_loop");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

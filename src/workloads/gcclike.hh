@@ -1,0 +1,30 @@
+#ifndef MBIAS_WORKLOADS_GCCLIKE_HH
+#define MBIAS_WORKLOADS_GCCLIKE_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "gcclike": open-addressing symbol-table churn (insert then look up
+ * thousands of keys at ~0.88 load factor), the archetype of 403.gcc.
+ * Hot code is dependent loads with data-dependent probe-loop branches.
+ */
+class GccLikeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "gcclike"; }
+    std::string archetype() const override { return "403.gcc"; }
+    std::string description() const override
+    {
+        return "open-addressing symbol table insert/lookup churn";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_GCCLIKE_HH

@@ -1,0 +1,253 @@
+#include "workloads/gobmk.hh"
+
+#include <functional>
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned board_w = 19;
+constexpr unsigned board_cells = board_w * board_w;
+
+unsigned
+numRounds(const WorkloadConfig &cfg)
+{
+    return 3 * cfg.scale;
+}
+
+std::vector<std::uint8_t>
+makeBoard(std::uint64_t seed)
+{
+    std::vector<std::uint8_t> board(board_cells);
+    for (unsigned i = 0; i < board_cells; ++i)
+        board[i] = std::uint8_t(mix64(seed * 19 + i) % 3);
+    return board;
+}
+
+} // namespace
+
+std::uint64_t
+GobmkWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    const auto board = makeBoard(cfg.seed);
+    std::vector<std::uint8_t> visited(board_cells, 0);
+    std::uint64_t acc = 0;
+
+    std::function<std::uint64_t(unsigned)> fill = [&](unsigned idx) {
+        std::uint64_t size = 1;
+        visited[idx] = 1;
+        auto try_cell = [&](unsigned n) -> std::uint64_t {
+            if (visited[n] || board[n] != 1)
+                return 0;
+            return fill(n);
+        };
+        if (idx % board_w != 0)
+            size += try_cell(idx - 1);
+        if (idx % board_w != board_w - 1)
+            size += try_cell(idx + 1);
+        if (idx >= board_w)
+            size += try_cell(idx - board_w);
+        if (idx < board_cells - board_w)
+            size += try_cell(idx + board_w);
+        return size;
+    };
+
+    for (unsigned round = 0; round < numRounds(cfg); ++round) {
+        // Phase 1: 8-neighbour pattern counts over the interior.
+        for (unsigned r = 1; r + 1 < board_w; ++r) {
+            for (unsigned c = 1; c + 1 < board_w; ++c) {
+                const unsigned idx = r * board_w + c;
+                const std::uint8_t center = board[idx];
+                const int dirs[8] = {-int(board_w) - 1, -int(board_w),
+                                     -int(board_w) + 1, -1, 1,
+                                     int(board_w) - 1, int(board_w),
+                                     int(board_w) + 1};
+                std::uint64_t count = 0;
+                for (int d : dirs)
+                    if (board[idx + d] == center)
+                        ++count;
+                acc = cksumStep(acc, count);
+            }
+        }
+        // Phase 2: flood-fill region sizes (visited persists across
+        // rounds, so only the first round does real fills).
+        for (unsigned start = 0; start < board_cells; start += 7) {
+            std::uint64_t size = 0;
+            if (!visited[start] && board[start] == 1)
+                size = fill(start);
+            acc = cksumStep(acc, size);
+        }
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+GobmkWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        isa::ProgramBuilder b("gobmk_data");
+        b.globalInit("board", makeBoard(cfg.seed));
+        b.global("visited", board_cells, 8);
+        mods.push_back(b.build());
+    }
+
+    // Recursive flood fill.
+    {
+        isa::ProgramBuilder b("gobmk_fill");
+
+        // fill(a0 = idx) -> a0 = region size.
+        b.func("fill");
+        b.addi(sp, sp, -16);
+        b.st8(s0, sp, 0);
+        b.st8(s1, sp, 8);
+        b.mv(s0, a0);
+        b.li(s1, 1);
+        b.la(t0, "visited");
+        b.add(t1, t0, s0);
+        b.li(t2, 1);
+        b.st1(t2, t1, 0);
+        // left: idx % 19 != 0
+        b.li(t3, board_w);
+        b.remu(t4, s0, t3);
+        b.beq(t4, zero, "skip_left");
+        b.addi(a0, s0, -1);
+        b.call("fill_try");
+        b.add(s1, s1, a0);
+        b.label("skip_left");
+        // right: idx % 19 != 18
+        b.li(t3, board_w);
+        b.remu(t4, s0, t3);
+        b.li(t5, board_w - 1);
+        b.beq(t4, t5, "skip_right");
+        b.addi(a0, s0, 1);
+        b.call("fill_try");
+        b.add(s1, s1, a0);
+        b.label("skip_right");
+        // up: idx >= 19
+        b.li(t3, board_w);
+        b.blt(s0, t3, "skip_up");
+        b.addi(a0, s0, -int(board_w));
+        b.call("fill_try");
+        b.add(s1, s1, a0);
+        b.label("skip_up");
+        // down: idx < 342
+        b.li(t3, board_cells - board_w);
+        b.bge(s0, t3, "skip_down");
+        b.addi(a0, s0, int(board_w));
+        b.call("fill_try");
+        b.add(s1, s1, a0);
+        b.label("skip_down");
+        b.mv(a0, s1);
+        b.ld8(s1, sp, 8);
+        b.ld8(s0, sp, 0);
+        b.addi(sp, sp, 16);
+        b.ret();
+        b.endFunc();
+
+        // fill_try(a0 = idx) -> size of new region from idx, or 0.
+        b.func("fill_try");
+        b.la(t0, "visited");
+        b.add(t1, t0, a0);
+        b.ld1(t2, t1, 0);
+        b.bne(t2, zero, "try_zero");
+        b.la(t0, "board");
+        b.add(t1, t0, a0);
+        b.ld1(t2, t1, 0);
+        b.li(t3, 1);
+        b.bne(t2, t3, "try_zero");
+        b.call("fill");
+        b.ret();
+        b.label("try_zero");
+        b.li(a0, 0);
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    // Pattern scan over the interior.
+    {
+        isa::ProgramBuilder b("gobmk_scan");
+        // scan_cell(a0 = idx) -> a0 = count of neighbours == center.
+        b.func("scan_cell");
+        b.la(t0, "board");
+        b.add(t1, t0, a0);
+        b.ld1(t2, t1, 0); // center
+        b.li(a0, 0);
+        const int dirs[8] = {-int(board_w) - 1, -int(board_w),
+                             -int(board_w) + 1, -1, 1,
+                             int(board_w) - 1,  int(board_w),
+                             int(board_w) + 1};
+        for (int i = 0; i < 8; ++i) {
+            const std::string skip = "scan_skip_" + std::to_string(i);
+            b.ld1(t3, t1, dirs[i]);
+            b.bne(t3, t2, skip);
+            b.addi(a0, a0, 1);
+            b.label(skip);
+        }
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("gobmk_main");
+        b.func("main");
+        b.li(s1, 0); // checksum
+        b.li(s5, numRounds(cfg));
+        b.label("round_loop");
+
+        // Phase 1: rows 1..17 x cols 1..17.
+        b.li(s2, 1); // r
+        b.label("row_loop");
+        b.li(s3, 1); // c
+        b.label("col_loop");
+        b.li(t0, board_w);
+        b.mul(t0, s2, t0);
+        b.add(a0, t0, s3);
+        b.call("scan_cell");
+        b.mv(a1, a0);
+        b.mv(a0, s1);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s3, s3, 1);
+        b.li(t1, board_w - 1);
+        b.bne(s3, t1, "col_loop");
+        b.addi(s2, s2, 1);
+        b.li(t1, board_w - 1);
+        b.bne(s2, t1, "row_loop");
+
+        // Phase 2: sampled flood fills.
+        b.li(s2, 0); // start
+        b.label("fill_loop");
+        b.mv(a0, s2);
+        b.call("fill_try");
+        b.mv(a1, a0);
+        b.mv(a0, s1);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s2, s2, 7);
+        b.li(t1, board_cells);
+        b.blt(s2, t1, "fill_loop");
+
+        b.addi(s5, s5, -1);
+        b.bne(s5, zero, "round_loop");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,32 @@
+#ifndef MBIAS_WORKLOADS_GOBMK_HH
+#define MBIAS_WORKLOADS_GOBMK_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "gobmk": Go-board pattern scanning plus recursive flood-fill region
+ * counting on a 19x19 board, the archetype of 445.gobmk.  The
+ * flood-fill recursion makes this the most call-intensive workload:
+ * every call pushes a return address and a register-save frame on the
+ * machine stack, so stack placement (environment size) matters.
+ */
+class GobmkWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "gobmk"; }
+    std::string archetype() const override { return "445.gobmk"; }
+    std::string description() const override
+    {
+        return "board pattern scan + recursive flood fill";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_GOBMK_HH

@@ -1,0 +1,216 @@
+#include "workloads/h264.hh"
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned frame_w = 64;
+constexpr unsigned frame_h = 48;
+constexpr int search_radius = 2;
+
+unsigned
+numBlocks(const WorkloadConfig &cfg)
+{
+    return 8 * cfg.scale;
+}
+
+std::uint8_t
+curPixel(std::uint64_t seed, unsigned x, unsigned y)
+{
+    return std::uint8_t(mix64(seed + y * frame_w + x) & 63);
+}
+
+std::uint8_t
+refPixel(std::uint64_t seed, unsigned x, unsigned y)
+{
+    // The reference frame is the current frame shifted by (2, 1) plus
+    // low-amplitude noise, so the search has a real optimum to find.
+    std::uint64_t base = 0;
+    if (x >= 2 && y >= 1)
+        base = curPixel(seed, x - 2, y - 1);
+    return std::uint8_t(base + (mix64(seed + 0xaaaa + y * frame_w + x) & 7));
+}
+
+void
+blockOrigin(unsigned b, unsigned &bx, unsigned &by)
+{
+    bx = 2 + (b * 11) % 50;
+    by = 2 + (b * 7) % 35;
+}
+
+} // namespace
+
+std::uint64_t
+H264Workload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::vector<std::uint8_t> cur(frame_w * frame_h), ref(frame_w * frame_h);
+    for (unsigned y = 0; y < frame_h; ++y) {
+        for (unsigned x = 0; x < frame_w; ++x) {
+            cur[y * frame_w + x] = curPixel(cfg.seed, x, y);
+            ref[y * frame_w + x] = refPixel(cfg.seed, x, y);
+        }
+    }
+    std::uint64_t acc = 0;
+    for (unsigned b = 0; b < numBlocks(cfg); ++b) {
+        unsigned bx = 0, by = 0;
+        blockOrigin(b, bx, by);
+        std::uint64_t best = ~std::uint64_t(0);
+        std::uint64_t best_code = 0;
+        for (int dy = -search_radius; dy <= search_radius; ++dy) {
+            for (int dx = -search_radius; dx <= search_radius; ++dx) {
+                std::uint64_t sad = 0;
+                for (unsigned j = 0; j < 8; ++j) {
+                    for (unsigned i = 0; i < 8; ++i) {
+                        const int c =
+                            cur[(by + j) * frame_w + bx + i];
+                        const int r = ref[unsigned(int(by) + dy + int(j)) *
+                                              frame_w +
+                                          unsigned(int(bx) + dx + int(i))];
+                        sad += std::uint64_t(c > r ? c - r : r - c);
+                    }
+                }
+                if (sad < best) {
+                    best = sad;
+                    best_code = std::uint64_t(dy + search_radius) * 5 +
+                                std::uint64_t(dx + search_radius);
+                }
+            }
+        }
+        acc = cksumStep(acc, best);
+        acc = cksumStep(acc, best_code);
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+H264Workload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        std::vector<std::uint8_t> cur, ref;
+        for (unsigned y = 0; y < frame_h; ++y) {
+            for (unsigned x = 0; x < frame_w; ++x) {
+                cur.push_back(curPixel(cfg.seed, x, y));
+                ref.push_back(refPixel(cfg.seed, x, y));
+            }
+        }
+        isa::ProgramBuilder b("h264_data");
+        b.globalInit("frame_cur", cur, 64);
+        b.globalInit("frame_ref", ref, 64);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("h264_sad");
+        // sad8x8(a0 = cur origin ptr, a1 = ref origin ptr) -> a0 = SAD.
+        b.func("sad8x8");
+        b.li(t0, 0); // row
+        b.li(t5, 0); // sad
+        b.label("row_loop");
+        b.li(t1, 0); // col
+        b.label("col_loop");
+        b.add(t2, a0, t1);
+        b.ld1(t3, t2, 0);
+        b.add(t2, a1, t1);
+        b.ld1(t4, t2, 0);
+        b.sub(t6, t3, t4);
+        b.bge(t6, zero, "abs_pos");
+        b.sub(t6, zero, t6);
+        b.label("abs_pos");
+        b.add(t5, t5, t6);
+        b.addi(t1, t1, 1);
+        b.li(t7, 8);
+        b.bne(t1, t7, "col_loop");
+        b.addi(a0, a0, frame_w);
+        b.addi(a1, a1, frame_w);
+        b.addi(t0, t0, 1);
+        b.li(t7, 8);
+        b.bne(t0, t7, "row_loop");
+        b.mv(a0, t5);
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("h264_main");
+        b.func("main");
+        b.li(s0, 0); // block index
+        b.li(s1, 0); // checksum
+        b.li(s2, numBlocks(cfg));
+        b.label("block_loop");
+        // bx = 2 + (b*11) % 50 ; by = 2 + (b*7) % 35
+        b.li(t0, 11);
+        b.mul(t1, s0, t0);
+        b.li(t0, 50);
+        b.remu(t1, t1, t0);
+        b.addi(s3, t1, 2); // bx
+        b.li(t0, 7);
+        b.mul(t1, s0, t0);
+        b.li(t0, 35);
+        b.remu(t1, t1, t0);
+        b.addi(s4, t1, 2); // by
+
+        b.li(s6, -1);      // best sad (all ones = +inf unsigned)
+        b.li(s7, 0);       // best code
+        b.li(s8, -search_radius); // dy
+        b.label("dy_loop");
+        b.li(s9, -search_radius); // dx
+        b.label("dx_loop");
+        // cur ptr = cur + by*W + bx
+        b.la(t0, "frame_cur");
+        b.li(t1, frame_w);
+        b.mul(t2, s4, t1);
+        b.add(t2, t2, s3);
+        b.add(a0, t0, t2);
+        // ref ptr = ref + (by+dy)*W + bx+dx
+        b.la(t0, "frame_ref");
+        b.add(t3, s4, s8);
+        b.mul(t3, t3, t1);
+        b.add(t3, t3, s3);
+        b.add(t3, t3, s9);
+        b.add(a1, t0, t3);
+        b.call("sad8x8");
+        b.bgeu(a0, s6, "no_better");
+        b.mv(s6, a0);
+        // code = (dy+2)*5 + dx+2
+        b.addi(t0, s8, search_radius);
+        b.li(t1, 5);
+        b.mul(t0, t0, t1);
+        b.add(t0, t0, s9);
+        b.addi(s7, t0, search_radius);
+        b.label("no_better");
+        b.addi(s9, s9, 1);
+        b.li(t0, search_radius + 1);
+        b.bne(s9, t0, "dx_loop");
+        b.addi(s8, s8, 1);
+        b.li(t0, search_radius + 1);
+        b.bne(s8, t0, "dy_loop");
+
+        b.mv(a0, s1);
+        b.mv(a1, s6);
+        b.call("rt_cksum");
+        b.mv(a1, s7);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s0, s0, 1);
+        b.bne(s0, s2, "block_loop");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

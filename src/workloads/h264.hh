@@ -1,0 +1,32 @@
+#ifndef MBIAS_WORKLOADS_H264_HH
+#define MBIAS_WORKLOADS_H264_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "h264": sum-of-absolute-differences block motion search between two
+ * frames, the archetype of 464.h264ref.  Dense 8x8 pixel loops with a
+ * data-dependent absolute-value branch per pixel; the SAD row loop is
+ * small enough for the unroller, so O3 changes the hot code shape
+ * substantially.
+ */
+class H264Workload : public Workload
+{
+  public:
+    std::string name() const override { return "h264"; }
+    std::string archetype() const override { return "464.h264ref"; }
+    std::string description() const override
+    {
+        return "SAD block motion search over two frames";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_H264_HH

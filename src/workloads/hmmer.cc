@@ -1,0 +1,187 @@
+#include "workloads/hmmer.hh"
+
+#include <algorithm>
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned num_states = 24;
+constexpr unsigned num_symbols = 8;
+constexpr unsigned row_bytes = num_states * 8;
+
+unsigned
+seqLength(const WorkloadConfig &cfg)
+{
+    return 280 * cfg.scale;
+}
+
+std::uint64_t
+tstayOf(std::uint64_t seed, unsigned s)
+{
+    return mix64(seed + 0x1000 + s) & 0xff;
+}
+
+std::uint64_t
+tmoveOf(std::uint64_t seed, unsigned s)
+{
+    return mix64(seed + 0x2000 + s) & 0xff;
+}
+
+std::uint64_t
+emitOf(std::uint64_t seed, unsigned o, unsigned s)
+{
+    return mix64(seed + 0x3000 + o * num_states + s) & 0x3ff;
+}
+
+std::uint8_t
+obsOf(std::uint64_t seed, unsigned t)
+{
+    return std::uint8_t(mix64(seed + 0x4000 + t) % num_symbols);
+}
+
+} // namespace
+
+std::uint64_t
+HmmerWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::vector<std::uint64_t> prev(num_states, 0), cur(num_states, 0);
+    for (unsigned t = 0; t < seqLength(cfg); ++t) {
+        const unsigned o = obsOf(cfg.seed, t);
+        for (unsigned s = 0; s < num_states; ++s) {
+            std::uint64_t best = prev[s] + tstayOf(cfg.seed, s);
+            if (s > 0) {
+                const std::uint64_t move =
+                    prev[s - 1] + tmoveOf(cfg.seed, s);
+                best = std::max(best, move);
+            }
+            cur[s] = best + emitOf(cfg.seed, o, s);
+        }
+        std::swap(prev, cur);
+    }
+    std::uint64_t result = 0;
+    for (unsigned s = 0; s < num_states; ++s)
+        result = std::max(result, prev[s]);
+    return result;
+}
+
+std::vector<isa::Module>
+HmmerWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        isa::ProgramBuilder b("hmmer_data");
+        std::vector<std::uint64_t> tstay, tmove, emit;
+        for (unsigned s = 0; s < num_states; ++s) {
+            tstay.push_back(tstayOf(cfg.seed, s));
+            tmove.push_back(tmoveOf(cfg.seed, s));
+        }
+        for (unsigned o = 0; o < num_symbols; ++o)
+            for (unsigned s = 0; s < num_states; ++s)
+                emit.push_back(emitOf(cfg.seed, o, s));
+        b.globalWords("tstay", tstay, 64);
+        b.globalWords("tmove", tmove, 64);
+        b.globalWords("emit", emit, 64);
+        std::vector<std::uint8_t> obs;
+        for (unsigned t = 0; t < seqLength(cfg); ++t)
+            obs.push_back(obsOf(cfg.seed, t));
+        b.globalInit("obs", obs);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("hmmer_main");
+        b.func("main");
+        // Frame: prev row at sp+0, cur row at sp+row_bytes.
+        b.addi(sp, sp, -(2 * int(row_bytes) + 16));
+        b.mv(s0, sp);                    // prev
+        b.addi(s1, sp, int(row_bytes));  // cur
+        // Zero the prev row.
+        b.li(t0, 0);
+        b.li(t1, num_states);
+        b.label("zero_loop");
+        b.slli(t2, t0, 3);
+        b.add(t2, s0, t2);
+        b.st8(zero, t2, 0);
+        b.addi(t0, t0, 1);
+        b.bne(t0, t1, "zero_loop");
+
+        b.la(s4, "obs");
+        b.la(s8, "tstay");
+        b.la(s9, "tmove");
+        b.li(s2, 0);             // t
+        b.li(s3, seqLength(cfg));
+
+        b.label("obs_loop");
+        b.add(t0, s4, s2);
+        b.ld1(t1, t0, 0);        // o
+        b.la(s5, "emit");
+        b.li(t2, row_bytes);
+        b.mul(t1, t1, t2);
+        b.add(s5, s5, t1);       // &emit[o][0]
+
+        b.li(s6, 0);             // s
+        b.label("state_loop");
+        b.slli(t0, s6, 3);
+        b.add(t1, s0, t0);
+        b.ld8(t2, t1, 0);        // prev[s]
+        b.add(t3, s8, t0);
+        b.ld8(t4, t3, 0);        // tstay[s]
+        b.add(t2, t2, t4);       // stay
+        b.beq(s6, zero, "no_move");
+        b.ld8(t5, t1, -8);       // prev[s-1]
+        b.add(t6, s9, t0);
+        b.ld8(t7, t6, 0);        // tmove[s]
+        b.add(t5, t5, t7);       // move
+        b.bgeu(t2, t5, "no_move");
+        b.mv(t2, t5);
+        b.label("no_move");
+        b.add(t8, s5, t0);
+        b.ld8(t4, t8, 0);        // emit[o][s]
+        b.add(t2, t2, t4);
+        b.add(t3, s1, t0);
+        b.st8(t2, t3, 0);        // cur[s]
+        b.addi(s6, s6, 1);
+        b.li(t4, num_states);
+        b.bne(s6, t4, "state_loop");
+
+        // Swap the rows.
+        b.mv(t0, s0);
+        b.mv(s0, s1);
+        b.mv(s1, t0);
+        b.addi(s2, s2, 1);
+        b.bne(s2, s3, "obs_loop");
+
+        // result = max over prev[].
+        b.li(a0, 0);
+        b.li(t0, 0);
+        b.li(t1, num_states);
+        b.label("max_loop");
+        b.slli(t2, t0, 3);
+        b.add(t2, s0, t2);
+        b.ld8(t3, t2, 0);
+        b.bgeu(a0, t3, "max_skip");
+        b.mv(a0, t3);
+        b.label("max_skip");
+        b.addi(t0, t0, 1);
+        b.bne(t0, t1, "max_loop");
+
+        b.addi(sp, sp, 2 * int(row_bytes) + 16);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

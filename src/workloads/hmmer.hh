@@ -1,0 +1,32 @@
+#ifndef MBIAS_WORKLOADS_HMMER_HH
+#define MBIAS_WORKLOADS_HMMER_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "hmmer": an integer Viterbi-style dynamic program over a 24-state
+ * profile, the archetype of 456.hmmer.  The two DP rows live on the
+ * machine stack, and the row-relative 8-byte accesses inherit whatever
+ * alignment the loader gave the stack pointer — the paper's env-size
+ * mechanism in its purest form.
+ */
+class HmmerWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "hmmer"; }
+    std::string archetype() const override { return "456.hmmer"; }
+    std::string description() const override
+    {
+        return "integer Viterbi DP with stack-resident rows";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_HMMER_HH

@@ -1,0 +1,155 @@
+#include "workloads/lbm.hh"
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned grid_w = 128;
+constexpr unsigned grid_h = 32;
+constexpr unsigned cell_bytes = 4;
+
+unsigned
+numSweeps(const WorkloadConfig &cfg)
+{
+    return 3 * cfg.scale;
+}
+
+std::uint32_t
+initCell(std::uint64_t seed, unsigned i)
+{
+    return std::uint32_t(mix64(seed + 0x1b31 + i) & 0xffff);
+}
+
+} // namespace
+
+std::uint64_t
+LbmWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::vector<std::uint32_t> a(grid_w * grid_h), b(grid_w * grid_h, 0);
+    for (unsigned i = 0; i < a.size(); ++i)
+        a[i] = initCell(cfg.seed, i);
+    // Borders of the write buffer stay whatever they were (zero at
+    // start), exactly as in the simulated program.
+    std::uint32_t *src = a.data();
+    std::uint32_t *dst = b.data();
+    for (unsigned t = 0; t < numSweeps(cfg); ++t) {
+        for (unsigned y = 1; y + 1 < grid_h; ++y) {
+            for (unsigned x = 1; x + 1 < grid_w; ++x) {
+                const unsigned idx = y * grid_w + x;
+                const std::uint64_t v =
+                    (4ull * src[idx] + src[idx - 1] + src[idx + 1] +
+                     src[idx - grid_w] + src[idx + grid_w]) >>
+                    3;
+                dst[idx] = std::uint32_t(v);
+            }
+        }
+        std::swap(src, dst);
+    }
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < grid_w * grid_h; i += 61)
+        acc = cksumStep(acc, src[i]);
+    return acc;
+}
+
+std::vector<isa::Module>
+LbmWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        std::vector<std::uint8_t> init;
+        init.reserve(grid_w * grid_h * cell_bytes);
+        for (unsigned i = 0; i < grid_w * grid_h; ++i) {
+            const std::uint32_t v = initCell(cfg.seed, i);
+            for (int k = 0; k < 4; ++k)
+                init.push_back(std::uint8_t(v >> (8 * k)));
+        }
+        isa::ProgramBuilder b("lbm_data");
+        b.globalInit("gridA", init, 64);
+        b.global("gridB", grid_w * grid_h * cell_bytes, 64);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("lbm_sweep");
+        // sweep(a0 = src, a1 = dst): one stencil pass over the interior.
+        b.func("sweep");
+        b.li(t0, 1); // y
+        b.label("y_loop");
+        b.li(t1, 1); // x
+        // row base = y * W * 4
+        b.slli(t2, t0, 9); // y * 512
+        b.label("x_loop");
+        b.slli(t3, t1, 2);
+        b.add(t3, t2, t3);  // byte offset of (x, y)
+        b.add(t4, a0, t3);
+        b.ld4(t5, t4, 0);             // center
+        b.slli(t5, t5, 2);            // 4 * center
+        b.ld4(t6, t4, -4);            // west
+        b.add(t5, t5, t6);
+        b.ld4(t6, t4, 4);             // east
+        b.add(t5, t5, t6);
+        b.ld4(t6, t4, -int(grid_w * cell_bytes)); // north
+        b.add(t5, t5, t6);
+        b.ld4(t6, t4, int(grid_w * cell_bytes));  // south
+        b.add(t5, t5, t6);
+        b.srli(t5, t5, 3);
+        b.add(t6, a1, t3);
+        b.st4(t5, t6, 0);
+        b.addi(t1, t1, 1);
+        b.li(t7, grid_w - 1);
+        b.bne(t1, t7, "x_loop");
+        b.addi(t0, t0, 1);
+        b.li(t7, grid_h - 1);
+        b.bne(t0, t7, "y_loop");
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("lbm_main");
+        b.func("main");
+        b.la(s0, "gridA");
+        b.la(s1, "gridB");
+        b.li(s2, numSweeps(cfg));
+        b.label("sweep_loop");
+        b.mv(a0, s0);
+        b.mv(a1, s1);
+        b.call("sweep");
+        b.mv(t0, s0); // swap buffers
+        b.mv(s0, s1);
+        b.mv(s1, t0);
+        b.addi(s2, s2, -1);
+        b.bne(s2, zero, "sweep_loop");
+
+        b.li(s3, 0); // acc
+        b.li(s4, 0); // i
+        b.li(s5, grid_w * grid_h);
+        b.label("sum_loop");
+        b.slli(t0, s4, 2);
+        b.add(t0, s0, t0);
+        b.ld4(a1, t0, 0);
+        b.mv(a0, s3);
+        b.call("rt_cksum");
+        b.mv(s3, a0);
+        b.addi(s4, s4, 61);
+        b.blt(s4, s5, "sum_loop");
+        b.mv(a0, s3);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,31 @@
+#ifndef MBIAS_WORKLOADS_LBM_HH
+#define MBIAS_WORKLOADS_LBM_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "lbm": an integer 5-point stencil sweep over a double-buffered 2D
+ * grid, the archetype of 470.lbm.  Pure streaming with predictable
+ * branches; like mcf it is one of the deliberately layout-insensitive
+ * members of the suite.
+ */
+class LbmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lbm"; }
+    std::string archetype() const override { return "470.lbm"; }
+    std::string description() const override
+    {
+        return "5-point integer stencil over a double-buffered grid";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_LBM_HH

@@ -1,0 +1,134 @@
+#include "workloads/libquantum.hh"
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned num_amps = 2048; // 16 KiB register file
+
+unsigned
+numGates(const WorkloadConfig &cfg)
+{
+    return 10 * cfg.scale;
+}
+
+std::uint64_t
+initAmp(std::uint64_t seed, unsigned i)
+{
+    return mix64(seed + 0x717171 + i);
+}
+
+} // namespace
+
+std::uint64_t
+LibquantumWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::vector<std::uint64_t> amp(num_amps);
+    for (unsigned i = 0; i < num_amps; ++i)
+        amp[i] = initAmp(cfg.seed, i);
+    for (unsigned g = 0; g < numGates(cfg); ++g) {
+        const unsigned shift = (g % 9) + 1;
+        const std::uint64_t stride = std::uint64_t(1) << shift;
+        for (unsigned i = 0; i < num_amps; ++i) {
+            if ((i & stride) == 0)
+                amp[i] ^= (amp[i | stride] >> 3) + g;
+        }
+    }
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < num_amps; i += 97)
+        acc = cksumStep(acc, amp[i]);
+    return acc;
+}
+
+std::vector<isa::Module>
+LibquantumWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        std::vector<std::uint64_t> words;
+        words.reserve(num_amps);
+        for (unsigned i = 0; i < num_amps; ++i)
+            words.push_back(initAmp(cfg.seed, i));
+        isa::ProgramBuilder b("lq_data");
+        b.globalWords("amp", words, 64);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("lq_gates");
+        // apply_gate(a0 = stride, a1 = g) : applies one gate in place.
+        b.func("apply_gate");
+        b.la(t0, "amp");
+        b.li(t1, 0); // i
+        b.li(t2, num_amps);
+        b.label("gate_loop");
+        b.and_(t3, t1, a0);
+        b.bne(t3, zero, "gate_skip");
+        b.or_(t3, t1, a0);       // partner index
+        b.slli(t3, t3, 3);
+        b.add(t3, t0, t3);
+        b.ld8(t4, t3, 0);        // amp[i | stride]
+        b.srli(t4, t4, 3);
+        b.add(t4, t4, a1);
+        b.slli(t5, t1, 3);
+        b.add(t5, t0, t5);
+        b.ld8(t6, t5, 0);
+        b.xor_(t6, t6, t4);
+        b.st8(t6, t5, 0);
+        b.label("gate_skip");
+        b.addi(t1, t1, 1);
+        b.bne(t1, t2, "gate_loop");
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("lq_main");
+        b.func("main");
+        b.li(s0, 0); // gate counter
+        b.li(s2, numGates(cfg));
+        b.label("main_loop");
+        b.li(t0, 9);
+        b.remu(t1, s0, t0);
+        b.addi(t1, t1, 1);       // shift
+        b.li(a0, 1);
+        b.sll(a0, a0, t1);       // stride
+        b.mv(a1, s0);            // g
+        b.call("apply_gate");
+        b.addi(s0, s0, 1);
+        b.bne(s0, s2, "main_loop");
+
+        // Sampled checksum.
+        b.la(s3, "amp");
+        b.li(s1, 0); // acc
+        b.li(s4, 0); // i
+        b.li(s5, num_amps);
+        b.label("sum_loop");
+        b.slli(t0, s4, 3);
+        b.add(t0, s3, t0);
+        b.ld8(a1, t0, 0);
+        b.mv(a0, s1);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s4, s4, 97);
+        b.blt(s4, s5, "sum_loop");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,32 @@
+#ifndef MBIAS_WORKLOADS_LIBQUANTUM_HH
+#define MBIAS_WORKLOADS_LIBQUANTUM_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "libquantum": strided gate application over an amplitude register
+ * array, the archetype of 462.libquantum.  Power-of-two strides sweep
+ * the data cache's index bits one by one, and the i&stride branch has
+ * a perfectly periodic pattern whose period exceeds short predictor
+ * histories — streaming and predictor-structure sensitive.
+ */
+class LibquantumWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "libquantum"; }
+    std::string archetype() const override { return "462.libquantum"; }
+    std::string description() const override
+    {
+        return "strided XOR gates over an amplitude array";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_LIBQUANTUM_HH

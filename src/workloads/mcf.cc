@@ -1,0 +1,112 @@
+#include "workloads/mcf.hh"
+
+#include <numeric>
+
+#include "base/random.hh"
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned num_nodes = 1u << 15; // 512 KiB of 16-byte nodes
+
+unsigned
+numSteps(const WorkloadConfig &cfg)
+{
+    return 22000 * cfg.scale;
+}
+
+/** Single-cycle permutation (Sattolo) plus per-node weights. */
+struct Graph
+{
+    std::vector<std::uint32_t> next;
+    std::vector<std::uint64_t> weight;
+};
+
+Graph
+makeGraph(std::uint64_t seed)
+{
+    Graph g;
+    g.next.resize(num_nodes);
+    std::iota(g.next.begin(), g.next.end(), 0);
+    Rng rng(seed ^ 0x3cf3cf3cf3ULL);
+    // Sattolo's algorithm: a uniform single-cycle permutation.
+    for (std::size_t i = num_nodes - 1; i > 0; --i) {
+        const std::size_t j = rng.nextBounded(i);
+        std::swap(g.next[i], g.next[j]);
+    }
+    g.weight.resize(num_nodes);
+    for (unsigned i = 0; i < num_nodes; ++i)
+        g.weight[i] = mix64(seed + i) & 0xffff;
+    return g;
+}
+
+} // namespace
+
+std::uint64_t
+McfWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    const Graph g = makeGraph(cfg.seed);
+    std::uint64_t acc = 0;
+    std::uint32_t idx = 0;
+    for (unsigned s = 0; s < numSteps(cfg); ++s) {
+        const std::uint32_t nxt = g.next[idx];
+        acc = acc * 31 + g.weight[idx];
+        idx = nxt;
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+McfWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        const Graph g = makeGraph(cfg.seed);
+        // Node layout: [next : 8B][weight : 8B].
+        std::vector<std::uint64_t> words;
+        words.reserve(2 * num_nodes);
+        for (unsigned i = 0; i < num_nodes; ++i) {
+            words.push_back(g.next[i]);
+            words.push_back(g.weight[i]);
+        }
+        isa::ProgramBuilder b("mcf_data");
+        b.globalWords("graph", words, 64);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("mcf_main");
+        b.func("main");
+        b.la(s0, "graph");
+        b.li(s1, 0); // acc
+        b.li(s2, 0); // idx
+        b.li(s3, numSteps(cfg));
+        b.li(s4, 31);
+        b.label("walk");
+        b.slli(t0, s2, 4);
+        b.add(t0, s0, t0);
+        b.ld8(t1, t0, 8); // weight
+        b.ld8(s2, t0, 0); // next (serial dependence)
+        b.mul(s1, s1, s4);
+        b.add(s1, s1, t1);
+        b.addi(s3, s3, -1);
+        b.bne(s3, zero, "walk");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,32 @@
+#ifndef MBIAS_WORKLOADS_MCF_HH
+#define MBIAS_WORKLOADS_MCF_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "mcf": pointer chasing over a 512 KiB single-cycle random graph, the
+ * archetype of 429.mcf.  A serial dependent-load chain that misses the
+ * L1 on nearly every step — the memory-bound end of the suite, and
+ * (deliberately) one of the *least* layout-sensitive workloads: the
+ * paper found measurement bias in most, not all, of SPEC CPU2006.
+ */
+class McfWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "mcf"; }
+    std::string archetype() const override { return "429.mcf"; }
+    std::string description() const override
+    {
+        return "serial pointer chase over a random cyclic graph";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_MCF_HH

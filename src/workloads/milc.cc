@@ -1,0 +1,132 @@
+#include "workloads/milc.hh"
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned pair_bytes = 144; // two 3x3 matrices of 8B elements
+
+unsigned
+numPairs(const WorkloadConfig &cfg)
+{
+    return 260 * cfg.scale;
+}
+
+std::uint64_t
+element(std::uint64_t seed, unsigned index)
+{
+    return mix64(seed * 0x5151'5151 + index) & 0xffff;
+}
+
+} // namespace
+
+std::uint64_t
+MilcWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::uint64_t acc = 0;
+    for (unsigned p = 0; p < numPairs(cfg); ++p) {
+        const unsigned base = p * 18; // elements, not bytes
+        std::uint64_t trace = 0;
+        for (unsigned i = 0; i < 3; ++i) {
+            for (unsigned j = 0; j < 3; ++j) {
+                std::uint64_t sum = 0;
+                for (unsigned k = 0; k < 3; ++k) {
+                    const std::uint64_t a =
+                        element(cfg.seed, base + i * 3 + k);
+                    const std::uint64_t bb =
+                        element(cfg.seed, base + 9 + k * 3 + j);
+                    sum += a * bb;
+                }
+                if (i == j)
+                    trace += sum;
+            }
+        }
+        acc = cksumStep(acc, trace);
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+MilcWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        std::vector<std::uint64_t> words;
+        words.reserve(numPairs(cfg) * 18);
+        for (unsigned e = 0; e < numPairs(cfg) * 18; ++e)
+            words.push_back(element(cfg.seed, e));
+        isa::ProgramBuilder b("milc_data");
+        b.globalWords("lattice", words, 64);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("milc_main");
+        b.func("main");
+        b.la(s0, "lattice");    // current pair base
+        b.li(s1, numPairs(cfg));
+        b.li(s2, 0);            // checksum
+
+        b.label("pair_loop");
+        b.li(s3, 0); // trace
+        b.li(s4, 0); // i
+        b.label("i_loop");
+        b.li(s5, 0); // j
+        b.label("j_loop");
+        // t1 = &A[i][0]: s0 + i*24 ; t3 = &B[0][j]: s0 + 72 + j*8
+        b.slli(t0, s4, 4);
+        b.slli(t1, s4, 3);
+        b.add(t1, t0, t1);
+        b.add(t1, s0, t1);
+        b.slli(t3, s5, 3);
+        b.add(t3, s0, t3);
+        b.addi(t3, t3, 72);
+        b.li(s7, 0); // sum
+        b.li(s6, 0); // k
+        b.li(t5, 3);
+        b.label("k_loop");
+        b.ld8(t2, t1, 0);
+        b.ld8(t4, t3, 0);
+        b.mul(t2, t2, t4);
+        b.add(s7, s7, t2);
+        b.addi(t1, t1, 8);  // next A column
+        b.addi(t3, t3, 24); // next B row
+        b.addi(s6, s6, 1);
+        b.bne(s6, t5, "k_loop");
+        // Diagonal elements feed the trace.
+        b.bne(s4, s5, "skip_trace");
+        b.add(s3, s3, s7);
+        b.label("skip_trace");
+        b.addi(s5, s5, 1);
+        b.li(t5, 3);
+        b.bne(s5, t5, "j_loop");
+        b.addi(s4, s4, 1);
+        b.li(t5, 3);
+        b.bne(s4, t5, "i_loop");
+
+        b.mv(a0, s2);
+        b.mv(a1, s3);
+        b.call("rt_cksum");
+        b.mv(s2, a0);
+        b.addi(s0, s0, pair_bytes);
+        b.addi(s1, s1, -1);
+        b.bne(s1, zero, "pair_loop");
+        b.mv(a0, s2);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,31 @@
+#ifndef MBIAS_WORKLOADS_MILC_HH
+#define MBIAS_WORKLOADS_MILC_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "milc": fixed-point 3x3 matrix products over a lattice of site
+ * pairs, the archetype of 433.milc.  Arithmetic-dense with a tiny
+ * constant-trip inner loop — prime unrolling material, so the O3-vs-O2
+ * contrast is pronounced here.
+ */
+class MilcWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "milc"; }
+    std::string archetype() const override { return "433.milc"; }
+    std::string description() const override
+    {
+        return "3x3 fixed-point matrix products over a lattice";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_MILC_HH

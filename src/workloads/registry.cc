@@ -1,0 +1,60 @@
+#include "workloads/registry.hh"
+
+#include "base/logging.hh"
+#include "workloads/bzip.hh"
+#include "workloads/gcclike.hh"
+#include "workloads/gobmk.hh"
+#include "workloads/h264.hh"
+#include "workloads/hmmer.hh"
+#include "workloads/lbm.hh"
+#include "workloads/libquantum.hh"
+#include "workloads/mcf.hh"
+#include "workloads/milc.hh"
+#include "workloads/perl.hh"
+#include "workloads/sjeng.hh"
+#include "workloads/sphinx.hh"
+
+namespace mbias::workloads
+{
+
+const std::vector<const Workload *> &
+suite()
+{
+    static const PerlWorkload perl;
+    static const BzipWorkload bzip;
+    static const GccLikeWorkload gcclike;
+    static const McfWorkload mcf;
+    static const MilcWorkload milc;
+    static const GobmkWorkload gobmk;
+    static const HmmerWorkload hmmer;
+    static const SjengWorkload sjeng;
+    static const LibquantumWorkload libquantum;
+    static const H264Workload h264;
+    static const LbmWorkload lbm;
+    static const SphinxWorkload sphinx;
+    static const std::vector<const Workload *> all = {
+        &perl, &bzip, &gcclike, &mcf,  &milc, &gobmk,
+        &hmmer, &sjeng, &libquantum, &h264, &lbm, &sphinx,
+    };
+    return all;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : suite())
+        if (w->name() == name)
+            return *w;
+    mbias_fatal("unknown workload: ", name);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const Workload *w : suite())
+        names.push_back(w->name());
+    return names;
+}
+
+} // namespace mbias::workloads

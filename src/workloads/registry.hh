@@ -1,0 +1,23 @@
+#ifndef MBIAS_WORKLOADS_REGISTRY_HH
+#define MBIAS_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/** All workloads of the suite, in canonical (SPEC-number) order. */
+const std::vector<const Workload *> &suite();
+
+/** Looks a workload up by name; panics if absent. */
+const Workload &findWorkload(const std::string &name);
+
+/** Names of all workloads, in suite order. */
+std::vector<std::string> suiteNames();
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,84 @@
+#include "workloads/runtime.hh"
+
+#include "workloads/coldlib.hh"
+
+#include "isa/builder.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+std::vector<isa::Module>
+runtimeModules()
+{
+    std::vector<isa::Module> mods;
+
+    isa::ProgramBuilder b("rt_hash");
+
+    // acc*31 + v
+    b.func("rt_cksum");
+    b.li(t0, 31);
+    b.mul(a0, a0, t0);
+    b.add(a0, a0, a1);
+    b.ret();
+    b.endFunc();
+
+    // SplitMix64 finalizer.
+    b.func("rt_mix64");
+    b.srli(t0, a0, 30);
+    b.xor_(a0, a0, t0);
+    b.li(t1, std::int64_t(0xbf58476d1ce4e5b9ULL));
+    b.mul(a0, a0, t1);
+    b.srli(t0, a0, 27);
+    b.xor_(a0, a0, t0);
+    b.li(t1, std::int64_t(0x94d049bb133111ebULL));
+    b.mul(a0, a0, t1);
+    b.srli(t0, a0, 31);
+    b.xor_(a0, a0, t0);
+    b.ret();
+    b.endFunc();
+
+    mods.push_back(b.build());
+
+    isa::ProgramBuilder u("rt_util");
+    // Unsigned min.
+    u.func("rt_min");
+    u.bltu(a0, a1, "min_done");
+    u.mv(a0, a1);
+    u.label("min_done");
+    u.ret();
+    u.endFunc();
+
+    // Unsigned max.
+    u.func("rt_max");
+    u.bgeu(a0, a1, "max_done");
+    u.mv(a0, a1);
+    u.label("max_done");
+    u.ret();
+    u.endFunc();
+
+    // |a - b| treating operands as signed.
+    u.func("rt_absdiff");
+    u.sub(t0, a0, a1);
+    u.bge(t0, zero, "abs_pos");
+    u.sub(t0, zero, t0);
+    u.label("abs_pos");
+    u.mv(a0, t0);
+    u.ret();
+    u.endFunc();
+
+    mods.push_back(u.build());
+    return mods;
+}
+
+void
+appendLibraryModules(std::vector<isa::Module> &mods)
+{
+    for (auto &m : runtimeModules())
+        mods.push_back(std::move(m));
+    for (auto &m : coldModules())
+        mods.push_back(std::move(m));
+}
+
+} // namespace mbias::workloads

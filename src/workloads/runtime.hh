@@ -1,0 +1,33 @@
+#ifndef MBIAS_WORKLOADS_RUNTIME_HH
+#define MBIAS_WORKLOADS_RUNTIME_HH
+
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * The shared runtime ("libc.o" of the suite), split over two modules
+ * so link order can separate them.
+ *
+ * Functions (args in a0.., result in a0):
+ *  - rt_cksum(acc, v)  -> acc*31 + v          (4 insts: inlinable)
+ *  - rt_mix64(x)       -> SplitMix64 finalizer (11 insts: inlinable
+ *                         for icc at O3, too big for gcc)
+ *  - rt_min(a, b), rt_max(a, b)               (branchy, inlinable)
+ *  - rt_absdiff(a, b)  -> |a - b| (signed)    (branchy, inlinable)
+ */
+std::vector<isa::Module> runtimeModules();
+
+/**
+ * Appends everything a workload links besides its own modules: the
+ * runtime modules and the cold library modules.  Call at the end of
+ * every Workload::build().
+ */
+void appendLibraryModules(std::vector<isa::Module> &mods);
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_RUNTIME_HH

@@ -1,0 +1,137 @@
+#include "workloads/sjeng.hh"
+
+#include <algorithm>
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr std::int64_t loss_value = -100;
+constexpr std::int64_t neg_infinity = -1000000;
+constexpr unsigned search_depth = 6;
+
+unsigned
+numRoots(const WorkloadConfig &cfg)
+{
+    return 4 * cfg.scale;
+}
+
+std::int64_t
+negamax(std::uint64_t n, unsigned d, std::uint64_t seed)
+{
+    if (n == 0)
+        return loss_value;
+    if (d == 0)
+        return std::int64_t(mix64(n + seed) & 63);
+    std::int64_t best = neg_infinity;
+    for (std::uint64_t m = 1; m <= 3; ++m) {
+        if (n < m)
+            break;
+        best = std::max(best, -negamax(n - m, d - 1, seed));
+    }
+    return best;
+}
+
+} // namespace
+
+std::uint64_t
+SjengWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::uint64_t acc = 0;
+    for (unsigned r = 0; r < numRoots(cfg); ++r) {
+        const std::uint64_t n0 = 18 + (r % 6);
+        const std::int64_t v = negamax(n0, search_depth, cfg.seed);
+        acc = cksumStep(acc, std::uint64_t(v) & 0xff);
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+SjengWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        isa::ProgramBuilder b("sjeng_search");
+        // negamax(a0 = n, a1 = d) -> a0 = value (signed).
+        b.func("negamax");
+        b.beq(a0, zero, "leaf_loss");
+        b.beq(a1, zero, "leaf_eval");
+        b.addi(sp, sp, -32);
+        b.st8(s0, sp, 0);  // n
+        b.st8(s1, sp, 8);  // d
+        b.st8(s2, sp, 16); // best
+        b.st8(s3, sp, 24); // m
+        b.mv(s0, a0);
+        b.mv(s1, a1);
+        b.li(s2, neg_infinity);
+        b.li(s3, 1);
+        b.label("move_loop");
+        b.bltu(s0, s3, "move_done"); // m > n: no more moves
+        b.sub(a0, s0, s3);
+        b.addi(a1, s1, -1);
+        b.call("negamax");
+        b.sub(t0, zero, a0);         // -child value
+        b.blt(t0, s2, "no_improve");
+        b.mv(s2, t0);
+        b.label("no_improve");
+        b.addi(s3, s3, 1);
+        b.li(t1, 4);
+        b.bne(s3, t1, "move_loop");
+        b.label("move_done");
+        b.mv(a0, s2);
+        b.ld8(s3, sp, 24);
+        b.ld8(s2, sp, 16);
+        b.ld8(s1, sp, 8);
+        b.ld8(s0, sp, 0);
+        b.addi(sp, sp, 32);
+        b.ret();
+        b.label("leaf_loss");
+        b.li(a0, loss_value);
+        b.ret();
+        b.label("leaf_eval");
+        b.li(t0, std::int64_t(cfg.seed));
+        b.add(a0, a0, t0);
+        b.call("rt_mix64");
+        b.andi(a0, a0, 63);
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("sjeng_main");
+        b.func("main");
+        b.li(s0, 0); // root counter
+        b.li(s1, 0); // checksum
+        b.li(s2, numRoots(cfg));
+        b.label("root_loop");
+        b.li(t0, 6);
+        b.remu(t1, s0, t0);
+        b.addi(a0, t1, 18);      // n0 = 18 + r % 6
+        b.li(a1, search_depth);
+        b.call("negamax");
+        b.andi(a1, a0, 0xff);
+        b.mv(a0, s1);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s0, s0, 1);
+        b.bne(s0, s2, "root_loop");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

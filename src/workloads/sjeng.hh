@@ -1,0 +1,30 @@
+#ifndef MBIAS_WORKLOADS_SJENG_HH
+#define MBIAS_WORKLOADS_SJENG_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "sjeng": depth-limited negamax over a take-1/2/3 game tree, the
+ * archetype of 458.sjeng.  Deep recursion with register-save frames and
+ * hash-mixed leaf evaluations: call/return and branch intensive.
+ */
+class SjengWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "sjeng"; }
+    std::string archetype() const override { return "458.sjeng"; }
+    std::string description() const override
+    {
+        return "depth-limited negamax game-tree search";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_SJENG_HH

@@ -1,0 +1,141 @@
+#include "workloads/sphinx.hh"
+
+#include "isa/builder.hh"
+#include "workloads/runtime.hh"
+
+namespace mbias::workloads
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr unsigned num_gaussians = 32;
+constexpr unsigned num_dims = 8;
+
+unsigned
+numFrames(const WorkloadConfig &cfg)
+{
+    return 44 * cfg.scale;
+}
+
+std::uint64_t
+featOf(std::uint64_t seed, unsigned f, unsigned d)
+{
+    return mix64(seed + 0x5000 + f * num_dims + d) & 0x3ff;
+}
+
+std::uint64_t
+meanOf(std::uint64_t seed, unsigned g, unsigned d)
+{
+    return mix64(seed + 0x6000 + g * num_dims + d) & 0x3ff;
+}
+
+} // namespace
+
+std::uint64_t
+SphinxWorkload::referenceResult(const WorkloadConfig &cfg) const
+{
+    std::uint64_t acc = 0;
+    for (unsigned f = 0; f < numFrames(cfg); ++f) {
+        std::uint64_t best = ~std::uint64_t(0);
+        for (unsigned g = 0; g < num_gaussians; ++g) {
+            std::uint64_t dist = 0;
+            for (unsigned d = 0; d < num_dims; ++d) {
+                const std::int64_t diff =
+                    std::int64_t(featOf(cfg.seed, f, d)) -
+                    std::int64_t(meanOf(cfg.seed, g, d));
+                dist += std::uint64_t(diff * diff);
+            }
+            if (dist < best)
+                best = dist;
+        }
+        acc = cksumStep(acc, best);
+    }
+    return acc;
+}
+
+std::vector<isa::Module>
+SphinxWorkload::build(const WorkloadConfig &cfg) const
+{
+    std::vector<isa::Module> mods;
+
+    {
+        std::vector<std::uint64_t> feats, means;
+        for (unsigned f = 0; f < numFrames(cfg); ++f)
+            for (unsigned d = 0; d < num_dims; ++d)
+                feats.push_back(featOf(cfg.seed, f, d));
+        for (unsigned g = 0; g < num_gaussians; ++g)
+            for (unsigned d = 0; d < num_dims; ++d)
+                means.push_back(meanOf(cfg.seed, g, d));
+        isa::ProgramBuilder b("sphinx_data");
+        b.globalWords("feats", feats, 64);
+        b.globalWords("means", means, 64);
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("sphinx_score");
+        // score(a0 = frame ptr, a1 = mean ptr) -> a0 = squared distance.
+        b.func("score");
+        b.li(t0, 0); // d
+        b.li(t5, 0); // dist
+        b.li(t6, num_dims);
+        b.label("dim_loop");
+        b.slli(t1, t0, 3);
+        b.add(t2, a0, t1);
+        b.ld8(t3, t2, 0);
+        b.add(t2, a1, t1);
+        b.ld8(t4, t2, 0);
+        b.sub(t3, t3, t4);
+        b.mul(t3, t3, t3);
+        b.add(t5, t5, t3);
+        b.addi(t0, t0, 1);
+        b.bne(t0, t6, "dim_loop");
+        b.mv(a0, t5);
+        b.ret();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    {
+        isa::ProgramBuilder b("sphinx_main");
+        b.func("main");
+        b.li(s0, 0); // frame
+        b.li(s1, 0); // checksum
+        b.li(s2, numFrames(cfg));
+        b.label("frame_loop");
+        b.li(s5, -1); // best (unsigned +inf)
+        b.li(s3, 0);  // gaussian
+        b.label("gauss_loop");
+        b.la(t0, "feats");
+        b.slli(t1, s0, 6); // frame * 8 dims * 8 bytes
+        b.add(a0, t0, t1);
+        b.la(t0, "means");
+        b.slli(t1, s3, 6);
+        b.add(a1, t0, t1);
+        b.call("score");
+        b.bgeu(a0, s5, "no_min");
+        b.mv(s5, a0);
+        b.label("no_min");
+        b.addi(s3, s3, 1);
+        b.li(t0, num_gaussians);
+        b.bne(s3, t0, "gauss_loop");
+        b.mv(a0, s1);
+        b.mv(a1, s5);
+        b.call("rt_cksum");
+        b.mv(s1, a0);
+        b.addi(s0, s0, 1);
+        b.bne(s0, s2, "frame_loop");
+        b.mv(a0, s1);
+        b.halt();
+        b.endFunc();
+        mods.push_back(b.build());
+    }
+
+    appendLibraryModules(mods);
+    return mods;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,31 @@
+#ifndef MBIAS_WORKLOADS_SPHINX_HH
+#define MBIAS_WORKLOADS_SPHINX_HH
+
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+/**
+ * "sphinx": fixed-point Gaussian-mixture scoring of feature frames
+ * (distance products plus a running min), the archetype of
+ * 482.sphinx3.  A small constant-trip inner product loop that the
+ * unroller targets, plus a per-gaussian min branch.
+ */
+class SphinxWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "sphinx"; }
+    std::string archetype() const override { return "482.sphinx3"; }
+    std::string description() const override
+    {
+        return "fixed-point GMM scoring with running min";
+    }
+
+    std::vector<isa::Module> build(const WorkloadConfig &cfg) const override;
+    std::uint64_t referenceResult(const WorkloadConfig &cfg) const override;
+};
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_SPHINX_HH

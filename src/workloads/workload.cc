@@ -1,0 +1,25 @@
+#include "workloads/workload.hh"
+
+namespace mbias::workloads
+{
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    // SplitMix64 finalizer; small enough that the µRISC version
+    // (rt_mix64) is a candidate for O3 leaf inlining.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint64_t
+cksumStep(std::uint64_t acc, std::uint64_t v)
+{
+    return acc * 31 + v;
+}
+
+} // namespace mbias::workloads

@@ -1,0 +1,70 @@
+#ifndef MBIAS_WORKLOADS_WORKLOAD_HH
+#define MBIAS_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace mbias::workloads
+{
+
+/** Sizing/seeding knobs shared by all workloads. */
+struct WorkloadConfig
+{
+    /** Linear work multiplier; scale=1 is ~100-300k dynamic insts. */
+    unsigned scale = 1;
+
+    /** Seed for the workload's input data generation. */
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * One benchmark of the SPEC CPU2006-C substitute suite.
+ *
+ * Each workload compiles (through the µRISC toolchain) into several
+ * modules — the analogue of multiple .o files, so that link order has
+ * something to permute — and also provides a plain-C++ reference
+ * implementation of the same computation.  The invariant
+ *
+ *   simulate(compile(build(cfg))).result == referenceResult(cfg)
+ *
+ * must hold for every opt level, vendor, link order, and environment
+ * size; the test suite checks it.  The result is returned by the
+ * simulated program in register a0 at Halt.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name, e.g. "perl". */
+    virtual std::string name() const = 0;
+
+    /** The SPEC CPU2006 program this archetype substitutes. */
+    virtual std::string archetype() const = 0;
+
+    /** One-line description of the kernel. */
+    virtual std::string description() const = 0;
+
+    /** Builds the source modules (pre-optimization). */
+    virtual std::vector<isa::Module>
+    build(const WorkloadConfig &cfg) const = 0;
+
+    /** The checksum the simulated program must produce. */
+    virtual std::uint64_t
+    referenceResult(const WorkloadConfig &cfg) const = 0;
+};
+
+/** 64-bit mixing function shared by workload input generators.
+ *  (Also implemented in µRISC in the runtime module as rt_mix64.) */
+std::uint64_t mix64(std::uint64_t x);
+
+/** The checksum step shared by workloads: acc*31 + v.
+ *  (Also implemented in µRISC as rt_cksum.) */
+std::uint64_t cksumStep(std::uint64_t acc, std::uint64_t v);
+
+} // namespace mbias::workloads
+
+#endif // MBIAS_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,104 @@
+/** @file Unit tests for base bit utilities. */
+#include <gtest/gtest.h>
+
+#include "base/bitutils.hh"
+
+namespace
+{
+
+using namespace mbias;
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+    EXPECT_FALSE(isPowerOf2((1ULL << 63) + 1));
+}
+
+TEST(BitUtils, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(alignUp(17, 16), 32u);
+    EXPECT_EQ(alignUp(519, 8), 520u);
+    EXPECT_EQ(alignUp(520, 16), 528u);
+}
+
+TEST(BitUtils, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 16), 0u);
+    EXPECT_EQ(alignDown(15, 16), 0u);
+    EXPECT_EQ(alignDown(16, 16), 16u);
+    EXPECT_EQ(alignDown(31, 16), 16u);
+}
+
+TEST(BitUtils, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 4));
+    EXPECT_TRUE(isAligned(64, 64));
+    EXPECT_FALSE(isAligned(65, 64));
+}
+
+TEST(BitUtils, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(BitUtils, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xfffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(BitUtils, Bits)
+{
+    EXPECT_EQ(bits(0xabcd, 7, 0), 0xcdu);
+    EXPECT_EQ(bits(0xabcd, 15, 8), 0xabu);
+    EXPECT_EQ(bits(0xff, 3, 2), 3u);
+}
+
+TEST(BitUtils, CrossesBoundary)
+{
+    EXPECT_FALSE(crossesBoundary(0, 8, 64));
+    EXPECT_FALSE(crossesBoundary(56, 8, 64));
+    EXPECT_TRUE(crossesBoundary(57, 8, 64));
+    EXPECT_TRUE(crossesBoundary(63, 2, 64));
+    EXPECT_FALSE(crossesBoundary(64, 8, 64));
+    EXPECT_FALSE(crossesBoundary(63, 1, 64));
+    EXPECT_FALSE(crossesBoundary(10, 0, 64));
+}
+
+/** Property sweep: alignUp/alignDown bracket the value. */
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignProperty, BracketsValue)
+{
+    const std::uint64_t v = GetParam();
+    for (std::uint64_t a : {1ull, 2ull, 4ull, 16ull, 64ull, 4096ull}) {
+        EXPECT_LE(alignDown(v, a), v);
+        EXPECT_GE(alignUp(v, a), v);
+        EXPECT_TRUE(isAligned(alignDown(v, a), a));
+        EXPECT_TRUE(isAligned(alignUp(v, a), a));
+        EXPECT_LT(alignUp(v, a) - v, a);
+        EXPECT_LT(v - alignDown(v, a), a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AlignProperty,
+                         ::testing::Values(0, 1, 7, 63, 64, 65, 519, 520,
+                                           4095, 4096, 123456789));
+
+} // namespace

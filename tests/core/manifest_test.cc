@@ -1,0 +1,54 @@
+/** @file Tests for the setup manifest. */
+#include <gtest/gtest.h>
+
+#include "core/manifest.hh"
+
+namespace
+{
+
+using namespace mbias;
+using core::ExperimentSetup;
+using core::ExperimentSpec;
+using core::SetupManifest;
+
+TEST(Manifest, ContainsEveryReproducibilityDetail)
+{
+    ExperimentSpec spec;
+    spec.withWorkload("hmmer").withScale(2);
+    spec.workloadConfig.seed = 777;
+    ExperimentSetup setup;
+    setup.envBytes = 1234;
+    setup.linkOrder = toolchain::LinkOrder::shuffled(9);
+
+    const std::string m = SetupManifest::describe(spec, setup);
+    for (const char *needle :
+         {"hmmer", "scale 2", "777", "gcc-O2", "gcc-O3", "1234",
+          "shuffled(9)", "core2like", "gshare", "OoO window"}) {
+        EXPECT_NE(m.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Manifest, HardwareStudyListsBothMachines)
+{
+    ExperimentSpec spec;
+    auto pf = sim::MachineConfig::core2Like();
+    pf.name = "core2like+pf";
+    pf.enableNextLinePrefetch = true;
+    spec.withTreatmentMachine(pf);
+    const std::string m =
+        SetupManifest::describe(spec, ExperimentSetup{});
+    EXPECT_NE(m.find("machine core2like:"), std::string::npos);
+    EXPECT_NE(m.find("machine core2like+pf:"), std::string::npos);
+    EXPECT_NE(m.find("next-line"), std::string::npos);
+}
+
+TEST(Manifest, MachineSectionReflectsConfig)
+{
+    auto p4 = sim::MachineConfig::p4Like();
+    const std::string m = SetupManifest::describeMachine(p4);
+    EXPECT_NE(m.find("bimodal"), std::string::npos);
+    EXPECT_NE(m.find("mispredict 30c"), std::string::npos);
+    EXPECT_NE(m.find("4K alias 40c"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Golden-value regression tests.
+ *
+ * The timing model is deterministic, so key measurements are pinned to
+ * exact values.  These WILL fail whenever the timing model changes —
+ * that is their purpose: a change to any charging rule must be a
+ * conscious decision, re-validated against EXPERIMENTS.md (whose prose
+ * records the same numbers) and then updated here.
+ */
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+
+namespace
+{
+
+using namespace mbias;
+
+sim::RunResult
+measure(const std::string &workload, toolchain::OptLevel level,
+        std::uint64_t env, const sim::MachineConfig &machine =
+                               sim::MachineConfig::core2Like())
+{
+    core::ExperimentSpec spec;
+    spec.withWorkload(workload).withMachine(machine);
+    spec.baseline = {toolchain::CompilerVendor::GccLike, level};
+    core::ExperimentRunner runner(spec);
+    core::ExperimentSetup setup;
+    setup.envBytes = env;
+    return runner.runSide(spec.baseline, setup);
+}
+
+TEST(Golden, PerlDefaultSetup)
+{
+    auto o2 = measure("perl", toolchain::OptLevel::O2, 0);
+    EXPECT_EQ(o2.instructions(), 101405u);
+    EXPECT_EQ(o2.cycles(), 102158u);
+    auto o3 = measure("perl", toolchain::OptLevel::O3, 0);
+    EXPECT_EQ(o3.cycles(), 101942u);
+}
+
+TEST(Golden, PerlMisalignedEnv)
+{
+    // env=52 puts sp at 4 mod 8: stack accesses split cache lines,
+    // and the O2/O3 binaries (frames 520 vs 528 bytes) split at
+    // different rates.
+    auto o2 = measure("perl", toolchain::OptLevel::O2, 52);
+    auto o3 = measure("perl", toolchain::OptLevel::O3, 52);
+    EXPECT_EQ(o2.cycles(), 109798u);
+    EXPECT_EQ(o3.cycles(), 117022u);
+    EXPECT_GT(o2.counters.get(sim::Counter::LineSplits), 0u);
+}
+
+TEST(Golden, McfIsSetupInvariant)
+{
+    const auto base = measure("mcf", toolchain::OptLevel::O2, 0).cycles();
+    EXPECT_EQ(base, 1900366u);
+    EXPECT_EQ(measure("mcf", toolchain::OptLevel::O2, 52).cycles(), base);
+    EXPECT_EQ(measure("mcf", toolchain::OptLevel::O2, 4000).cycles(),
+              base);
+}
+
+TEST(Golden, MachinePresetsDisagreeOnPerl)
+{
+    EXPECT_EQ(measure("perl", toolchain::OptLevel::O2, 0,
+                      sim::MachineConfig::p4Like())
+                  .cycles(),
+              181116u);
+    EXPECT_EQ(measure("perl", toolchain::OptLevel::O2, 0,
+                      sim::MachineConfig::o3Like())
+                  .cycles(),
+              69599u);
+}
+
+TEST(Golden, ResultsChecksums)
+{
+    // Functional checksums: these pin the workload *inputs* and
+    // semantics rather than the timing model.
+    EXPECT_EQ(measure("perl", toolchain::OptLevel::O2, 0).result,
+              5730506297605046414ull);
+    EXPECT_EQ(measure("hmmer", toolchain::OptLevel::O2, 0).result,
+              239369ull);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The suite's central functional invariant: for every workload, every
+ * opt level, every compiler vendor, every link order, and every
+ * environment size, the simulated program computes exactly the value
+ * the plain-C++ reference computes.  Optimization and layout must
+ * never change semantics — only cycles.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mbias;
+using toolchain::CompilerVendor;
+using toolchain::OptLevel;
+
+sim::RunResult
+runWorkload(const workloads::Workload &w, const workloads::WorkloadConfig &cfg,
+            CompilerVendor vendor, OptLevel level,
+            const toolchain::LinkOrder &order, std::uint64_t env_bytes)
+{
+    toolchain::Compiler cc(vendor, level);
+    const auto objs = cc.compile(w.build(cfg));
+    toolchain::Linker linker;
+    auto prog = linker.link(objs, order);
+    toolchain::LoaderConfig lc;
+    lc.envBytes = env_bytes;
+    auto image = toolchain::Loader::load(std::move(prog), lc);
+    sim::Machine machine(sim::MachineConfig::core2Like());
+    return machine.run(image);
+}
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadCorrectness, MatchesReferenceAtO0)
+{
+    const auto &w = workloads::findWorkload(GetParam());
+    workloads::WorkloadConfig cfg;
+    auto rr = runWorkload(w, cfg, CompilerVendor::GccLike, OptLevel::O0,
+                          toolchain::LinkOrder::asGiven(), 0);
+    ASSERT_TRUE(rr.halted) << "program did not reach Halt";
+    EXPECT_EQ(rr.result, w.referenceResult(cfg));
+}
+
+TEST_P(WorkloadCorrectness, MatchesReferenceAtO2)
+{
+    const auto &w = workloads::findWorkload(GetParam());
+    workloads::WorkloadConfig cfg;
+    auto rr = runWorkload(w, cfg, CompilerVendor::GccLike, OptLevel::O2,
+                          toolchain::LinkOrder::asGiven(), 0);
+    ASSERT_TRUE(rr.halted);
+    EXPECT_EQ(rr.result, w.referenceResult(cfg));
+}
+
+TEST_P(WorkloadCorrectness, MatchesReferenceAtO3BothVendors)
+{
+    const auto &w = workloads::findWorkload(GetParam());
+    workloads::WorkloadConfig cfg;
+    for (auto vendor : {CompilerVendor::GccLike, CompilerVendor::IccLike}) {
+        auto rr = runWorkload(w, cfg, vendor, OptLevel::O3,
+                              toolchain::LinkOrder::asGiven(), 0);
+        ASSERT_TRUE(rr.halted);
+        EXPECT_EQ(rr.result, w.referenceResult(cfg))
+            << "vendor " << toolchain::vendorName(vendor);
+    }
+}
+
+TEST_P(WorkloadCorrectness, LayoutDoesNotChangeSemantics)
+{
+    const auto &w = workloads::findWorkload(GetParam());
+    workloads::WorkloadConfig cfg;
+    const std::uint64_t expect = w.referenceResult(cfg);
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        auto rr = runWorkload(w, cfg, CompilerVendor::GccLike, OptLevel::O3,
+                              toolchain::LinkOrder::shuffled(seed),
+                              /* env_bytes = */ 13 * seed + 100);
+        ASSERT_TRUE(rr.halted);
+        EXPECT_EQ(rr.result, expect) << "link seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadCorrectness,
+    ::testing::ValuesIn(mbias::workloads::suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

@@ -1,0 +1,155 @@
+/** @file Tests for Function, Module, and ProgramBuilder. */
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace mbias::isa;
+using namespace mbias::isa::reg;
+
+TEST(Function, LabelsBindAndResolve)
+{
+    Function f("f");
+    auto l0 = f.newLabel("start");
+    f.insts().push_back(makeNop());
+    f.bindLabel(l0, 0);
+    EXPECT_EQ(f.labelTarget(l0), 0u);
+    EXPECT_EQ(f.labelName(l0), "start");
+    EXPECT_TRUE(f.allLabelsBound());
+}
+
+TEST(Function, UnboundLabelDetected)
+{
+    Function f("f");
+    f.newLabel();
+    EXPECT_FALSE(f.allLabelsBound());
+}
+
+TEST(Function, LeafDetection)
+{
+    Function leaf("leaf");
+    leaf.insts().push_back(makeRet());
+    EXPECT_TRUE(leaf.isLeaf());
+
+    Function caller("caller");
+    caller.insts().push_back(makeCall("leaf"));
+    caller.insts().push_back(makeRet());
+    EXPECT_FALSE(caller.isLeaf());
+}
+
+TEST(Function, CodeBytesSumsEncodedSizes)
+{
+    Function f("f");
+    f.insts().push_back(makeRR(Opcode::Add, 1, 2, 3)); // 3
+    f.insts().push_back(makeLi(1, 7));                 // 6
+    f.insts().push_back(makeRet());                    // 1
+    EXPECT_EQ(f.codeBytes(), 10u);
+}
+
+TEST(Module, GlobalsAndLookup)
+{
+    Module m("m");
+    m.addGlobal("zeroed", 128, 16);
+    m.addGlobal("init", std::vector<std::uint8_t>{1, 2, 3});
+    ASSERT_EQ(m.globals().size(), 2u);
+    EXPECT_EQ(m.globals()[0].size, 128u);
+    EXPECT_EQ(m.globals()[0].alignment, 16u);
+    EXPECT_TRUE(m.globals()[0].init.empty());
+    EXPECT_EQ(m.globals()[1].size, 3u);
+
+    m.addFunction(Function("f"));
+    EXPECT_NE(m.findFunction("f"), nullptr);
+    EXPECT_EQ(m.findFunction("g"), nullptr);
+}
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.li(t0, 3);
+    b.label("loop");           // bound at index 1
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, "loop");   // backward
+    b.beq(t0, zero, "done");   // forward
+    b.nop();
+    b.label("done");
+    b.halt();
+    b.endFunc();
+    Module m = b.build();
+
+    const Function *f = m.findFunction("main");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(f->insts().size(), 6u);
+    const auto &back = f->insts()[2];
+    EXPECT_EQ(f->labelTarget(back.target), 1u);
+    const auto &fwd = f->insts()[3];
+    EXPECT_EQ(f->labelTarget(fwd.target), 5u);
+}
+
+TEST(Builder, LabelsAreFunctionScoped)
+{
+    ProgramBuilder b("t");
+    b.func("a");
+    b.label("x");
+    b.ret();
+    b.endFunc();
+    b.func("b");
+    b.label("x"); // same name, fresh label
+    b.ret();
+    b.endFunc();
+    Module m = b.build();
+    EXPECT_EQ(m.functions().size(), 2u);
+    EXPECT_TRUE(m.functions()[0].allLabelsBound());
+    EXPECT_TRUE(m.functions()[1].allLabelsBound());
+}
+
+TEST(Builder, GlobalWordsLittleEndian)
+{
+    ProgramBuilder b("t");
+    b.globalWords("w", {0x0102030405060708ULL});
+    Module m = b.build();
+    const auto &g = m.globals()[0];
+    ASSERT_EQ(g.size, 8u);
+    EXPECT_EQ(g.init[0], 0x08);
+    EXPECT_EQ(g.init[7], 0x01);
+}
+
+TEST(Builder, EmitsExpectedOpcodes)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.mv(a0, a1);
+    b.la(t0, "g");
+    b.st4(t1, t2, 12);
+    b.jmp("end");
+    b.label("end");
+    b.ret();
+    b.endFunc();
+    Module m = b.build();
+    const auto &insts = m.functions()[0].insts();
+    EXPECT_EQ(insts[0].op, Opcode::Addi); // mv is addi rd, rs, 0
+    EXPECT_EQ(insts[0].imm, 0);
+    EXPECT_EQ(insts[1].op, Opcode::La);
+    EXPECT_EQ(insts[1].sym, "g");
+    EXPECT_EQ(insts[2].op, Opcode::St4);
+    EXPECT_EQ(insts[3].op, Opcode::Jmp);
+    EXPECT_EQ(insts[4].op, Opcode::Ret);
+}
+
+TEST(Builder, FunctionStrListsLabels)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.label("top");
+    b.nop();
+    b.ret();
+    b.endFunc();
+    Module m = b.build();
+    const std::string s = m.functions()[0].str();
+    EXPECT_NE(s.find("top"), std::string::npos);
+    EXPECT_NE(s.find("nop"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/** @file Tests for opcode metadata and instruction encoding. */
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace
+{
+
+using namespace mbias::isa;
+
+TEST(Opcode, NamesAndClasses)
+{
+    EXPECT_EQ(opcodeName(Opcode::Add), "add");
+    EXPECT_EQ(opcodeName(Opcode::Halt), "halt");
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClass(Opcode::Divu), OpClass::IntDiv);
+    EXPECT_EQ(opClass(Opcode::Ld4), OpClass::Load);
+    EXPECT_EQ(opClass(Opcode::St8), OpClass::Store);
+    EXPECT_EQ(opClass(Opcode::Beq), OpClass::CondBranch);
+    EXPECT_EQ(opClass(Opcode::Call), OpClass::Call);
+}
+
+TEST(Opcode, Predicates)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::Bgeu));
+    EXPECT_FALSE(isCondBranch(Opcode::Jmp));
+    EXPECT_TRUE(isLoad(Opcode::Ld1));
+    EXPECT_FALSE(isLoad(Opcode::St1));
+    EXPECT_TRUE(isStore(Opcode::St2));
+}
+
+TEST(Opcode, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Opcode::Ld1), 1u);
+    EXPECT_EQ(memAccessSize(Opcode::Ld2), 2u);
+    EXPECT_EQ(memAccessSize(Opcode::Ld4), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::Ld8), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::St8), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::Add), 0u);
+}
+
+TEST(Opcode, BranchInversionIsInvolution)
+{
+    for (Opcode op : {Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge,
+                      Opcode::Bltu, Opcode::Bgeu}) {
+        EXPECT_NE(invertCondBranch(op), op);
+        EXPECT_EQ(invertCondBranch(invertCondBranch(op)), op);
+    }
+}
+
+TEST(Instruction, VariableLengthEncoding)
+{
+    EXPECT_EQ(makeRR(Opcode::Add, 1, 2, 3).encodedSize(), 3u);
+    EXPECT_EQ(makeRI(Opcode::Addi, 1, 2, 5).encodedSize(), 4u);
+    EXPECT_EQ(makeRI(Opcode::Addi, 1, 2, 500).encodedSize(), 6u);
+    EXPECT_EQ(makeRI(Opcode::Addi, 1, 2, -128).encodedSize(), 4u);
+    EXPECT_EQ(makeRI(Opcode::Addi, 1, 2, -129).encodedSize(), 6u);
+    EXPECT_EQ(makeLi(1, 100).encodedSize(), 6u);
+    EXPECT_EQ(makeLi(1, std::int64_t(1) << 40).encodedSize(), 10u);
+    EXPECT_EQ(makeMem(Opcode::Ld8, 1, 2, 8).encodedSize(), 4u);
+    EXPECT_EQ(makeMem(Opcode::Ld8, 1, 2, 4096).encodedSize(), 6u);
+    EXPECT_EQ(makeBranch(Opcode::Beq, 1, 2, 0).encodedSize(), 4u);
+    EXPECT_EQ(makeJmp(0).encodedSize(), 5u);
+    EXPECT_EQ(makeCall("f").encodedSize(), 5u);
+    EXPECT_EQ(makeRet().encodedSize(), 1u);
+    EXPECT_EQ(makeNop().encodedSize(), 1u);
+    EXPECT_EQ(makeNop(8).encodedSize(), 8u);
+    EXPECT_EQ(makeHalt().encodedSize(), 2u);
+}
+
+TEST(Instruction, LaEncodesLikeNarrowLi)
+{
+    EXPECT_EQ(makeLa(5, "g").encodedSize(), 6u);
+}
+
+TEST(Instruction, ReadsWrites)
+{
+    auto add = makeRR(Opcode::Add, 1, 2, 3);
+    EXPECT_TRUE(add.reads(2));
+    EXPECT_TRUE(add.reads(3));
+    EXPECT_FALSE(add.reads(1));
+    EXPECT_TRUE(add.writes(1));
+    EXPECT_EQ(add.destReg(), 1);
+
+    auto addi = makeRI(Opcode::Addi, 4, 5, 1);
+    EXPECT_TRUE(addi.reads(5));
+    EXPECT_FALSE(addi.reads(0)); // rs2 slot is not an operand here
+    EXPECT_TRUE(addi.writes(4));
+
+    auto ld = makeMem(Opcode::Ld8, 6, 7, 0);
+    EXPECT_TRUE(ld.reads(7));
+    EXPECT_FALSE(ld.reads(6));
+    EXPECT_TRUE(ld.writes(6));
+
+    auto st = makeMem(Opcode::St8, 6, 7, 0);
+    EXPECT_TRUE(st.reads(7)); // base
+    EXPECT_TRUE(st.reads(6)); // data
+    EXPECT_FALSE(st.writes(6));
+    EXPECT_EQ(st.destReg(), -1);
+
+    auto br = makeBranch(Opcode::Blt, 8, 9, 0);
+    EXPECT_TRUE(br.reads(8));
+    EXPECT_TRUE(br.reads(9));
+    EXPECT_EQ(br.destReg(), -1);
+}
+
+TEST(Instruction, ZeroRegisterNeverReadNorWritten)
+{
+    auto add = makeRR(Opcode::Add, 0, 0, 0);
+    EXPECT_FALSE(add.reads(0));
+    EXPECT_FALSE(add.writes(0));
+    EXPECT_EQ(add.destReg(), -1);
+}
+
+TEST(Instruction, StrRendering)
+{
+    EXPECT_EQ(makeRR(Opcode::Add, 1, 2, 3).str(), "add x1, x2, x3");
+    EXPECT_EQ(makeLi(5, 42).str(), "li x5, 42");
+    EXPECT_EQ(makeCall("foo").str(), "call foo");
+    EXPECT_EQ(makeMem(Opcode::Ld8, 1, 2, -8).str(), "ld8 x1, [x2 + -8]");
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/** @file Tests for the OS-interrupt noise model. */
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/machine.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+
+namespace
+{
+
+using namespace mbias;
+using namespace mbias::isa;
+using namespace mbias::isa::reg;
+using sim::Counter;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::NoiseModel;
+
+toolchain::ProcessImage
+busyImage()
+{
+    ProgramBuilder b("t");
+    b.func("main");
+    b.li(t0, 20000);
+    b.label("loop");
+    b.st8(t0, sp, -8);
+    b.ld8(t1, sp, -8);
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, "loop");
+    b.mv(a0, t1);
+    b.halt();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+    return toolchain::Loader::load(toolchain::Linker().link(mods), {});
+}
+
+TEST(Noise, DisabledModelKeepsDeterminism)
+{
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    auto a = m.run(image);
+    auto b = m.run(image, 500'000'000, NoiseModel::none());
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.counters.get(Counter::OsInterrupts), 0u);
+}
+
+TEST(Noise, InterruptsFireAndCostCycles)
+{
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    auto quiet = m.run(image);
+    auto noisy = m.run(image, 500'000'000, NoiseModel::withSeed(1));
+    EXPECT_GT(noisy.counters.get(Counter::OsInterrupts), 0u);
+    EXPECT_GT(noisy.cycles(), quiet.cycles());
+    // Functional result is untouched by noise.
+    EXPECT_EQ(noisy.result, quiet.result);
+}
+
+TEST(Noise, SameSeedSameRun)
+{
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    auto a = m.run(image, 500'000'000, NoiseModel::withSeed(7));
+    auto b = m.run(image, 500'000'000, NoiseModel::withSeed(7));
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.counters.get(Counter::OsInterrupts),
+              b.counters.get(Counter::OsInterrupts));
+}
+
+TEST(Noise, DifferentSeedsDifferentCycles)
+{
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    auto a = m.run(image, 500'000'000, NoiseModel::withSeed(1));
+    auto b = m.run(image, 500'000'000, NoiseModel::withSeed(2));
+    EXPECT_NE(a.cycles(), b.cycles());
+}
+
+TEST(Noise, MagnitudeScalesWithInterval)
+{
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    NoiseModel frequent = NoiseModel::withSeed(3);
+    frequent.meanIntervalCycles = 2000;
+    NoiseModel rare = NoiseModel::withSeed(3);
+    rare.meanIntervalCycles = 200000;
+    auto f = m.run(image, 500'000'000, frequent);
+    auto r = m.run(image, 500'000'000, rare);
+    EXPECT_GT(f.counters.get(Counter::OsInterrupts),
+              r.counters.get(Counter::OsInterrupts));
+    EXPECT_GT(f.cycles(), r.cycles());
+}
+
+TEST(Noise, CachePollutionAddsMisses)
+{
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    auto quiet = m.run(image);
+    NoiseModel heavy = NoiseModel::withSeed(5);
+    heavy.meanIntervalCycles = 1000;
+    heavy.linesEvictedPerInterrupt = 32;
+    auto noisy = m.run(image, 500'000'000, heavy);
+    EXPECT_GT(noisy.counters.get(Counter::DcacheMisses) +
+                  noisy.counters.get(Counter::IcacheMisses),
+              quiet.counters.get(Counter::DcacheMisses) +
+                  quiet.counters.get(Counter::IcacheMisses));
+}
+
+TEST(Noise, RelativeJitterIsSmall)
+{
+    // The paper's point depends on noise being much smaller than bias:
+    // with default parameters, run-to-run spread should be within a few
+    // percent.
+    auto image = busyImage();
+    Machine m(MachineConfig::core2Like());
+    double lo = 1e18, hi = 0;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+        auto rr = m.run(image, 500'000'000, NoiseModel::withSeed(s));
+        lo = std::min(lo, double(rr.cycles()));
+        hi = std::max(hi, double(rr.cycles()));
+    }
+    EXPECT_LT((hi - lo) / lo, 0.05);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/** @file Tests for the per-function profiler. */
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mbias;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::Profile;
+
+std::pair<sim::RunResult, Profile>
+profiled(const std::string &workload, std::uint64_t env = 0)
+{
+    const auto &w = workloads::findWorkload(workload);
+    workloads::WorkloadConfig cfg;
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    auto prog = toolchain::Linker().link(cc.compile(w.build(cfg)));
+    toolchain::LoaderConfig lc;
+    lc.envBytes = env;
+    auto image = toolchain::Loader::load(std::move(prog), lc);
+    Machine m(MachineConfig::core2Like());
+    Profile profile;
+    auto rr = m.run(image, 500'000'000, sim::NoiseModel::none(), &profile);
+    return {rr, profile};
+}
+
+TEST(Profile, AttributionSumsToTotals)
+{
+    auto [rr, profile] = profiled("gobmk");
+    EXPECT_EQ(profile.totalCycles(), rr.cycles());
+    std::uint64_t insts = 0, dmiss = 0, mispred = 0;
+    for (const auto &f : profile.functions) {
+        insts += f.instructions;
+        dmiss += f.dcacheMisses;
+        mispred += f.branchMispredicts;
+    }
+    EXPECT_EQ(insts, rr.instructions());
+    EXPECT_EQ(dmiss, rr.counters.get(sim::Counter::DcacheMisses));
+    EXPECT_EQ(mispred, rr.counters.get(sim::Counter::BranchMispredicts));
+}
+
+TEST(Profile, PerlIsDominatedByTheVm)
+{
+    auto [rr, profile] = profiled("perl");
+    (void)rr;
+    const auto &vm = profile.of("vm_run");
+    EXPECT_GT(double(vm.cycles), 0.9 * double(profile.totalCycles()));
+    EXPECT_EQ(profile.byCycles().front().name, "vm_run");
+}
+
+TEST(Profile, ColdFunctionsNeverExecute)
+{
+    auto [rr, profile] = profiled("perl");
+    (void)rr;
+    for (const char *cold : {"cold_startup", "cold_report_error",
+                             "cold_format"}) {
+        const auto &f = profile.of(cold);
+        EXPECT_EQ(f.instructions, 0u) << cold;
+        EXPECT_EQ(f.cycles, 0u) << cold;
+    }
+}
+
+TEST(Profile, RecursionAttributedToFill)
+{
+    auto [rr, profile] = profiled("gobmk");
+    (void)rr;
+    const auto &fill = profile.of("fill");
+    const auto &fill_try = profile.of("fill_try");
+    EXPECT_GT(fill.instructions, 0u);
+    EXPECT_GT(fill_try.instructions, 0u);
+    EXPECT_GT(fill.calls, 0u); // fill calls fill_try
+}
+
+TEST(Profile, EnvBiasLandsInTheStackHeavyFunction)
+{
+    // Diff two profiles of the same binary at different env sizes: the
+    // cycle delta must be concentrated in vm_run (whose VM stack
+    // inherits sp alignment), not in rt_cksum or main.
+    auto [rr_a, aligned] = profiled("perl", 0);
+    auto [rr_b, misaligned] = profiled("perl", 52);
+    ASSERT_GT(rr_b.cycles(), rr_a.cycles());
+    const auto delta_total = rr_b.cycles() - rr_a.cycles();
+    const auto delta_vm = misaligned.of("vm_run").cycles -
+                          aligned.of("vm_run").cycles;
+    EXPECT_GT(double(delta_vm), 0.85 * double(delta_total));
+}
+
+TEST(Profile, StrRendersTopFunctions)
+{
+    auto [rr, profile] = profiled("perl");
+    (void)rr;
+    const std::string s = profile.str(3);
+    EXPECT_NE(s.find("vm_run"), std::string::npos);
+    EXPECT_NE(s.find("cyc%"), std::string::npos);
+}
+
+TEST(Profile, DisabledProfilingChangesNothing)
+{
+    const auto &w = workloads::findWorkload("milc");
+    workloads::WorkloadConfig cfg;
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    auto prog = toolchain::Linker().link(cc.compile(w.build(cfg)));
+    auto image = toolchain::Loader::load(std::move(prog), {});
+    Machine m(MachineConfig::core2Like());
+    Profile profile;
+    auto with = m.run(image, 500'000'000, sim::NoiseModel::none(),
+                      &profile);
+    auto without = m.run(image);
+    EXPECT_EQ(with.cycles(), without.cycles());
+    EXPECT_EQ(with.result, without.result);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/** @file Tests for the two-way (factorial) ANOVA. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "stats/anova2.hh"
+
+namespace
+{
+
+using namespace mbias::stats;
+using mbias::Rng;
+
+/** Builds a balanced 2x2 (or axb) design from a cell-mean function. */
+std::vector<std::vector<Sample>>
+design(unsigned na, unsigned nb, unsigned reps,
+       const std::function<double(unsigned, unsigned)> &mean, double sd,
+       std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<Sample>> cells(na,
+                                           std::vector<Sample>(nb));
+    for (unsigned a = 0; a < na; ++a)
+        for (unsigned b = 0; b < nb; ++b)
+            for (unsigned r = 0; r < reps; ++r)
+                cells[a][b].add(mean(a, b) + sd * rng.nextGaussian());
+    return cells;
+}
+
+TEST(TwoWayAnova, PureNoiseNothingSignificant)
+{
+    auto cells = design(3, 3, 8, [](unsigned, unsigned) { return 5.0; },
+                        1.0, 11);
+    auto r = twoWayAnova(cells);
+    EXPECT_FALSE(r.mainEffectASignificant());
+    EXPECT_FALSE(r.mainEffectBSignificant());
+    EXPECT_FALSE(r.interactionSignificant());
+}
+
+TEST(TwoWayAnova, MainEffectAOnly)
+{
+    auto cells = design(
+        3, 3, 8, [](unsigned a, unsigned) { return 10.0 * a; }, 0.5, 13);
+    auto r = twoWayAnova(cells);
+    EXPECT_TRUE(r.mainEffectASignificant());
+    EXPECT_FALSE(r.mainEffectBSignificant());
+    EXPECT_FALSE(r.interactionSignificant());
+    EXPECT_GT(r.fA, r.fB);
+}
+
+TEST(TwoWayAnova, AdditiveEffectsNoInteraction)
+{
+    auto cells = design(
+        2, 2, 10,
+        [](unsigned a, unsigned b) { return 5.0 * a + 3.0 * b; }, 0.5,
+        17);
+    auto r = twoWayAnova(cells);
+    EXPECT_TRUE(r.mainEffectASignificant());
+    EXPECT_TRUE(r.mainEffectBSignificant());
+    EXPECT_FALSE(r.interactionSignificant());
+}
+
+TEST(TwoWayAnova, CrossoverInteractionDetected)
+{
+    // Classic crossover: effect of B flips sign with A; main effects
+    // cancel but the interaction is strong.
+    auto cells = design(
+        2, 2, 10,
+        [](unsigned a, unsigned b) { return (a == b) ? 10.0 : 0.0; },
+        0.5, 19);
+    auto r = twoWayAnova(cells);
+    EXPECT_TRUE(r.interactionSignificant());
+    EXPECT_GT(r.fAB, r.fA);
+    EXPECT_GT(r.fAB, r.fB);
+}
+
+TEST(TwoWayAnova, SumOfSquaresDecomposition)
+{
+    auto cells = design(
+        2, 3, 4,
+        [](unsigned a, unsigned b) { return 2.0 * a + 1.0 * b * b; },
+        1.0, 23);
+    auto r = twoWayAnova(cells);
+    // Total SS equals the sum of the components.
+    double grand_sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &row : cells)
+        for (const auto &c : row) {
+            grand_sum += c.sum();
+            n += c.count();
+        }
+    const double grand_mean = grand_sum / double(n);
+    double ss_total = 0.0;
+    for (const auto &row : cells)
+        for (const auto &c : row)
+            for (double v : c.values())
+                ss_total += (v - grand_mean) * (v - grand_mean);
+    EXPECT_NEAR(ss_total, r.ssA + r.ssB + r.ssAB + r.ssWithin, 1e-8);
+}
+
+TEST(TwoWayAnova, DegreesOfFreedom)
+{
+    auto cells = design(3, 4, 5, [](unsigned, unsigned) { return 1.0; },
+                        1.0, 29);
+    auto r = twoWayAnova(cells);
+    EXPECT_DOUBLE_EQ(r.dfA, 2.0);
+    EXPECT_DOUBLE_EQ(r.dfB, 3.0);
+    EXPECT_DOUBLE_EQ(r.dfAB, 6.0);
+    EXPECT_DOUBLE_EQ(r.dfWithin, 3.0 * 4.0 * 4.0);
+}
+
+TEST(TwoWayAnova, ZeroWithinVariance)
+{
+    std::vector<std::vector<Sample>> cells(2, std::vector<Sample>(2));
+    cells[0][0] = Sample({1.0, 1.0});
+    cells[0][1] = Sample({2.0, 2.0});
+    cells[1][0] = Sample({3.0, 3.0});
+    cells[1][1] = Sample({4.0, 4.0});
+    auto r = twoWayAnova(cells);
+    EXPECT_TRUE(std::isinf(r.fA));
+    EXPECT_DOUBLE_EQ(r.pA, 0.0);
+    EXPECT_DOUBLE_EQ(r.pAB, 1.0); // perfectly additive
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/** @file Tests for the literature-survey dataset and analyzer. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "survey/analyzer.hh"
+#include "survey/database.hh"
+
+namespace
+{
+
+using namespace mbias::survey;
+
+TEST(Database, Exactly133Papers)
+{
+    EXPECT_EQ(SurveyDatabase::bundled().size(), 133u);
+}
+
+TEST(Database, FourVenuesAllPresent)
+{
+    const auto &db = SurveyDatabase::bundled();
+    for (Venue v : allVenues())
+        EXPECT_GT(db.byVenue(v).size(), 20u) << venueName(v);
+    EXPECT_EQ(db.byVenue(Venue::ASPLOS).size() +
+                  db.byVenue(Venue::PACT).size() +
+                  db.byVenue(Venue::PLDI).size() +
+                  db.byVenue(Venue::CGO).size(),
+              db.size());
+}
+
+TEST(Database, IdsUnique)
+{
+    std::set<std::uint32_t> ids;
+    for (const auto &p : SurveyDatabase::bundled().papers())
+        EXPECT_TRUE(ids.insert(p.id).second);
+}
+
+TEST(Database, PublishedConstraintsHold)
+{
+    // The paper's hard aggregates: nobody reports env size or link
+    // order, nobody addresses measurement bias.
+    for (const auto &p : SurveyDatabase::bundled().papers()) {
+        EXPECT_FALSE(p.reportsEnvironment);
+        EXPECT_FALSE(p.reportsLinkOrder);
+        EXPECT_FALSE(p.addressesMeasurementBias);
+    }
+}
+
+TEST(Database, AttributesOnlyWhenEvaluating)
+{
+    for (const auto &p : SurveyDatabase::bundled().papers()) {
+        if (!p.evaluatesPerformance) {
+            EXPECT_FALSE(p.usesSpecCpu);
+            EXPECT_FALSE(p.comparesToBaseline);
+            EXPECT_FALSE(p.reportsVariability);
+        }
+    }
+}
+
+TEST(Database, DeterministicAcrossCalls)
+{
+    const auto &a = SurveyDatabase::bundled();
+    const auto &b = SurveyDatabase::bundled();
+    EXPECT_EQ(&a, &b); // singleton
+}
+
+TEST(Analyzer, TotalsRowSumsVenues)
+{
+    SurveyAnalyzer an(SurveyDatabase::bundled());
+    auto rows = an.summarize();
+    ASSERT_EQ(rows.size(), 5u);
+    const auto &total = rows.back();
+    EXPECT_EQ(total.venue, "total");
+    unsigned papers = 0, perf = 0;
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        papers += rows[i].papers;
+        perf += rows[i].evaluatePerformance;
+    }
+    EXPECT_EQ(total.papers, papers);
+    EXPECT_EQ(total.evaluatePerformance, perf);
+    EXPECT_EQ(total.papers, 133u);
+    EXPECT_EQ(total.addressBias, 0u);
+}
+
+TEST(Analyzer, HeadlineNumbers)
+{
+    SurveyAnalyzer an(SurveyDatabase::bundled());
+    EXPECT_EQ(an.papersAddressingBias(), 0u);
+    const unsigned vulnerable = an.vulnerablePapers();
+    EXPECT_GT(vulnerable, 80u);
+    EXPECT_LE(vulnerable, 133u);
+}
+
+TEST(Analyzer, MostPapersEvaluatePerformance)
+{
+    SurveyAnalyzer an(SurveyDatabase::bundled());
+    auto rows = an.summarize();
+    const auto &total = rows.back();
+    EXPECT_GT(total.evaluatePerformance, 110u);
+    EXPECT_LT(total.reportVariability, total.evaluatePerformance / 3);
+}
+
+} // namespace

@@ -1,0 +1,373 @@
+/** @file Tests for the optimizing compiler's passes. */
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "toolchain/compiler.hh"
+
+namespace
+{
+
+using namespace mbias;
+using namespace mbias::isa;
+using namespace mbias::isa::reg;
+using toolchain::Compiler;
+using toolchain::CompilerVendor;
+using toolchain::OptLevel;
+
+/** A module with a small leaf callee and a caller. */
+std::vector<Module>
+inlineFixture()
+{
+    ProgramBuilder lib("lib");
+    lib.func("tiny"); // 3 insts: inlinable everywhere
+    lib.addi(a0, a0, 5);
+    lib.ret();
+    lib.endFunc();
+
+    ProgramBuilder main_mod("main_mod");
+    main_mod.func("main");
+    main_mod.li(a0, 1);
+    main_mod.call("tiny");
+    main_mod.call("tiny");
+    main_mod.halt();
+    main_mod.endFunc();
+
+    std::vector<Module> mods;
+    mods.push_back(main_mod.build());
+    mods.push_back(lib.build());
+    return mods;
+}
+
+TEST(CompilerTuning, VendorsDiffer)
+{
+    auto g = toolchain::CompilerTuning::forVendor(CompilerVendor::GccLike,
+                                                  OptLevel::O3);
+    auto i = toolchain::CompilerTuning::forVendor(CompilerVendor::IccLike,
+                                                  OptLevel::O3);
+    EXPECT_NE(g.inlineMaxInsts, i.inlineMaxInsts);
+    EXPECT_NE(g.unrollFactor, i.unrollFactor);
+    EXPECT_NE(g.frameAlignBytes, i.frameAlignBytes);
+}
+
+TEST(CompilerTuning, O0DoesNothingAggressive)
+{
+    auto t = toolchain::CompilerTuning::forVendor(CompilerVendor::GccLike,
+                                                  OptLevel::O0);
+    EXPECT_FALSE(t.inlineLeafCalls);
+    EXPECT_FALSE(t.unrollLoops);
+    EXPECT_EQ(t.scheduleWindowPasses, 0u);
+}
+
+TEST(Inline, O3InlinesLeafCalls)
+{
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O3);
+    auto out = cc.compile(inlineFixture());
+    EXPECT_EQ(cc.lastStats().callsInlined, 2u);
+
+    const Function *main_f = nullptr;
+    for (const auto &m : out)
+        if (const auto *f = m.findFunction("main"))
+            main_f = f;
+    ASSERT_NE(main_f, nullptr);
+    for (const auto &in : main_f->insts())
+        EXPECT_NE(in.op, Opcode::Call) << "call survived inlining";
+    // li + 2x(addi) + halt.
+    EXPECT_EQ(main_f->insts().size(), 4u);
+}
+
+TEST(Inline, O2DoesNotInline)
+{
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O2);
+    auto out = cc.compile(inlineFixture());
+    EXPECT_EQ(cc.lastStats().callsInlined, 0u);
+    unsigned calls = 0;
+    for (const auto &m : out)
+        for (const auto &f : m.functions())
+            for (const auto &in : f.insts())
+                calls += in.op == Opcode::Call;
+    EXPECT_EQ(calls, 2u);
+}
+
+TEST(Inline, SpUsingCalleeIsNotInlined)
+{
+    ProgramBuilder lib("lib");
+    lib.func("framed");
+    lib.addi(sp, sp, -16);
+    lib.addi(sp, sp, 16);
+    lib.ret();
+    lib.endFunc();
+    ProgramBuilder m("m");
+    m.func("main");
+    m.call("framed");
+    m.halt();
+    m.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(m.build());
+    mods.push_back(lib.build());
+
+    Compiler cc(CompilerVendor::IccLike, OptLevel::O3);
+    cc.compile(mods);
+    EXPECT_EQ(cc.lastStats().callsInlined, 0u);
+}
+
+TEST(Inline, BranchyCalleeLabelsRemapped)
+{
+    ProgramBuilder lib("lib");
+    lib.func("absv"); // |a0| with an internal branch
+    lib.bge(a0, zero, "pos");
+    lib.sub(a0, zero, a0);
+    lib.label("pos");
+    lib.ret();
+    lib.endFunc();
+    ProgramBuilder m("m");
+    m.func("main");
+    m.li(a0, -5);
+    m.call("absv");
+    m.halt();
+    m.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(m.build());
+    mods.push_back(lib.build());
+
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O3);
+    auto out = cc.compile(mods);
+    EXPECT_EQ(cc.lastStats().callsInlined, 1u);
+    const Function *main_f = out[0].findFunction("main");
+    ASSERT_NE(main_f, nullptr);
+    EXPECT_TRUE(main_f->allLabelsBound());
+    // The branch-to-ret maps to the instruction after the body (halt).
+    const auto &br = main_f->insts()[1];
+    ASSERT_EQ(br.op, Opcode::Bge);
+    EXPECT_EQ(main_f->labelTarget(br.target), 3u);
+}
+
+/** A function with one unrollable innermost loop. */
+Function
+loopFunction()
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.li(t0, 10);
+    b.label("loop");
+    b.addi(t1, t1, 3);
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, "loop");
+    b.ret();
+    b.endFunc();
+    return b.build().functions()[0];
+}
+
+TEST(Unroll, GccDuplicatesBodyOnce)
+{
+    std::vector<Module> mods;
+    Module m("m");
+    m.addFunction(loopFunction());
+    mods.push_back(std::move(m));
+
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O3); // factor 2
+    auto out = cc.compile(mods);
+    EXPECT_EQ(cc.lastStats().loopsUnrolled, 1u);
+
+    const Function &f = out[0].functions()[0];
+    unsigned branches = 0;
+    for (const auto &in : f.insts())
+        branches += isCondBranch(in.op);
+    EXPECT_EQ(branches, 2u); // inverted exit + back branch
+    EXPECT_TRUE(f.allLabelsBound());
+}
+
+TEST(Unroll, InvertedExitBranch)
+{
+    std::vector<Module> mods;
+    Module m("m");
+    m.addFunction(loopFunction());
+    mods.push_back(std::move(m));
+
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O3);
+    auto out = cc.compile(mods);
+    const Function &f = out[0].functions()[0];
+    // First cond branch must be the inverted (Beq) exit.
+    for (const auto &in : f.insts()) {
+        if (isCondBranch(in.op)) {
+            EXPECT_EQ(in.op, Opcode::Beq);
+            break;
+        }
+    }
+}
+
+TEST(Unroll, LoopWithCallIsSkipped)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.li(t0, 10);
+    b.label("loop");
+    b.call("g");
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, "loop");
+    b.ret();
+    b.endFunc();
+    b.func("g");
+    b.addi(sp, sp, -16); // big enough not to be inlined? no: sp use
+    b.addi(sp, sp, 16);
+    b.ret();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+
+    Compiler cc(CompilerVendor::IccLike, OptLevel::O3);
+    cc.compile(mods);
+    EXPECT_EQ(cc.lastStats().loopsUnrolled, 0u);
+}
+
+TEST(Schedule, HoistsLoadAboveIndependentAlu)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.addi(t0, t1, 1);     // independent ALU
+    b.ld8(t2, t3, 0);      // load should be hoisted above it
+    b.add(t4, t2, t2);     // consumer
+    b.ret();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O2);
+    auto out = cc.compile(mods);
+    EXPECT_GE(cc.lastStats().instsReordered, 1u);
+    const auto &insts = out[0].functions()[0].insts();
+    EXPECT_EQ(insts[0].op, Opcode::Ld8);
+    EXPECT_EQ(insts[1].op, Opcode::Addi);
+}
+
+TEST(Schedule, RespectsDependences)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.addi(t3, t1, 1); // produces the load's base register
+    b.ld8(t2, t3, 0);  // must NOT move above it
+    b.ret();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+
+    Compiler cc(CompilerVendor::IccLike, OptLevel::O2);
+    auto out = cc.compile(mods);
+    const auto &insts = out[0].functions()[0].insts();
+    EXPECT_EQ(insts[0].op, Opcode::Addi);
+    EXPECT_EQ(insts[1].op, Opcode::Ld8);
+}
+
+TEST(Schedule, NeverReordersMemoryOps)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.st8(t0, t1, 0);
+    b.ld8(t2, t3, 0);
+    b.ret();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+
+    Compiler cc(CompilerVendor::IccLike, OptLevel::O3);
+    auto out = cc.compile(mods);
+    const auto &insts = out[0].functions()[0].insts();
+    EXPECT_EQ(insts[0].op, Opcode::St8);
+    EXPECT_EQ(insts[1].op, Opcode::Ld8);
+}
+
+TEST(Frame, RoundedPerVendorAndLevel)
+{
+    auto make = [] {
+        ProgramBuilder b("t");
+        b.func("f");
+        b.addi(sp, sp, -520);
+        b.addi(sp, sp, 520);
+        b.ret();
+        b.endFunc();
+        std::vector<Module> mods;
+        mods.push_back(b.build());
+        return mods;
+    };
+
+    Compiler gcc2(CompilerVendor::GccLike, OptLevel::O2);
+    auto out = gcc2.compile(make());
+    EXPECT_EQ(out[0].functions()[0].insts()[0].imm, -520);
+
+    Compiler gcc3(CompilerVendor::GccLike, OptLevel::O3);
+    out = gcc3.compile(make());
+    EXPECT_EQ(out[0].functions()[0].insts()[0].imm, -528);
+    EXPECT_EQ(out[0].functions()[0].insts()[1].imm, 528);
+
+    Compiler icc3(CompilerVendor::IccLike, OptLevel::O3);
+    out = icc3.compile(make());
+    EXPECT_EQ(out[0].functions()[0].insts()[0].imm, -544);
+}
+
+TEST(Frame, NonSpAddiUntouched)
+{
+    ProgramBuilder b("t");
+    b.func("f");
+    b.addi(t0, t0, -520);
+    b.ret();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+    Compiler cc(CompilerVendor::IccLike, OptLevel::O3);
+    auto out = cc.compile(mods);
+    EXPECT_EQ(out[0].functions()[0].insts()[0].imm, -520);
+}
+
+TEST(Align, LoopHeadPaddedWithWideNops)
+{
+    // li(6B) + addi(4B) => loop head at offset 10; O2 pads to 16.
+    ProgramBuilder b("t");
+    b.func("f");
+    b.li(t0, 1000);
+    b.addi(t1, t1, 0);
+    b.label("loop");
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, "loop");
+    b.ret();
+    b.endFunc();
+    std::vector<Module> mods;
+    mods.push_back(b.build());
+
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O2);
+    auto out = cc.compile(mods);
+    EXPECT_GT(cc.lastStats().alignmentNopsInserted, 0u);
+    const Function &f = out[0].functions()[0];
+    // Offset of the loop label must now be 16-aligned.
+    std::uint64_t off = 0;
+    std::uint32_t head = 0;
+    for (const auto &in : f.insts()) {
+        if (isCondBranch(in.op)) {
+            head = f.labelTarget(in.target);
+            break;
+        }
+    }
+    for (std::uint32_t i = 0; i < head; ++i)
+        off += f.insts()[i].encodedSize();
+    EXPECT_EQ(off % 16, 0u);
+}
+
+TEST(Align, FunctionAlignmentAttributeSet)
+{
+    std::vector<Module> mods;
+    Module m("m");
+    m.addFunction(loopFunction());
+    mods.push_back(std::move(m));
+    Compiler cc(CompilerVendor::IccLike, OptLevel::O3);
+    auto out = cc.compile(mods);
+    EXPECT_EQ(out[0].functions()[0].alignment(), 32u);
+}
+
+TEST(Compiler, SourceModulesUntouched)
+{
+    auto mods = inlineFixture();
+    const auto before = mods[0].functions()[0].insts().size();
+    Compiler cc(CompilerVendor::GccLike, OptLevel::O3);
+    cc.compile(mods);
+    EXPECT_EQ(mods[0].functions()[0].insts().size(), before);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/** @file Tests for the cache and TLB models. */
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+#include "uarch/tlb.hh"
+
+namespace
+{
+
+using namespace mbias;
+using uarch::Cache;
+using uarch::CacheConfig;
+using uarch::Tlb;
+using uarch::TlbConfig;
+
+CacheConfig
+tinyCache()
+{
+    return {4, 2, 64, 1, 10}; // 4 sets, 2 ways, 64B lines = 512B
+}
+
+TEST(Cache, CapacityBytes)
+{
+    EXPECT_EQ(tinyCache().capacityBytes(), 512u);
+    CacheConfig l1{64, 8, 64, 3, 12};
+    EXPECT_EQ(l1.capacityBytes(), 32u * 1024);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tinyCache());
+    EXPECT_EQ(c.access(0x1000, 8).misses, 1u);
+    EXPECT_EQ(c.access(0x1000, 8).misses, 0u);
+    EXPECT_EQ(c.access(0x1038, 8).misses, 0u); // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LineSplitCountsTwoLines)
+{
+    Cache c(tinyCache());
+    auto r = c.access(0x103c, 8); // crosses 0x1040
+    EXPECT_TRUE(r.split);
+    EXPECT_EQ(r.misses, 2u);
+    EXPECT_EQ(c.splits(), 1u);
+    // Both lines now resident.
+    EXPECT_EQ(c.access(0x1000, 8).misses, 0u);
+    EXPECT_EQ(c.access(0x1040, 8).misses, 0u);
+}
+
+TEST(Cache, AlignedAccessNeverSplits)
+{
+    Cache c(tinyCache());
+    for (Addr a = 0; a < 4096; a += 8)
+        EXPECT_FALSE(c.access(a, 8).split);
+}
+
+TEST(Cache, ConflictEviction)
+{
+    Cache c(tinyCache()); // set = (addr >> 6) & 3
+    // Three lines mapping to set 0: 0x000, 0x100, 0x200.
+    c.access(0x000, 1);
+    c.access(0x100, 1);
+    c.access(0x200, 1); // evicts 0x000 (LRU)
+    EXPECT_EQ(c.access(0x100, 1).misses, 0u);
+    EXPECT_EQ(c.access(0x200, 1).misses, 0u);
+    EXPECT_EQ(c.access(0x000, 1).misses, 1u); // was evicted
+}
+
+TEST(Cache, LruOrderUpdatedByHit)
+{
+    Cache c(tinyCache());
+    c.access(0x000, 1);
+    c.access(0x100, 1);
+    c.access(0x000, 1); // refresh 0x000 to MRU
+    c.access(0x200, 1); // should evict 0x100 now
+    EXPECT_EQ(c.access(0x000, 1).misses, 0u);
+    EXPECT_EQ(c.access(0x100, 1).misses, 1u);
+}
+
+TEST(Cache, DifferentSetsDoNotConflict)
+{
+    Cache c(tinyCache());
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        c.access(a, 1);
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        EXPECT_EQ(c.access(a, 1).misses, 0u);
+}
+
+TEST(Cache, ResetClearsContents)
+{
+    Cache c(tinyCache());
+    c.access(0x40, 4);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.access(0x40, 4).misses, 1u);
+}
+
+TEST(Cache, AccessLineMatchesAccess)
+{
+    Cache c(tinyCache());
+    EXPECT_FALSE(c.accessLine(0x1000));
+    EXPECT_TRUE(c.accessLine(0x1004)); // same line
+}
+
+/** Property sweep: working sets within capacity never conflict-miss. */
+class CacheFitsProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheFitsProperty, NoMissesOnSecondPass)
+{
+    const unsigned ways = GetParam();
+    Cache c({8, ways, 64, 1, 10});
+    const std::uint64_t lines = 8 * ways;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        c.access(i * 64, 1);
+    const auto misses_before = c.misses();
+    for (std::uint64_t i = 0; i < lines; ++i)
+        c.access(i * 64, 1);
+    EXPECT_EQ(c.misses(), misses_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheFitsProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ------------------------------------------------------------------ TLB
+
+TEST(Tlb, MissThenHitWithinPage)
+{
+    Tlb t({4, 4096, 30});
+    EXPECT_EQ(t.access(0x5000, 8), 1u);
+    EXPECT_EQ(t.access(0x5ff0, 8), 0u);
+    EXPECT_EQ(t.hits(), 1u);
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, PageCrossingAccessTouchesTwoPages)
+{
+    Tlb t({4, 4096, 30});
+    EXPECT_EQ(t.access(0x5ffc, 8), 2u);
+    EXPECT_EQ(t.access(0x5000, 1), 0u);
+    EXPECT_EQ(t.access(0x6000, 1), 0u);
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb t({2, 4096, 30});
+    t.access(0x1000, 1);
+    t.access(0x2000, 1);
+    t.access(0x1000, 1); // refresh
+    t.access(0x3000, 1); // evicts 0x2000
+    EXPECT_EQ(t.access(0x1000, 1), 0u);
+    EXPECT_EQ(t.access(0x2000, 1), 1u);
+}
+
+TEST(Tlb, ResetClears)
+{
+    Tlb t({4, 4096, 30});
+    t.access(0x1000, 1);
+    t.reset();
+    EXPECT_EQ(t.access(0x1000, 1), 1u);
+}
+
+/** Property: a working set of <= entries pages always hits after warmup. */
+class TlbReachProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TlbReachProperty, FitsWithinReach)
+{
+    const unsigned entries = GetParam();
+    Tlb t({entries, 4096, 30});
+    for (unsigned p = 0; p < entries; ++p)
+        t.access(Addr(p) * 4096, 1);
+    for (unsigned p = 0; p < entries; ++p)
+        EXPECT_EQ(t.access(Addr(p) * 4096, 1), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, TlbReachProperty,
+                         ::testing::Values(1, 2, 8, 64));
+
+} // namespace

@@ -1,0 +1,88 @@
+/** @file Executes every runtime helper directly on the machine. */
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/machine.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/runtime.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace mbias;
+using namespace mbias::isa::reg;
+
+/** Runs `fn(a, b)` from the runtime library and returns a0. */
+std::uint64_t
+callHelper(const std::string &fn, std::uint64_t a, std::uint64_t b,
+           toolchain::OptLevel level = toolchain::OptLevel::O2)
+{
+    isa::ProgramBuilder m("driver");
+    m.func("main");
+    m.li(a0, std::int64_t(a));
+    m.li(a1, std::int64_t(b));
+    m.call(fn);
+    m.halt();
+    m.endFunc();
+    std::vector<isa::Module> mods;
+    mods.push_back(m.build());
+    workloads::appendLibraryModules(mods);
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike, level);
+    auto prog = toolchain::Linker().link(cc.compile(mods));
+    auto image = toolchain::Loader::load(std::move(prog), {});
+    sim::Machine machine(sim::MachineConfig::core2Like());
+    auto rr = machine.run(image);
+    EXPECT_TRUE(rr.halted);
+    return rr.result;
+}
+
+TEST(Runtime, CksumMatchesHostHelper)
+{
+    for (auto [acc, v] : {std::pair<std::uint64_t, std::uint64_t>{0, 7},
+                          {123456789, 42},
+                          {~0ull, ~0ull}}) {
+        EXPECT_EQ(callHelper("rt_cksum", acc, v),
+                  workloads::cksumStep(acc, v));
+    }
+}
+
+TEST(Runtime, Mix64MatchesHostHelper)
+{
+    for (std::uint64_t x : {0ull, 1ull, 42ull, 0xdeadbeefcafef00dull})
+        EXPECT_EQ(callHelper("rt_mix64", x, 0), workloads::mix64(x));
+}
+
+TEST(Runtime, MinMaxUnsigned)
+{
+    EXPECT_EQ(callHelper("rt_min", 3, 9), 3u);
+    EXPECT_EQ(callHelper("rt_min", 9, 3), 3u);
+    EXPECT_EQ(callHelper("rt_min", 5, 5), 5u);
+    // Unsigned: ~0 is the maximum, not -1.
+    EXPECT_EQ(callHelper("rt_min", ~0ull, 1), 1u);
+    EXPECT_EQ(callHelper("rt_max", 3, 9), 9u);
+    EXPECT_EQ(callHelper("rt_max", ~0ull, 1), ~0ull);
+}
+
+TEST(Runtime, AbsDiffSigned)
+{
+    EXPECT_EQ(callHelper("rt_absdiff", 10, 3), 7u);
+    EXPECT_EQ(callHelper("rt_absdiff", 3, 10), 7u);
+    EXPECT_EQ(callHelper("rt_absdiff", 5, 5), 0u);
+    // Signed semantics: |-2 - 3| = 5.
+    EXPECT_EQ(callHelper("rt_absdiff", std::uint64_t(-2), 3), 5u);
+}
+
+TEST(Runtime, HelpersSurviveO3Inlining)
+{
+    // At O3 the call sites are inlined; results must be unchanged.
+    for (auto fn : {"rt_cksum", "rt_min", "rt_max", "rt_absdiff"}) {
+        EXPECT_EQ(callHelper(fn, 11, 4, toolchain::OptLevel::O3),
+                  callHelper(fn, 11, 4, toolchain::OptLevel::O2))
+            << fn;
+    }
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Suite-character tests: each workload must keep the microarchitectural
+ * personality of its SPEC CPU2006 archetype.  These guard the *purpose*
+ * of each kernel (a pointer chaser that stopped missing the cache would
+ * silently stop being "mcf"), not exact numbers.
+ */
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+
+namespace
+{
+
+using namespace mbias;
+using sim::Counter;
+
+sim::RunResult
+runDefault(const std::string &workload)
+{
+    core::ExperimentSpec spec;
+    spec.withWorkload(workload);
+    core::ExperimentRunner runner(spec);
+    return runner.runSide(spec.baseline, core::ExperimentSetup{});
+}
+
+double
+perKiloInst(const sim::RunResult &rr, Counter c)
+{
+    return rr.counters.ratePerKiloInst(c);
+}
+
+TEST(SuiteCharacter, McfIsCacheMissBound)
+{
+    auto rr = runDefault("mcf");
+    // Nearly every pointer-chase step misses the L1.
+    EXPECT_GT(perKiloInst(rr, Counter::DcacheMisses), 80.0);
+    // And the serial dependence makes it the slowest workload by CPI.
+    EXPECT_GT(rr.cpi(), 5.0);
+}
+
+TEST(SuiteCharacter, LbmIsStreamingAndPredictable)
+{
+    auto rr = runDefault("lbm");
+    // Streaming stencil: few branches, very low mispredict rate.
+    EXPECT_LT(perKiloInst(rr, Counter::BranchesExecuted), 80.0);
+    const double mispredict_ratio =
+        double(rr.counters.get(Counter::BranchMispredicts)) /
+        double(rr.counters.get(Counter::BranchesExecuted));
+    EXPECT_LT(mispredict_ratio, 0.02);
+}
+
+TEST(SuiteCharacter, PerlIsBranchHeavy)
+{
+    auto rr = runDefault("perl");
+    EXPECT_GT(perKiloInst(rr, Counter::BranchesExecuted), 180.0);
+    // Interpreter dispatch defeats the predictor noticeably.
+    const double mispredict_ratio =
+        double(rr.counters.get(Counter::BranchMispredicts)) /
+        double(rr.counters.get(Counter::BranchesExecuted));
+    EXPECT_GT(mispredict_ratio, 0.05);
+}
+
+TEST(SuiteCharacter, GobmkAndSjengAreCallHeavy)
+{
+    auto gobmk = runDefault("gobmk");
+    auto sjeng = runDefault("sjeng");
+    auto lbm = runDefault("lbm");
+    EXPECT_GT(perKiloInst(gobmk, Counter::Calls), 10.0);
+    EXPECT_GT(perKiloInst(sjeng, Counter::Calls), 10.0);
+    EXPECT_LT(perKiloInst(lbm, Counter::Calls), 2.0);
+}
+
+TEST(SuiteCharacter, StackVsGlobalWorkloads)
+{
+    // hmmer's DP rows live on the stack: misaligning sp must create
+    // line splits there but not in the global-only mcf.
+    core::ExperimentSpec hmmer;
+    hmmer.withWorkload("hmmer");
+    core::ExperimentSetup misaligned;
+    misaligned.envBytes = 4;
+    core::ExperimentRunner hr(hmmer);
+    auto h = hr.runSide(hmmer.baseline, misaligned);
+    EXPECT_GT(h.counters.get(Counter::LineSplits), 1000u);
+
+    core::ExperimentSpec mcf;
+    mcf.withWorkload("mcf");
+    core::ExperimentRunner mr(mcf);
+    auto m = mr.runSide(mcf.baseline, misaligned);
+    EXPECT_EQ(m.counters.get(Counter::LineSplits), 0u);
+}
+
+TEST(SuiteCharacter, LibquantumStridesSweepTheCache)
+{
+    auto rr = runDefault("libquantum");
+    // Strided passes over a 16 KiB array in a 32 KiB cache: some
+    // misses, but far fewer than mcf's random chase.
+    EXPECT_GT(perKiloInst(rr, Counter::DcacheMisses), 0.5);
+    EXPECT_LT(perKiloInst(rr, Counter::DcacheMisses), 60.0);
+}
+
+TEST(SuiteCharacter, SphinxLovesUnrolling)
+{
+    // The dim_loop is the unroller's best case: O3 must beat O2 by a
+    // wide, setup-independent margin.
+    core::ExperimentSpec spec;
+    spec.withWorkload("sphinx");
+    core::ExperimentRunner runner(spec);
+    for (std::uint64_t env : {0ull, 36ull, 1000ull}) {
+        core::ExperimentSetup s;
+        s.envBytes = env;
+        EXPECT_GT(runner.run(s).speedup, 1.15);
+    }
+}
+
+TEST(SuiteCharacter, CpiOrderingIsStable)
+{
+    // The memory-bound chaser must be far above the compute kernels.
+    auto mcf = runDefault("mcf");
+    auto milc = runDefault("milc");
+    auto sphinx = runDefault("sphinx");
+    EXPECT_GT(mcf.cpi(), 3.0 * milc.cpi());
+    EXPECT_GT(mcf.cpi(), 3.0 * sphinx.cpi());
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/** @file Structural tests for the workload suite (semantics are covered
+ *  by the integration correctness tests). */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/bzip.hh"
+#include "workloads/coldlib.hh"
+#include "workloads/perl.hh"
+#include "workloads/registry.hh"
+#include "workloads/runtime.hh"
+
+namespace
+{
+
+using namespace mbias;
+using namespace mbias::workloads;
+
+TEST(Registry, TwelveWorkloadsUniqueNames)
+{
+    const auto &all = suite();
+    EXPECT_EQ(all.size(), 12u);
+    std::set<std::string> names, archetypes;
+    for (const auto *w : all) {
+        EXPECT_TRUE(names.insert(w->name()).second);
+        EXPECT_TRUE(archetypes.insert(w->archetype()).second);
+        EXPECT_FALSE(w->description().empty());
+    }
+}
+
+TEST(Registry, FindByName)
+{
+    EXPECT_EQ(findWorkload("perl").archetype(), "400.perlbench");
+    EXPECT_EQ(findWorkload("mcf").name(), "mcf");
+    EXPECT_EQ(suiteNames().size(), 12u);
+}
+
+TEST(Registry, EveryWorkloadLinksMultipleModules)
+{
+    WorkloadConfig cfg;
+    for (const auto *w : suite()) {
+        auto mods = w->build(cfg);
+        // Own modules + 2 runtime + 3 cold: enough for link-order play.
+        EXPECT_GE(mods.size(), 6u) << w->name();
+        std::set<std::string> names;
+        for (const auto &m : mods)
+            EXPECT_TRUE(names.insert(m.name()).second)
+                << "duplicate module in " << w->name();
+    }
+}
+
+TEST(Registry, EveryWorkloadHasMain)
+{
+    WorkloadConfig cfg;
+    for (const auto *w : suite()) {
+        auto mods = w->build(cfg);
+        unsigned mains = 0;
+        for (const auto &m : mods)
+            mains += m.findFunction("main") != nullptr;
+        EXPECT_EQ(mains, 1u) << w->name();
+    }
+}
+
+TEST(Registry, BuildIsDeterministic)
+{
+    WorkloadConfig cfg;
+    for (const auto *w : suite()) {
+        auto a = w->build(cfg);
+        auto b = w->build(cfg);
+        ASSERT_EQ(a.size(), b.size()) << w->name();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].codeBytes(), b[i].codeBytes());
+            ASSERT_EQ(a[i].globals().size(), b[i].globals().size());
+            for (std::size_t g = 0; g < a[i].globals().size(); ++g)
+                EXPECT_EQ(a[i].globals()[g].init, b[i].globals()[g].init);
+        }
+    }
+}
+
+TEST(Registry, ReferenceResultDependsOnSeed)
+{
+    WorkloadConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    unsigned differing = 0;
+    for (const auto *w : suite())
+        differing += w->referenceResult(a) != w->referenceResult(b);
+    EXPECT_GE(differing, 10u);
+}
+
+TEST(Registry, ScaleGrowsWork)
+{
+    // Scale must change the computation (more rounds => different
+    // checksum), except where it only repeats idempotent phases.
+    WorkloadConfig s1, s2;
+    s2.scale = 2;
+    unsigned differing = 0;
+    for (const auto *w : suite())
+        differing += w->referenceResult(s1) != w->referenceResult(s2);
+    EXPECT_GE(differing, 10u);
+}
+
+TEST(Runtime, ModulesProvideTheHelpers)
+{
+    auto mods = runtimeModules();
+    ASSERT_EQ(mods.size(), 2u);
+    unsigned found = 0;
+    for (const auto &m : mods)
+        for (const char *fn :
+             {"rt_cksum", "rt_mix64", "rt_min", "rt_max", "rt_absdiff"})
+            found += m.findFunction(fn) != nullptr;
+    EXPECT_EQ(found, 5u);
+}
+
+TEST(ColdLib, ModulesHaveOddSizes)
+{
+    auto mods = coldModules();
+    ASSERT_EQ(mods.size(), 3u);
+    std::set<std::uint64_t> sizes;
+    for (const auto &m : mods) {
+        EXPECT_TRUE(m.globals().empty());
+        sizes.insert(m.codeBytes());
+    }
+    EXPECT_EQ(sizes.size(), 3u) << "cold modules should differ in size";
+}
+
+TEST(Perl, BytecodeIsWellFormed)
+{
+    auto code = PerlWorkload::makeBytecode(12345);
+    EXPECT_GT(code.size(), 100u);
+    EXPECT_EQ(code.back(), 9u); // END
+    // Deterministic.
+    EXPECT_EQ(code, PerlWorkload::makeBytecode(12345));
+    EXPECT_NE(code, PerlWorkload::makeBytecode(54321));
+}
+
+TEST(Bzip, InputIsRunStructured)
+{
+    auto in = BzipWorkload::makeInput(7, 2000);
+    ASSERT_EQ(in.size(), 2000u);
+    unsigned repeats = 0;
+    for (std::size_t i = 1; i < in.size(); ++i)
+        repeats += in[i] == in[i - 1];
+    // ~60% repeat probability by construction.
+    EXPECT_GT(repeats, in.size() / 2);
+    for (auto b : in)
+        EXPECT_LT(b, 16);
+}
+
+TEST(Helpers, Mix64AndCksum)
+{
+    EXPECT_NE(mix64(1), mix64(2));
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_EQ(cksumStep(0, 7), 7u);
+    EXPECT_EQ(cksumStep(2, 3), 65u);
+}
+
+} // namespace

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The mbias command-line tool: run workloads, measure bias, trace
+ * causes, and print the survey without writing C++.
+ *
+ * Usage:
+ *   mbias list
+ *   mbias run      --workload perl [--vendor gcc] [--opt O2]
+ *                  [--machine core2like] [--env N] [--link-seed S]
+ *                  [--counters]
+ *   mbias bias     --workload perl [--factor env|link|both]
+ *                  [--setups N] [--machine M] [--vendor V]
+ *   mbias causal   --workload perl [--factor env|link] [--setups N]
+ *   mbias variance --workload perl [--env N] [--reps K]
+ *   mbias survey
+ */
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "base/logging.hh"
+#include "core/bias.hh"
+#include "core/causal.hh"
+#include "core/conclusion.hh"
+#include "core/setup.hh"
+#include "core/table.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/encoding.hh"
+#include "toolchain/loader.hh"
+#include "core/manifest.hh"
+#include "core/variance.hh"
+#include "survey/analyzer.hh"
+#include "workloads/registry.hh"
+
+using namespace mbias;
+
+namespace
+{
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    std::string
+    get(const std::string &key, const std::string &dflt) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? dflt : it->second;
+    }
+
+    std::uint64_t
+    getInt(const std::string &key, std::uint64_t dflt) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? dflt : std::stoull(it->second);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc >= 2)
+        args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) == 0) {
+            const std::string key = a.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                args.options[key] = argv[++i];
+            else
+                args.options[key] = "1"; // boolean flag
+        } else {
+            mbias_fatal("unexpected argument: ", a);
+        }
+    }
+    return args;
+}
+
+sim::MachineConfig
+machineByName(const std::string &name)
+{
+    for (const auto &m : sim::MachineConfig::allPresets())
+        if (m.name == name)
+            return m;
+    mbias_fatal("unknown machine '", name,
+                "' (try core2like, p4like, o3like)");
+}
+
+toolchain::CompilerVendor
+vendorByName(const std::string &name)
+{
+    if (name == "gcc")
+        return toolchain::CompilerVendor::GccLike;
+    if (name == "icc")
+        return toolchain::CompilerVendor::IccLike;
+    mbias_fatal("unknown vendor '", name, "' (try gcc, icc)");
+}
+
+toolchain::OptLevel
+optByName(const std::string &name)
+{
+    if (name == "O0")
+        return toolchain::OptLevel::O0;
+    if (name == "O1")
+        return toolchain::OptLevel::O1;
+    if (name == "O2")
+        return toolchain::OptLevel::O2;
+    if (name == "O3")
+        return toolchain::OptLevel::O3;
+    mbias_fatal("unknown opt level '", name, "' (try O0..O3)");
+}
+
+core::SetupSpace
+spaceByFactor(const std::string &factor)
+{
+    core::SetupSpace space;
+    if (factor == "env")
+        return space.varyEnvSize();
+    if (factor == "link")
+        return space.varyLinkOrder();
+    if (factor == "both")
+        return space.varyEnvSize().varyLinkOrder();
+    mbias_fatal("unknown factor '", factor, "' (try env, link, both)");
+}
+
+core::ExperimentSpec
+specFromArgs(const Args &args)
+{
+    core::ExperimentSpec spec;
+    spec.withWorkload(args.get("workload", "perl"))
+        .withMachine(machineByName(args.get("machine", "core2like")));
+    const auto vendor = vendorByName(args.get("vendor", "gcc"));
+    spec.withBaseline({vendor, optByName(args.get("baseline", "O2"))})
+        .withTreatment({vendor, optByName(args.get("treatment", "O3"))});
+    spec.withScale(unsigned(args.getInt("scale", 1)));
+    return spec;
+}
+
+int
+cmdList()
+{
+    core::TextTable t({"workload", "archetype", "description"});
+    for (const auto *w : workloads::suite())
+        t.addRow({w->name(), w->archetype(), w->description()});
+    std::printf("%s\n", t.str().c_str());
+    std::printf("machines: core2like, p4like, o3like\n");
+    std::printf("vendors : gcc, icc   opt levels: O0..O3\n");
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    spec.baseline = {vendorByName(args.get("vendor", "gcc")),
+                     optByName(args.get("opt", "O2"))};
+    core::ExperimentRunner runner(spec);
+    core::ExperimentSetup setup;
+    setup.envBytes = args.getInt("env", 0);
+    if (args.options.count("link-seed"))
+        setup.linkOrder =
+            toolchain::LinkOrder::shuffled(args.getInt("link-seed", 0));
+
+    auto rr = runner.runSide(spec.baseline, setup);
+    std::printf("%s %s at %s on %s\n", spec.workload.c_str(),
+                spec.baseline.str().c_str(), setup.str().c_str(),
+                spec.machine.name.c_str());
+    std::printf("  result       = %llu\n",
+                (unsigned long long)rr.result);
+    std::printf("  instructions = %llu\n",
+                (unsigned long long)rr.instructions());
+    std::printf("  cycles       = %llu (CPI %.3f)\n",
+                (unsigned long long)rr.cycles(), rr.cpi());
+    if (args.options.count("counters"))
+        std::printf("%s", rr.counters.str().c_str());
+    if (args.options.count("manifest"))
+        std::printf("\n%s",
+                    core::SetupManifest::describe(spec, setup).c_str());
+    return 0;
+}
+
+int
+cmdBias(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    auto space = spaceByFactor(args.get("factor", "both"));
+    core::SetupRandomizer randomizer(space, args.getInt("seed", 42));
+    const unsigned n = unsigned(args.getInt("setups", 31));
+    auto report = core::BiasAnalyzer().analyze(spec, randomizer, n);
+    std::printf("%s\n", report.str().c_str());
+    auto check = core::ConclusionChecker().check(report);
+    std::printf("%s", check.str().c_str());
+    return 0;
+}
+
+int
+cmdCausal(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    auto space = spaceByFactor(args.get("factor", "env"));
+    auto setups = space.grid(unsigned(args.getInt("setups", 32)));
+    auto report = core::CausalAnalyzer().analyze(spec, setups);
+    std::printf("%s", report.str().c_str());
+    return 0;
+}
+
+int
+cmdVariance(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    core::ExperimentSetup home;
+    home.envBytes = args.getInt("env", 300);
+    auto peers = core::SetupSpace().varyEnvSize().grid(
+        unsigned(args.getInt("setups", 16)));
+    core::VarianceAnalyzer analyzer(unsigned(args.getInt("reps", 15)));
+    auto report = analyzer.analyze(spec, home, peers);
+    std::printf("%s", report.str().c_str());
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    spec.baseline = {vendorByName(args.get("vendor", "gcc")),
+                     optByName(args.get("opt", "O2"))};
+    const auto &w = workloads::findWorkload(spec.workload);
+    toolchain::Compiler cc(spec.baseline.vendor, spec.baseline.level);
+    auto objs = cc.compile(w.build(spec.workloadConfig));
+    toolchain::Linker linker;
+    toolchain::LinkOrder order =
+        args.options.count("link-seed")
+            ? toolchain::LinkOrder::shuffled(args.getInt("link-seed", 0))
+            : toolchain::LinkOrder::asGiven();
+    auto prog = linker.link(objs, order);
+    toolchain::LoaderConfig lc;
+    lc.envBytes = args.getInt("env", 0);
+    auto image = toolchain::Loader::load(std::move(prog), lc);
+
+    sim::Machine machine(spec.machine);
+    sim::Profile profile;
+    auto rr = machine.run(image, 500'000'000, sim::NoiseModel::none(),
+                          &profile);
+    std::printf("%s %s at env=%llu link=%s on %s: %llu cycles\n\n",
+                spec.workload.c_str(), spec.baseline.str().c_str(),
+                (unsigned long long)lc.envBytes, order.str().c_str(),
+                spec.machine.name.c_str(),
+                (unsigned long long)rr.cycles());
+    std::printf("%s", profile.str(unsigned(args.getInt("top", 10))).c_str());
+    return 0;
+}
+
+int
+cmdDisasm(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    const auto &w = workloads::findWorkload(spec.workload);
+    toolchain::Compiler cc(vendorByName(args.get("vendor", "gcc")),
+                           optByName(args.get("opt", "O2")));
+    auto objs = cc.compile(w.build(spec.workloadConfig));
+    toolchain::Linker linker;
+    toolchain::LinkOrder order =
+        args.options.count("link-seed")
+            ? toolchain::LinkOrder::shuffled(args.getInt("link-seed", 0))
+            : toolchain::LinkOrder::asGiven();
+    auto prog = linker.link(objs, order);
+
+    std::printf("; %s %s-%s, link %s: %zu instructions, code "
+                "[0x%llx, 0x%llx), data [0x%llx, 0x%llx)\n",
+                spec.workload.c_str(),
+                args.get("vendor", "gcc").c_str(),
+                args.get("opt", "O2").c_str(), order.str().c_str(),
+                prog.code.size(), (unsigned long long)prog.codeBase,
+                (unsigned long long)prog.codeEnd,
+                (unsigned long long)prog.dataBase,
+                (unsigned long long)prog.dataEnd);
+    const std::string only = args.get("function", "");
+    for (const auto &lf : prog.functions) {
+        if (!only.empty() && lf.name != only)
+            continue;
+        std::printf("\n%s:  ; base 0x%llx, %llu bytes\n",
+                    lf.name.c_str(), (unsigned long long)lf.base,
+                    (unsigned long long)lf.bytes);
+        for (std::uint32_t i = lf.entryIdx; i < prog.code.size(); ++i) {
+            const auto &pi = prog.code[i];
+            if (pi.pc >= lf.base + lf.bytes)
+                break;
+            const auto bytes = toolchain::encode(pi, prog);
+            std::string hex;
+            for (auto byte : bytes) {
+                char buf[4];
+                std::snprintf(buf, sizeof(buf), "%02x", byte);
+                hex += buf;
+            }
+            std::printf("  %06llx  %-22s %s\n",
+                        (unsigned long long)pi.pc, hex.c_str(),
+                        pi.inst.str().c_str());
+        }
+    }
+    for (const auto &g : prog.globals)
+        std::printf("; global %-12s 0x%llx (%llu bytes)\n",
+                    g.name.c_str(), (unsigned long long)g.addr,
+                    (unsigned long long)g.size);
+    return 0;
+}
+
+int
+cmdSurvey()
+{
+    survey::SurveyAnalyzer analyzer(survey::SurveyDatabase::bundled());
+    core::TextTable t({"venue", "papers", "eval perf", "variability",
+                       "env", "link", "bias"});
+    for (const auto &s : analyzer.summarize())
+        t.addRow({s.venue, std::to_string(s.papers),
+                  std::to_string(s.evaluatePerformance),
+                  std::to_string(s.reportVariability),
+                  std::to_string(s.reportEnvironment),
+                  std::to_string(s.reportLinkOrder),
+                  std::to_string(s.addressBias)});
+    std::printf("%s", t.str().c_str());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mbias <command> [options]\n"
+        "  list                           the workload suite\n"
+        "  run      --workload W [--opt O2] [--env N] [--link-seed S]\n"
+        "           [--machine M] [--vendor V] [--counters]\n"
+        "           [--manifest]\n"
+        "  bias     --workload W [--factor env|link|both] [--setups N]\n"
+        "  causal   --workload W [--factor env|link] [--setups N]\n"
+        "  variance --workload W [--env N] [--reps K]\n"
+        "  profile  --workload W [--opt O] [--env N] [--top K]\n"
+        "  disasm   --workload W [--opt O] [--link-seed S]\n"
+        "           [--function F]\n"
+        "  survey\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+    if (args.command == "list")
+        return cmdList();
+    if (args.command == "run")
+        return cmdRun(args);
+    if (args.command == "bias")
+        return cmdBias(args);
+    if (args.command == "causal")
+        return cmdCausal(args);
+    if (args.command == "variance")
+        return cmdVariance(args);
+    if (args.command == "profile")
+        return cmdProfile(args);
+    if (args.command == "disasm")
+        return cmdDisasm(args);
+    if (args.command == "survey")
+        return cmdSurvey();
+    return usage();
+}
