@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_opt_level_matrix.dir/fig10_opt_level_matrix.cc.o"
+  "CMakeFiles/fig10_opt_level_matrix.dir/fig10_opt_level_matrix.cc.o.d"
+  "fig10_opt_level_matrix"
+  "fig10_opt_level_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_opt_level_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

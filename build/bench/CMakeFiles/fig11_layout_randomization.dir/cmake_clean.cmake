@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_layout_randomization.dir/fig11_layout_randomization.cc.o"
+  "CMakeFiles/fig11_layout_randomization.dir/fig11_layout_randomization.cc.o.d"
+  "fig11_layout_randomization"
+  "fig11_layout_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_layout_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_link_order_dist.dir/fig1_link_order_dist.cc.o"
+  "CMakeFiles/fig1_link_order_dist.dir/fig1_link_order_dist.cc.o.d"
+  "fig1_link_order_dist"
+  "fig1_link_order_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_link_order_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_link_order_speedup.dir/fig2_link_order_speedup.cc.o"
+  "CMakeFiles/fig2_link_order_speedup.dir/fig2_link_order_speedup.cc.o.d"
+  "fig2_link_order_speedup"
+  "fig2_link_order_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_link_order_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_env_size_core2.
+# This may be replaced when dependencies are built.

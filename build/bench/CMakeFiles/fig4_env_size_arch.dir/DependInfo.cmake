@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_env_size_arch.cc" "bench/CMakeFiles/fig4_env_size_arch.dir/fig4_env_size_arch.cc.o" "gcc" "bench/CMakeFiles/fig4_env_size_arch.dir/fig4_env_size_arch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mbias_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/mbias_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mbias_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mbias_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mbias_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/mbias_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbias_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

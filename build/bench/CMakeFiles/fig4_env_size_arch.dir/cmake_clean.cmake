@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_env_size_arch.dir/fig4_env_size_arch.cc.o"
+  "CMakeFiles/fig4_env_size_arch.dir/fig4_env_size_arch.cc.o.d"
+  "fig4_env_size_arch"
+  "fig4_env_size_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_env_size_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

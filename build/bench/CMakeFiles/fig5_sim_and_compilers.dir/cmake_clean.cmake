@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sim_and_compilers.dir/fig5_sim_and_compilers.cc.o"
+  "CMakeFiles/fig5_sim_and_compilers.dir/fig5_sim_and_compilers.cc.o.d"
+  "fig5_sim_and_compilers"
+  "fig5_sim_and_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sim_and_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

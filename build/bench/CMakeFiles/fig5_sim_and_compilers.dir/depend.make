@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_sim_and_compilers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_causal_analysis.dir/fig6_causal_analysis.cc.o"
+  "CMakeFiles/fig6_causal_analysis.dir/fig6_causal_analysis.cc.o.d"
+  "fig6_causal_analysis"
+  "fig6_causal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_causal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

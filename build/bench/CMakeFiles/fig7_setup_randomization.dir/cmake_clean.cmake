@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_setup_randomization.dir/fig7_setup_randomization.cc.o"
+  "CMakeFiles/fig7_setup_randomization.dir/fig7_setup_randomization.cc.o.d"
+  "fig7_setup_randomization"
+  "fig7_setup_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_setup_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

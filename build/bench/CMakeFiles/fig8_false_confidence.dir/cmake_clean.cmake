@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_false_confidence.dir/fig8_false_confidence.cc.o"
+  "CMakeFiles/fig8_false_confidence.dir/fig8_false_confidence.cc.o.d"
+  "fig8_false_confidence"
+  "fig8_false_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_false_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_factor_interaction.dir/fig9_factor_interaction.cc.o"
+  "CMakeFiles/fig9_factor_interaction.dir/fig9_factor_interaction.cc.o.d"
+  "fig9_factor_interaction"
+  "fig9_factor_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_factor_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

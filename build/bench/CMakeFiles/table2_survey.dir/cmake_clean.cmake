@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_survey.dir/table2_survey.cc.o"
+  "CMakeFiles/table2_survey.dir/table2_survey.cc.o.d"
+  "table2_survey"
+  "table2_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

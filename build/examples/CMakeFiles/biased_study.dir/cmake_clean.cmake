@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_study.dir/biased_study.cpp.o"
+  "CMakeFiles/biased_study.dir/biased_study.cpp.o.d"
+  "biased_study"
+  "biased_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_hunt.dir/causal_hunt.cpp.o"
+  "CMakeFiles/causal_hunt.dir/causal_hunt.cpp.o.d"
+  "causal_hunt"
+  "causal_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

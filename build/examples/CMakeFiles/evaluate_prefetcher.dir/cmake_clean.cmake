@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_prefetcher.dir/evaluate_prefetcher.cpp.o"
+  "CMakeFiles/evaluate_prefetcher.dir/evaluate_prefetcher.cpp.o.d"
+  "evaluate_prefetcher"
+  "evaluate_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

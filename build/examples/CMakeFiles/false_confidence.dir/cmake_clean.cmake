@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_confidence.dir/false_confidence.cpp.o"
+  "CMakeFiles/false_confidence.dir/false_confidence.cpp.o.d"
+  "false_confidence"
+  "false_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_base.dir/logging.cc.o"
+  "CMakeFiles/mbias_base.dir/logging.cc.o.d"
+  "CMakeFiles/mbias_base.dir/random.cc.o"
+  "CMakeFiles/mbias_base.dir/random.cc.o.d"
+  "libmbias_base.a"
+  "libmbias_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

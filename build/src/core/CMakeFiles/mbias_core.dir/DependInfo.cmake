@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bias.cc" "src/core/CMakeFiles/mbias_core.dir/bias.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/bias.cc.o.d"
+  "/root/repo/src/core/causal.cc" "src/core/CMakeFiles/mbias_core.dir/causal.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/causal.cc.o.d"
+  "/root/repo/src/core/conclusion.cc" "src/core/CMakeFiles/mbias_core.dir/conclusion.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/conclusion.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mbias_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/manifest.cc" "src/core/CMakeFiles/mbias_core.dir/manifest.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/manifest.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/mbias_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/setup.cc" "src/core/CMakeFiles/mbias_core.dir/setup.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/setup.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/mbias_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/table.cc.o.d"
+  "/root/repo/src/core/variance.cc" "src/core/CMakeFiles/mbias_core.dir/variance.cc.o" "gcc" "src/core/CMakeFiles/mbias_core.dir/variance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mbias_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mbias_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/mbias_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbias_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mbias_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

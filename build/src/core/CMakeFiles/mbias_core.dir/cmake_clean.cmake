@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_core.dir/bias.cc.o"
+  "CMakeFiles/mbias_core.dir/bias.cc.o.d"
+  "CMakeFiles/mbias_core.dir/causal.cc.o"
+  "CMakeFiles/mbias_core.dir/causal.cc.o.d"
+  "CMakeFiles/mbias_core.dir/conclusion.cc.o"
+  "CMakeFiles/mbias_core.dir/conclusion.cc.o.d"
+  "CMakeFiles/mbias_core.dir/experiment.cc.o"
+  "CMakeFiles/mbias_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mbias_core.dir/manifest.cc.o"
+  "CMakeFiles/mbias_core.dir/manifest.cc.o.d"
+  "CMakeFiles/mbias_core.dir/runner.cc.o"
+  "CMakeFiles/mbias_core.dir/runner.cc.o.d"
+  "CMakeFiles/mbias_core.dir/setup.cc.o"
+  "CMakeFiles/mbias_core.dir/setup.cc.o.d"
+  "CMakeFiles/mbias_core.dir/table.cc.o"
+  "CMakeFiles/mbias_core.dir/table.cc.o.d"
+  "CMakeFiles/mbias_core.dir/variance.cc.o"
+  "CMakeFiles/mbias_core.dir/variance.cc.o.d"
+  "libmbias_core.a"
+  "libmbias_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

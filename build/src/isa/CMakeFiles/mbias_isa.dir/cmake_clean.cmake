@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_isa.dir/builder.cc.o"
+  "CMakeFiles/mbias_isa.dir/builder.cc.o.d"
+  "CMakeFiles/mbias_isa.dir/function.cc.o"
+  "CMakeFiles/mbias_isa.dir/function.cc.o.d"
+  "CMakeFiles/mbias_isa.dir/instruction.cc.o"
+  "CMakeFiles/mbias_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/mbias_isa.dir/module.cc.o"
+  "CMakeFiles/mbias_isa.dir/module.cc.o.d"
+  "CMakeFiles/mbias_isa.dir/opcode.cc.o"
+  "CMakeFiles/mbias_isa.dir/opcode.cc.o.d"
+  "libmbias_isa.a"
+  "libmbias_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/mbias_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/mbias_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/sim/CMakeFiles/mbias_sim.dir/counters.cc.o" "gcc" "src/sim/CMakeFiles/mbias_sim.dir/counters.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/mbias_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/mbias_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/mbias_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/mbias_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/profile.cc" "src/sim/CMakeFiles/mbias_sim.dir/profile.cc.o" "gcc" "src/sim/CMakeFiles/mbias_sim.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/mbias_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/mbias_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mbias_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

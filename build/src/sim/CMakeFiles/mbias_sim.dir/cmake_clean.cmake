@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_sim.dir/config.cc.o"
+  "CMakeFiles/mbias_sim.dir/config.cc.o.d"
+  "CMakeFiles/mbias_sim.dir/counters.cc.o"
+  "CMakeFiles/mbias_sim.dir/counters.cc.o.d"
+  "CMakeFiles/mbias_sim.dir/machine.cc.o"
+  "CMakeFiles/mbias_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mbias_sim.dir/memory.cc.o"
+  "CMakeFiles/mbias_sim.dir/memory.cc.o.d"
+  "CMakeFiles/mbias_sim.dir/profile.cc.o"
+  "CMakeFiles/mbias_sim.dir/profile.cc.o.d"
+  "libmbias_sim.a"
+  "libmbias_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

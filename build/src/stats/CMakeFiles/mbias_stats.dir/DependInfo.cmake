@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anova.cc" "src/stats/CMakeFiles/mbias_stats.dir/anova.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/anova.cc.o.d"
+  "/root/repo/src/stats/anova2.cc" "src/stats/CMakeFiles/mbias_stats.dir/anova2.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/anova2.cc.o.d"
+  "/root/repo/src/stats/ci.cc" "src/stats/CMakeFiles/mbias_stats.dir/ci.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/ci.cc.o.d"
+  "/root/repo/src/stats/density.cc" "src/stats/CMakeFiles/mbias_stats.dir/density.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/density.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/mbias_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/mbias_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/sample.cc" "src/stats/CMakeFiles/mbias_stats.dir/sample.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/sample.cc.o.d"
+  "/root/repo/src/stats/signtest.cc" "src/stats/CMakeFiles/mbias_stats.dir/signtest.cc.o" "gcc" "src/stats/CMakeFiles/mbias_stats.dir/signtest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_stats.dir/anova.cc.o"
+  "CMakeFiles/mbias_stats.dir/anova.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/anova2.cc.o"
+  "CMakeFiles/mbias_stats.dir/anova2.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/ci.cc.o"
+  "CMakeFiles/mbias_stats.dir/ci.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/density.cc.o"
+  "CMakeFiles/mbias_stats.dir/density.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/distributions.cc.o"
+  "CMakeFiles/mbias_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/regression.cc.o"
+  "CMakeFiles/mbias_stats.dir/regression.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/sample.cc.o"
+  "CMakeFiles/mbias_stats.dir/sample.cc.o.d"
+  "CMakeFiles/mbias_stats.dir/signtest.cc.o"
+  "CMakeFiles/mbias_stats.dir/signtest.cc.o.d"
+  "libmbias_stats.a"
+  "libmbias_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

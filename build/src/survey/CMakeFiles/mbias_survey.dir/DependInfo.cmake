@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/analyzer.cc" "src/survey/CMakeFiles/mbias_survey.dir/analyzer.cc.o" "gcc" "src/survey/CMakeFiles/mbias_survey.dir/analyzer.cc.o.d"
+  "/root/repo/src/survey/database.cc" "src/survey/CMakeFiles/mbias_survey.dir/database.cc.o" "gcc" "src/survey/CMakeFiles/mbias_survey.dir/database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/mbias_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

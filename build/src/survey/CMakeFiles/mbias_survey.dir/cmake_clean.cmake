@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_survey.dir/analyzer.cc.o"
+  "CMakeFiles/mbias_survey.dir/analyzer.cc.o.d"
+  "CMakeFiles/mbias_survey.dir/database.cc.o"
+  "CMakeFiles/mbias_survey.dir/database.cc.o.d"
+  "libmbias_survey.a"
+  "libmbias_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/compiler.cc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/compiler.cc.o" "gcc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/compiler.cc.o.d"
+  "/root/repo/src/toolchain/encoding.cc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/encoding.cc.o" "gcc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/encoding.cc.o.d"
+  "/root/repo/src/toolchain/linker.cc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/linker.cc.o" "gcc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/linker.cc.o.d"
+  "/root/repo/src/toolchain/linkorder.cc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/linkorder.cc.o" "gcc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/linkorder.cc.o.d"
+  "/root/repo/src/toolchain/loader.cc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/loader.cc.o" "gcc" "src/toolchain/CMakeFiles/mbias_toolchain.dir/loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/mbias_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

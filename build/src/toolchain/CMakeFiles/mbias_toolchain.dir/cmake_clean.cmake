@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_toolchain.dir/compiler.cc.o"
+  "CMakeFiles/mbias_toolchain.dir/compiler.cc.o.d"
+  "CMakeFiles/mbias_toolchain.dir/encoding.cc.o"
+  "CMakeFiles/mbias_toolchain.dir/encoding.cc.o.d"
+  "CMakeFiles/mbias_toolchain.dir/linker.cc.o"
+  "CMakeFiles/mbias_toolchain.dir/linker.cc.o.d"
+  "CMakeFiles/mbias_toolchain.dir/linkorder.cc.o"
+  "CMakeFiles/mbias_toolchain.dir/linkorder.cc.o.d"
+  "CMakeFiles/mbias_toolchain.dir/loader.cc.o"
+  "CMakeFiles/mbias_toolchain.dir/loader.cc.o.d"
+  "libmbias_toolchain.a"
+  "libmbias_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbias_toolchain.a"
+)

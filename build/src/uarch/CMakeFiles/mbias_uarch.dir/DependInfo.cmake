@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch.cc" "src/uarch/CMakeFiles/mbias_uarch.dir/branch.cc.o" "gcc" "src/uarch/CMakeFiles/mbias_uarch.dir/branch.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/mbias_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/mbias_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/storebuffer.cc" "src/uarch/CMakeFiles/mbias_uarch.dir/storebuffer.cc.o" "gcc" "src/uarch/CMakeFiles/mbias_uarch.dir/storebuffer.cc.o.d"
+  "/root/repo/src/uarch/tlb.cc" "src/uarch/CMakeFiles/mbias_uarch.dir/tlb.cc.o" "gcc" "src/uarch/CMakeFiles/mbias_uarch.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias_uarch.dir/branch.cc.o"
+  "CMakeFiles/mbias_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/mbias_uarch.dir/cache.cc.o"
+  "CMakeFiles/mbias_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/mbias_uarch.dir/storebuffer.cc.o"
+  "CMakeFiles/mbias_uarch.dir/storebuffer.cc.o.d"
+  "CMakeFiles/mbias_uarch.dir/tlb.cc.o"
+  "CMakeFiles/mbias_uarch.dir/tlb.cc.o.d"
+  "libmbias_uarch.a"
+  "libmbias_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

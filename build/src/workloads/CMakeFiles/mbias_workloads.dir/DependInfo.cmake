@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bzip.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/bzip.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/bzip.cc.o.d"
+  "/root/repo/src/workloads/coldlib.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/coldlib.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/coldlib.cc.o.d"
+  "/root/repo/src/workloads/gcclike.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/gcclike.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/gcclike.cc.o.d"
+  "/root/repo/src/workloads/gobmk.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/gobmk.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/gobmk.cc.o.d"
+  "/root/repo/src/workloads/h264.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/h264.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/h264.cc.o.d"
+  "/root/repo/src/workloads/hmmer.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/hmmer.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/hmmer.cc.o.d"
+  "/root/repo/src/workloads/lbm.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/lbm.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/lbm.cc.o.d"
+  "/root/repo/src/workloads/libquantum.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/libquantum.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/libquantum.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/mcf.cc.o.d"
+  "/root/repo/src/workloads/milc.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/milc.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/milc.cc.o.d"
+  "/root/repo/src/workloads/perl.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/perl.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/perl.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/runtime.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/runtime.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/runtime.cc.o.d"
+  "/root/repo/src/workloads/sjeng.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/sjeng.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/sjeng.cc.o.d"
+  "/root/repo/src/workloads/sphinx.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/sphinx.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/sphinx.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/mbias_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/mbias_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/mbias_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mbias_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

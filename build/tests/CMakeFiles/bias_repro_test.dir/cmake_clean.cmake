@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_repro_test.dir/integration/bias_repro_test.cc.o"
+  "CMakeFiles/bias_repro_test.dir/integration/bias_repro_test.cc.o.d"
+  "bias_repro_test"
+  "bias_repro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_repro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

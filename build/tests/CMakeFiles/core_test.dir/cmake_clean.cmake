@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/aslr_test.cc.o"
+  "CMakeFiles/core_test.dir/core/aslr_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/bias_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bias_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hardware_study_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hardware_study_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/manifest_test.cc.o"
+  "CMakeFiles/core_test.dir/core/manifest_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/setup_test.cc.o"
+  "CMakeFiles/core_test.dir/core/setup_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/variance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/variance_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

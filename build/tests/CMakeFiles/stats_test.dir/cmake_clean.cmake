@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/anova2_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/anova2_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/anova_regression_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/anova_regression_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/ci_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/ci_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/distributions_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/distributions_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/sample_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/sample_test.cc.o.d"
+  "stats_test"
+  "stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_test.dir/toolchain/compiler_test.cc.o"
+  "CMakeFiles/toolchain_test.dir/toolchain/compiler_test.cc.o.d"
+  "CMakeFiles/toolchain_test.dir/toolchain/encoding_test.cc.o"
+  "CMakeFiles/toolchain_test.dir/toolchain/encoding_test.cc.o.d"
+  "CMakeFiles/toolchain_test.dir/toolchain/linker_test.cc.o"
+  "CMakeFiles/toolchain_test.dir/toolchain/linker_test.cc.o.d"
+  "toolchain_test"
+  "toolchain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

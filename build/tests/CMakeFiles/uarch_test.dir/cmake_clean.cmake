@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_test.dir/uarch/branch_test.cc.o"
+  "CMakeFiles/uarch_test.dir/uarch/branch_test.cc.o.d"
+  "CMakeFiles/uarch_test.dir/uarch/cache_test.cc.o"
+  "CMakeFiles/uarch_test.dir/uarch/cache_test.cc.o.d"
+  "uarch_test"
+  "uarch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

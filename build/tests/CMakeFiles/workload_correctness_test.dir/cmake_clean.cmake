@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_correctness_test.dir/integration/workload_correctness_test.cc.o"
+  "CMakeFiles/workload_correctness_test.dir/integration/workload_correctness_test.cc.o.d"
+  "workload_correctness_test"
+  "workload_correctness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbias.dir/mbias_cli.cc.o"
+  "CMakeFiles/mbias.dir/mbias_cli.cc.o.d"
+  "mbias"
+  "mbias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
