@@ -1,0 +1,28 @@
+#ifndef MBIAS_BENCH_BENCH_ARGS_HH
+#define MBIAS_BENCH_BENCH_ARGS_HH
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mbias::benchutil
+{
+
+/**
+ * Parses the one flag the campaign-engine-backed figure harnesses
+ * share: `--jobs N` (worker threads; default 1).  Any other argument
+ * is ignored so wrapper scripts can pass harness-wide flag sets.
+ * Results are identical for every value of N — the engine's
+ * determinism guarantee — only the wall-clock changes.
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return unsigned(std::strtoul(argv[i + 1], nullptr, 10));
+    return 1;
+}
+
+} // namespace mbias::benchutil
+
+#endif // MBIAS_BENCH_BENCH_ARGS_HH

@@ -9,13 +9,19 @@
  * takes deliberately hostile setups — the ones where the single-run
  * speedup is most wrong — and shows per-run randomization pulls each
  * back to the cross-setup truth.
+ *
+ * Runs on the campaign engine (`--jobs N`): the dense ground-truth
+ * grid and the per-setup ASLR repetition plans are all campaign
+ * tasks; ASLR streams derive from task seeds, so results are
+ * schedule-independent.
  */
+#include <cmath>
 #include <cstdio>
 
-#include "core/runner.hh"
+#include "bench_args.hh"
+#include "campaign/engine.hh"
 #include "core/setup.hh"
 #include "core/table.hh"
-#include "stats/ci.hh"
 #include "stats/sample.hh"
 
 using namespace mbias;
@@ -23,54 +29,78 @@ using namespace mbias;
 namespace
 {
 
-double
-aslrSpeedup(core::ExperimentRunner &runner,
-            const core::ExperimentSpec &spec,
-            const core::ExperimentSetup &setup, unsigned reps)
+const std::vector<std::uint64_t> hostile_envs = {0, 300, 1643, 3340};
+
+std::vector<core::ExperimentSetup>
+envSetups(const std::vector<std::uint64_t> &envs)
 {
-    auto base =
-        runner.aslrRandomizedMetric(spec.baseline, setup, reps, 1000);
-    auto treat =
-        runner.aslrRandomizedMetric(spec.treatment, setup, reps, 5000);
-    return base.mean() / treat.mean();
+    std::vector<core::ExperimentSetup> out;
+    for (std::uint64_t env : envs) {
+        core::ExperimentSetup s;
+        s.envBytes = env;
+        out.push_back(s);
+    }
+    return out;
+}
+
+/** Runs the hostile setups under @p plan; returns the four speedups. */
+std::vector<double>
+hostileSpeedups(unsigned jobs, campaign::RepetitionPlan plan)
+{
+    campaign::CampaignSpec cspec; // perl, core2like, O2 vs O3
+    cspec.withSetups(envSetups(hostile_envs)).withPlan(plan);
+    campaign::CampaignOptions opts;
+    opts.jobs = jobs;
+    auto report = campaign::CampaignEngine(cspec, opts).run();
+    std::vector<double> speedups;
+    for (const auto &o : report.bias.outcomes)
+        speedups.push_back(o.speedup);
+    return speedups;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv);
     std::printf("A6: per-run stack-ASLR randomization as a bias remedy "
                 "(perl, core2like, gcc O2 vs O3)\n\n");
-    core::ExperimentSpec spec;
-    core::ExperimentRunner runner(spec);
 
-    // Ground truth: the layout-marginalized effect.
-    stats::Sample truth;
-    for (std::uint64_t env = 0; env <= 4096; env += 36) {
-        core::ExperimentSetup s;
-        s.envBytes = env;
-        truth.add(runner.run(s).speedup);
-    }
+    // Ground truth: the layout-marginalized effect over a dense grid.
+    std::vector<std::uint64_t> grid;
+    for (std::uint64_t env = 0; env <= 4096; env += 36)
+        grid.push_back(env);
+    campaign::CampaignSpec truth_spec;
+    truth_spec.withSetups(envSetups(grid));
+    campaign::CampaignOptions opts;
+    opts.jobs = jobs;
+    auto truth_report = campaign::CampaignEngine(truth_spec, opts).run();
+    const double truth = truth_report.bias.speedups.mean();
     std::printf("layout-marginalized speedup (dense env grid): %.4f\n\n",
-                truth.mean());
+                truth);
+
+    using Kind = campaign::RepetitionPlan::Kind;
+    auto single = hostileSpeedups(jobs, {Kind::Single, 1});
+    auto a7 = hostileSpeedups(jobs, {Kind::AslrRandomized, 7});
+    auto a21 = hostileSpeedups(jobs, {Kind::AslrRandomized, 21});
 
     core::TextTable t({"setup", "single run", "ASLR x7", "ASLR x21",
                        "|err| single", "|err| x21"});
-    for (std::uint64_t env : {0ull, 300ull, 1643ull, 3340ull}) {
+    for (std::size_t i = 0; i < hostile_envs.size(); ++i) {
         core::ExperimentSetup s;
-        s.envBytes = env;
-        const double single = runner.run(s).speedup;
-        const double a7 = aslrSpeedup(runner, spec, s, 7);
-        const double a21 = aslrSpeedup(runner, spec, s, 21);
-        t.addRow({s.str(), core::fmt(single), core::fmt(a7),
-                  core::fmt(a21),
-                  core::fmt(std::abs(single - truth.mean())),
-                  core::fmt(std::abs(a21 - truth.mean()))});
+        s.envBytes = hostile_envs[i];
+        t.addRow({s.str(), core::fmt(single[i]), core::fmt(a7[i]),
+                  core::fmt(a21[i]),
+                  core::fmt(std::abs(single[i] - truth)),
+                  core::fmt(std::abs(a21[i] - truth))});
     }
     std::printf("%s\n", t.str().c_str());
     std::printf("per-run layout randomization turns invisible bias into "
                 "visible variance;\naveraging a few randomized runs "
                 "recovers the truth from any single setup.\n");
+    std::printf("[campaign: %u job(s), %.3f s for the ground-truth "
+                "grid]\n",
+                jobs, truth_report.stats.wallSeconds);
     return 0;
 }

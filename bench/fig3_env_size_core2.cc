@@ -5,37 +5,51 @@
  * on Core 2, for the perl workload.  The paper's published series
  * sweeps roughly 0.92x-1.10x and crosses 1.0: the environment alone
  * decides whether -O3 "helps".
+ *
+ * Runs on the campaign engine: the 205-point env grid is expanded
+ * into a deterministic task list and executed on a work-stealing
+ * pool (`--jobs N`); the series is identical for every job count.
  */
 #include <cstdio>
 
+#include "bench_args.hh"
+#include "campaign/engine.hh"
 #include "core/experiment.hh"
-#include "core/runner.hh"
+#include "core/setup.hh"
 #include "stats/sample.hh"
 
 using namespace mbias;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv);
     std::printf("Figure 3: O3 speedup vs UNIX environment size "
                 "(perl, core2like, gcc)\n\n");
     std::printf("%8s  %10s  %10s  %8s\n", "envBytes", "O2 cycles",
                 "O3 cycles", "speedup");
 
-    core::ExperimentSpec spec; // perl on core2like by default
-    core::ExperimentRunner runner(spec);
-
-    stats::Sample sp;
-    unsigned below = 0, above = 0;
+    std::vector<core::ExperimentSetup> setups;
     for (std::uint64_t env = 0; env <= 4096; env += 20) {
         core::ExperimentSetup setup;
         setup.envBytes = env;
-        auto o = runner.run(setup);
+        setups.push_back(setup);
+    }
+
+    campaign::CampaignSpec cspec; // perl on core2like by default
+    cspec.withSetups(setups);
+    campaign::CampaignOptions opts;
+    opts.jobs = jobs;
+    auto report = campaign::CampaignEngine(cspec, opts).run();
+
+    stats::Sample sp;
+    unsigned below = 0, above = 0;
+    for (const auto &o : report.bias.outcomes) {
         sp.add(o.speedup);
         below += o.speedup < 1.0;
         above += o.speedup > 1.0;
         std::printf("%8llu  %10llu  %10llu  %8.4f\n",
-                    (unsigned long long)env,
+                    (unsigned long long)o.setup.envBytes,
                     (unsigned long long)o.baseline.cycles(),
                     (unsigned long long)o.treatment.cycles(), o.speedup);
     }
@@ -44,5 +58,6 @@ main()
                 sp.min(), sp.max(), below, above);
     std::printf("paper's shape: range straddles 1.0 (published: ~0.92 to "
                 "~1.10 for perlbench)\n");
+    std::printf("[campaign: %s]\n", report.stats.str().c_str());
     return 0;
 }

@@ -4,10 +4,16 @@
  * remedy).  For every workload, the O3-over-O2 effect is estimated
  * from 31 randomized setups with a confidence interval over the setup
  * distribution, and the single-setup "wrong data" risk is quantified.
+ *
+ * Runs on the campaign engine: each workload's setups are sampled
+ * from per-task RNG streams (keyed by task index) and executed on a
+ * work-stealing pool (`--jobs N`), so the whole-suite sweep scales
+ * with cores while staying bit-reproducible.
  */
 #include <cstdio>
 
-#include "core/bias.hh"
+#include "bench_args.hh"
+#include "campaign/engine.hh"
 #include "core/conclusion.hh"
 #include "core/experiment.hh"
 #include "core/setup.hh"
@@ -17,8 +23,9 @@
 using namespace mbias;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv);
     constexpr unsigned num_setups = 31;
     std::printf("Figure 7: randomized-setup estimation of the O3 effect "
                 "(core2like, gcc, %u setups)\n\n",
@@ -26,16 +33,22 @@ main()
     core::TextTable t({"workload", "speedup", "95% CI", "bias", "flips",
                        "verdict", "wrong data?"});
 
-    core::BiasAnalyzer analyzer;
     core::ConclusionChecker checker;
     unsigned wrongable = 0;
+    double wall = 0.0;
     for (const auto *w : workloads::suite()) {
         core::ExperimentSpec spec;
         spec.withWorkload(w->name());
-        core::SetupRandomizer randomizer(
-            core::SetupSpace().varyEnvSize().varyLinkOrder(),
-            /* seed = */ 0xf19u);
-        auto report = analyzer.analyze(spec, randomizer, num_setups);
+        campaign::CampaignSpec cspec;
+        cspec.withExperiment(spec)
+            .withSpace(core::SetupSpace().varyEnvSize().varyLinkOrder(),
+                       num_setups)
+            .withSeed(0xf19u);
+        campaign::CampaignOptions opts;
+        opts.jobs = jobs;
+        auto cr = campaign::CampaignEngine(cspec, opts).run();
+        wall += cr.stats.wallSeconds;
+        const auto &report = cr.bias;
         auto check = checker.check(report);
         wrongable += check.wrongDataPossible;
         t.addRow({w->name(), core::fmt(report.speedupCI.estimate),
@@ -53,5 +66,6 @@ main()
                 "the randomized-setup CI reports the effect with its "
                 "setup-induced uncertainty instead.\n",
                 wrongable, workloads::suite().size());
+    std::printf("[campaign: %u job(s), %.3f s total]\n", jobs, wall);
     return 0;
 }

@@ -104,4 +104,18 @@ Rng::split()
     return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
 }
 
+Rng
+Rng::splitAt(std::uint64_t key) const
+{
+    // Fold the full 256-bit state and the key through SplitMix64 so
+    // distinct keys (and distinct parent states) give independent
+    // children; the parent is left untouched.
+    std::uint64_t sm = key ^ 0xa5a5a5a5deadbeefULL;
+    for (auto s : s_) {
+        sm ^= s + 0x9e3779b97f4a7c15ULL + (sm << 6) + (sm >> 2);
+        sm = splitMix64(sm);
+    }
+    return Rng(sm);
+}
+
 } // namespace mbias

@@ -48,6 +48,16 @@ class Rng
     /** Derives an independent child generator (for parallel streams). */
     Rng split();
 
+    /**
+     * Derives the child generator for stream @p key without advancing
+     * this generator.  Unlike split(), which consumes state (so the
+     * result depends on how many children were taken before), splitAt
+     * is a pure function of (current state, key): callers that hand
+     * out children by task index get the same child for the same index
+     * no matter the order or thread the requests arrive on.
+     */
+    Rng splitAt(std::uint64_t key) const;
+
   private:
     std::uint64_t s_[4];
     bool haveGauss_ = false;

@@ -1,0 +1,36 @@
+#include "base/seeding.hh"
+
+namespace mbias
+{
+
+namespace
+{
+
+std::uint64_t
+finalize(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+mixSeed(std::uint64_t root, std::uint64_t stream)
+{
+    // Two SplitMix64 steps so that neither input can cancel the other
+    // (mixSeed(r, s) != mixSeed(r ^ s, 0) in general).
+    std::uint64_t z = root + 0x9e3779b97f4a7c15ULL;
+    z = finalize(z);
+    z += stream * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+    return finalize(z);
+}
+
+Rng
+streamRng(std::uint64_t root, std::uint64_t stream)
+{
+    return Rng(mixSeed(root, stream));
+}
+
+} // namespace mbias

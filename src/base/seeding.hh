@@ -1,0 +1,39 @@
+#ifndef MBIAS_BASE_SEEDING_HH
+#define MBIAS_BASE_SEEDING_HH
+
+#include <cstdint>
+
+#include "base/random.hh"
+
+namespace mbias
+{
+
+/**
+ * Seed-derivation helpers for parallel, order-independent execution.
+ *
+ * A campaign that runs thousands of tasks on a thread pool must give
+ * every task an RNG stream that depends only on (root seed, task
+ * index) — never on which worker ran it or in what order — so that a
+ * parallel run is bitwise-identical to a serial one.  These helpers
+ * centralize that derivation; nothing in the library may seed a
+ * parallel stream any other way.
+ */
+
+/**
+ * Mixes a root seed with a stream index into an independent 64-bit
+ * seed (SplitMix64 finalizer over both words).  mixSeed(r, a) and
+ * mixSeed(r, b) are statistically independent for a != b.
+ */
+std::uint64_t mixSeed(std::uint64_t root, std::uint64_t stream);
+
+/**
+ * The generator for stream @p stream of root seed @p root: shorthand
+ * for Rng(mixSeed(root, stream)).  Equal inputs give bitwise-equal
+ * generators regardless of thread, order, or how many other streams
+ * were derived.
+ */
+Rng streamRng(std::uint64_t root, std::uint64_t stream);
+
+} // namespace mbias
+
+#endif // MBIAS_BASE_SEEDING_HH

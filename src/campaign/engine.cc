@@ -1,0 +1,137 @@
+#include "campaign/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/seeding.hh"
+#include "campaign/store.hh"
+#include "campaign/threadpool.hh"
+
+namespace mbias::campaign
+{
+
+namespace
+{
+
+/** A finished task: the outcome plus the per-side metric values the
+ *  record persists (metric means in ASLR mode). */
+struct TaskResult
+{
+    core::RunOutcome outcome;
+    double baseMetric = 0.0;
+    double treatMetric = 0.0;
+};
+
+TaskResult
+executeTask(core::ExperimentRunner &runner, const CampaignTask &task)
+{
+    const core::ExperimentSpec &spec = runner.spec();
+    TaskResult r;
+    if (task.plan.kind == RepetitionPlan::Kind::Single) {
+        r.outcome = runner.run(task.setup);
+        r.baseMetric = runner.metricOf(r.outcome.baseline);
+        r.treatMetric = runner.metricOf(r.outcome.treatment);
+        return r;
+    }
+    // AslrRandomized: each side draws its per-run layout seeds from a
+    // stream derived from the task seed, so the task is a pure
+    // function of (campaign seed, index) like every other.
+    auto base = runner.aslrRandomizedMetric(
+        spec.baseline, task.setup, task.plan.reps, mixSeed(task.taskSeed, 0));
+    auto treat = runner.aslrRandomizedMetric(
+        spec.treatment, task.setup, task.plan.reps, mixSeed(task.taskSeed, 1));
+    r.outcome.setup = task.setup;
+    r.outcome.baseline.halted = r.outcome.treatment.halted = true;
+    r.baseMetric = base.mean();
+    r.treatMetric = treat.mean();
+    mbias_assert(r.treatMetric > 0.0, "degenerate metric");
+    r.outcome.speedup = r.baseMetric / r.treatMetric;
+    return r;
+}
+
+} // namespace
+
+CampaignEngine::CampaignEngine(CampaignSpec spec, CampaignOptions opts)
+    : spec_(std::move(spec)), opts_(std::move(opts))
+{
+    mbias_assert(opts_.jobs >= 1, "campaign needs at least one job");
+    mbias_assert(!opts_.resume || !opts_.outPath.empty(),
+                 "--resume needs a result store path");
+}
+
+CampaignReport
+CampaignEngine::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    const std::vector<CampaignTask> tasks = spec_.expand();
+    std::vector<std::string> keys;
+    keys.reserve(tasks.size());
+    for (const auto &t : tasks)
+        keys.push_back(taskKey(spec_.experiment, t));
+
+    std::unique_ptr<ResultStore> store;
+    if (!opts_.outPath.empty()) {
+        store = std::make_unique<ResultStore>(opts_.outPath);
+        if (opts_.resume)
+            store->load();
+        else
+            store->reset();
+    }
+
+    ThreadPool pool(opts_.jobs);
+    ResultCache cache;
+    std::vector<core::RunOutcome> results(tasks.size());
+    // One runner per worker: the runner's compile cache is
+    // single-thread-only (its documented contract), and compilation
+    // is deterministic, so per-worker caches cannot diverge.
+    std::vector<std::unique_ptr<core::ExperimentRunner>> runners(
+        pool.jobs());
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> resumed{0};
+
+    pool.parallelFor(tasks.size(), [&](std::size_t i, unsigned w) {
+        const CampaignTask &task = tasks[i];
+        const std::string &key = keys[i];
+
+        if (store) {
+            if (const TaskRecord *rec = store->find(key)) {
+                results[i] = rec->toOutcome();
+                resumed.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+        if (cache.lookup(key, results[i]))
+            return;
+
+        if (!runners[w])
+            runners[w] = std::make_unique<core::ExperimentRunner>(
+                spec_.experiment);
+        const TaskResult r = executeTask(*runners[w], task);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        results[i] = r.outcome;
+        cache.insert(key, r.outcome);
+        if (store)
+            store->append(TaskRecord::make(key, task, r.outcome,
+                                           r.baseMetric, r.treatMetric));
+    });
+
+    CampaignReport report;
+    report.bias = core::BiasAnalyzer().aggregate(spec_.experiment,
+                                                 std::move(results));
+    report.stats.totalTasks = tasks.size();
+    report.stats.executed = executed.load();
+    report.stats.cacheHits = cache.hits();
+    report.stats.resumedFromStore = resumed.load();
+    report.stats.jobs = pool.jobs();
+    report.stats.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
+}
+
+} // namespace mbias::campaign

@@ -1,0 +1,59 @@
+#ifndef MBIAS_CAMPAIGN_ENGINE_HH
+#define MBIAS_CAMPAIGN_ENGINE_HH
+
+#include <string>
+
+#include "campaign/report.hh"
+#include "campaign/spec.hh"
+
+namespace mbias::campaign
+{
+
+/** How a campaign is executed and where results persist. */
+struct CampaignOptions
+{
+    /** Worker threads; the task *results* are identical for any
+     *  value (see docs/METHODOLOGY.md, "Why parallel == serial"). */
+    unsigned jobs = 1;
+
+    /**
+     * Path of the JSONL result store; empty disables persistence.
+     * Without resume an existing store file is discarded first.
+     */
+    std::string outPath;
+
+    /** Reuse (skip) tasks already persisted under outPath. */
+    bool resume = false;
+};
+
+/**
+ * Executes a CampaignSpec: expands it into the deterministic task
+ * list, schedules the tasks on a work-stealing ThreadPool (one
+ * ExperimentRunner per worker — see the runner's thread-safety
+ * contract), serves repeated tasks from the content-addressed
+ * ResultCache and previously persisted tasks from the ResultStore,
+ * and aggregates everything into a CampaignReport.
+ *
+ * Determinism guarantee: for a fixed spec, the report's outcomes are
+ * bitwise-identical regardless of jobs, scheduling order, resume
+ * splits, or cache hit patterns.
+ */
+class CampaignEngine
+{
+  public:
+    explicit CampaignEngine(CampaignSpec spec,
+                            CampaignOptions opts = {});
+
+    const CampaignSpec &spec() const { return spec_; }
+
+    /** Runs (or resumes) the campaign to completion. */
+    CampaignReport run();
+
+  private:
+    CampaignSpec spec_;
+    CampaignOptions opts_;
+};
+
+} // namespace mbias::campaign
+
+#endif // MBIAS_CAMPAIGN_ENGINE_HH

@@ -1,0 +1,28 @@
+#include "campaign/report.hh"
+
+#include <sstream>
+
+namespace mbias::campaign
+{
+
+std::string
+CampaignStats::str() const
+{
+    std::ostringstream os;
+    os << totalTasks << " tasks: " << executed << " executed, "
+       << cacheHits << " cache hits, " << resumedFromStore
+       << " resumed from store; " << jobs << " job(s), "
+       << wallSeconds << " s";
+    return os.str();
+}
+
+std::string
+CampaignReport::str() const
+{
+    std::ostringstream os;
+    os << bias.str();
+    os << "  campaign        : " << stats.str() << "\n";
+    return os.str();
+}
+
+} // namespace mbias::campaign

@@ -1,0 +1,49 @@
+#ifndef MBIAS_CAMPAIGN_REPORT_HH
+#define MBIAS_CAMPAIGN_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/bias.hh"
+
+namespace mbias::campaign
+{
+
+/** Execution accounting of one engine run. */
+struct CampaignStats
+{
+    std::uint64_t totalTasks = 0;
+
+    /** Tasks that actually ran the simulator this time. */
+    std::uint64_t executed = 0;
+
+    /** Tasks served by the in-memory content-addressed cache. */
+    std::uint64_t cacheHits = 0;
+
+    /** Tasks served by the persistent store (resumed runs). */
+    std::uint64_t resumedFromStore = 0;
+
+    unsigned jobs = 1;
+    double wallSeconds = 0.0;
+
+    /** One-line accounting summary. */
+    std::string str() const;
+};
+
+/**
+ * What a campaign produces: the paper-facing bias analysis (the same
+ * BiasReport the serial BiasAnalyzer yields, aggregated from the
+ * campaign's outcomes in task order) plus execution accounting.
+ */
+struct CampaignReport
+{
+    core::BiasReport bias;
+    CampaignStats stats;
+
+    /** bias.str() plus the accounting line. */
+    std::string str() const;
+};
+
+} // namespace mbias::campaign
+
+#endif // MBIAS_CAMPAIGN_REPORT_HH

@@ -1,0 +1,105 @@
+#ifndef MBIAS_CAMPAIGN_SPEC_HH
+#define MBIAS_CAMPAIGN_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/setup.hh"
+
+namespace mbias::campaign
+{
+
+/**
+ * How many times — and under which randomization — each setup is
+ * measured.  The paper's remedies need mass re-execution in two
+ * flavours: one paired run per setup (setup randomization, Fig. 7),
+ * or many per-run layout-randomized repetitions per setup (the
+ * Stabilizer-style remedy, Fig. 11).
+ */
+struct RepetitionPlan
+{
+    enum class Kind
+    {
+        /** One paired baseline/treatment run per setup. */
+        Single,
+        /** @c reps stack-ASLR-randomized runs per side; the task's
+         *  speedup is the ratio of the two metric means. */
+        AslrRandomized,
+    };
+
+    Kind kind = Kind::Single;
+    unsigned reps = 1;
+
+    bool operator==(const RepetitionPlan &) const = default;
+};
+
+/**
+ * One schedulable unit of a campaign: measure one setup under the
+ * repetition plan.  Everything a task needs is decided at expansion
+ * time — the setup and the seed are pure functions of (campaign seed,
+ * task index) — so tasks may execute on any worker in any order and
+ * still produce the bitwise-identical outcome.
+ */
+struct CampaignTask
+{
+    std::uint64_t index = 0;
+    core::ExperimentSetup setup;
+
+    /** Root of the task's private RNG streams (ASLR seeds etc.),
+     *  derived from the campaign seed and @c index. */
+    std::uint64_t taskSeed = 0;
+
+    RepetitionPlan plan;
+};
+
+/**
+ * A whole experiment campaign: an ExperimentSpec, a setup plan
+ * (either an explicit list or a SetupSpace to sample), and a
+ * RepetitionPlan.  expand() turns it into the deterministic task list
+ * the engine schedules; equal specs always expand to equal tasks.
+ */
+class CampaignSpec
+{
+  public:
+    CampaignSpec() = default;
+
+    core::ExperimentSpec experiment;
+    RepetitionPlan plan;
+
+    /** Root seed: determines every sampled setup and task seed. */
+    std::uint64_t seed = 42;
+
+    /** @name Fluent setters @{ */
+    CampaignSpec &withExperiment(core::ExperimentSpec spec);
+    CampaignSpec &withPlan(RepetitionPlan plan);
+    CampaignSpec &withSeed(std::uint64_t seed);
+
+    /** Measures exactly these setups, in this order. */
+    CampaignSpec &withSetups(std::vector<core::ExperimentSetup> setups);
+
+    /** Samples @p n setups from @p space (streams keyed by task
+     *  index, so the sample is independent of execution order). */
+    CampaignSpec &withSpace(core::SetupSpace space, unsigned n);
+    /** @} */
+
+    /** Number of tasks expand() will produce. */
+    std::size_t taskCount() const;
+
+    /** Expands into the deterministic task list. */
+    std::vector<CampaignTask> expand() const;
+
+    /** One-line description, e.g. "perl: gcc-O2 vs gcc-O3 ... x200". */
+    std::string str() const;
+
+  private:
+    std::vector<core::ExperimentSetup> explicitSetups_;
+    std::optional<core::SetupSpace> space_;
+    unsigned sampled_ = 0;
+};
+
+} // namespace mbias::campaign
+
+#endif // MBIAS_CAMPAIGN_SPEC_HH

@@ -1,0 +1,337 @@
+#include "campaign/store.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::campaign
+{
+
+namespace
+{
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+    return buf;
+}
+
+void
+requireStorableOrder(const toolchain::LinkOrder &order)
+{
+    mbias_assert(order.kind() != toolchain::LinkOrder::Kind::Explicit,
+                 "explicit link orders have no stable content address; "
+                 "campaigns must use as-given/alphabetical/seeded orders");
+}
+
+toolchain::LinkOrder
+orderFromKind(int kind, std::uint64_t seed)
+{
+    using Kind = toolchain::LinkOrder::Kind;
+    switch (Kind(kind)) {
+      case Kind::AsGiven:
+        return toolchain::LinkOrder::asGiven();
+      case Kind::Alphabetical:
+        return toolchain::LinkOrder::alphabetical();
+      case Kind::Seeded:
+        return toolchain::LinkOrder::shuffled(seed);
+      case Kind::Explicit:
+        break;
+    }
+    mbias_panic("unstorable link order kind ", kind);
+}
+
+/**
+ * Finds `"name":` in a flat JSON object and returns the raw token
+ * after it (digits, or the contents of a quoted string); empty on
+ * absence.  The records are flat (no nesting), field names are never
+ * substrings of values, and values contain no escapes, so plain
+ * scanning is exact here.
+ */
+std::string
+scanField(const std::string &line, const std::string &name)
+{
+    const std::string needle = "\"" + name + "\":";
+    const auto at = line.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::size_t i = at + needle.size();
+    if (i >= line.size())
+        return "";
+    if (line[i] == '"') {
+        const auto end = line.find('"', i + 1);
+        if (end == std::string::npos)
+            return "";
+        return line.substr(i + 1, end - i - 1);
+    }
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    return line.substr(i, end - i);
+}
+
+bool
+scanU64(const std::string &line, const std::string &name,
+        std::uint64_t &out, int base = 10)
+{
+    const std::string tok = scanField(line, name);
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, base);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+std::string
+taskKey(const core::ExperimentSpec &e, const CampaignTask &task)
+{
+    requireStorableOrder(task.setup.linkOrder);
+    std::ostringstream os;
+    os << "wl=" << e.workload << ";scale=" << e.workloadConfig.scale
+       << ";wseed=" << e.workloadConfig.seed << ";m=" << e.machine.name
+       << ";tm=" << (e.treatmentMachine ? e.treatmentMachine->name : "-")
+       << ";base=" << e.baseline.str() << ";treat=" << e.treatment.str()
+       << ";metric=" << int(e.metric) << ";env=" << task.setup.envBytes
+       << ";link=" << task.setup.linkOrder.str()
+       << ";plan=" << int(task.plan.kind) << ";reps=" << task.plan.reps;
+    // The task seed only influences the outcome when the plan draws
+    // per-run randomness from it; keying it unconditionally would
+    // needlessly split addresses of identical Single-mode tasks.
+    if (task.plan.kind == RepetitionPlan::Kind::AslrRandomized)
+        os << ";tseed=" << task.taskSeed;
+    return hex16(fnv1a(os.str()));
+}
+
+TaskRecord
+TaskRecord::make(std::string key, const CampaignTask &task,
+                 const core::RunOutcome &outcome, double base_metric,
+                 double treat_metric)
+{
+    requireStorableOrder(task.setup.linkOrder);
+    TaskRecord r;
+    r.key = std::move(key);
+    r.taskIndex = task.index;
+    r.envBytes = task.setup.envBytes;
+    r.linkKind = int(task.setup.linkOrder.kind());
+    r.linkSeed = task.setup.linkOrder.seed();
+    r.planKind = int(task.plan.kind);
+    r.reps = task.plan.reps;
+    if (task.plan.kind == RepetitionPlan::Kind::Single) {
+        r.baseCycles = outcome.baseline.cycles();
+        r.baseInsts = outcome.baseline.instructions();
+        r.baseResult = outcome.baseline.result;
+        r.treatCycles = outcome.treatment.cycles();
+        r.treatInsts = outcome.treatment.instructions();
+        r.treatResult = outcome.treatment.result;
+    }
+    r.baseMetricBits = std::bit_cast<std::uint64_t>(base_metric);
+    r.treatMetricBits = std::bit_cast<std::uint64_t>(treat_metric);
+    r.speedupBits = std::bit_cast<std::uint64_t>(outcome.speedup);
+    return r;
+}
+
+core::RunOutcome
+TaskRecord::toOutcome() const
+{
+    core::RunOutcome o;
+    o.setup.envBytes = envBytes;
+    o.setup.linkOrder = orderFromKind(linkKind, linkSeed);
+    o.baseline.halted = o.treatment.halted = true;
+    o.baseline.result = baseResult;
+    o.treatment.result = treatResult;
+    o.baseline.counters.set(sim::Counter::Cycles, baseCycles);
+    o.baseline.counters.set(sim::Counter::Instructions, baseInsts);
+    o.treatment.counters.set(sim::Counter::Cycles, treatCycles);
+    o.treatment.counters.set(sim::Counter::Instructions, treatInsts);
+    o.speedup = std::bit_cast<double>(speedupBits);
+    return o;
+}
+
+std::string
+TaskRecord::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"key\":\"" << key << "\",\"task\":" << taskIndex
+       << ",\"env\":" << envBytes << ",\"link_kind\":" << linkKind
+       << ",\"link_seed\":" << linkSeed << ",\"plan\":" << planKind
+       << ",\"reps\":" << reps << ",\"base_cycles\":" << baseCycles
+       << ",\"base_insts\":" << baseInsts
+       << ",\"base_result\":" << baseResult
+       << ",\"treat_cycles\":" << treatCycles
+       << ",\"treat_insts\":" << treatInsts
+       << ",\"treat_result\":" << treatResult << ",\"base_metric\":\""
+       << hex16(baseMetricBits) << "\",\"treat_metric\":\""
+       << hex16(treatMetricBits) << "\",\"speedup\":\""
+       << hex16(speedupBits) << "\"}";
+    return os.str();
+}
+
+bool
+TaskRecord::fromJson(const std::string &line, TaskRecord &out)
+{
+    // A record is only valid if the line is complete — a run killed
+    // mid-append leaves a truncated last line with no closing brace.
+    if (line.empty() || line.back() != '}')
+        return false;
+    TaskRecord r;
+    r.key = scanField(line, "key");
+    if (r.key.size() != 16)
+        return false;
+    std::uint64_t v = 0;
+    if (!scanU64(line, "task", v))
+        return false;
+    r.taskIndex = v;
+    if (!scanU64(line, "env", r.envBytes))
+        return false;
+    if (!scanU64(line, "link_kind", v))
+        return false;
+    r.linkKind = int(v);
+    if (!scanU64(line, "link_seed", r.linkSeed))
+        return false;
+    if (!scanU64(line, "plan", v))
+        return false;
+    r.planKind = int(v);
+    if (!scanU64(line, "reps", v))
+        return false;
+    r.reps = unsigned(v);
+    if (!scanU64(line, "base_cycles", r.baseCycles) ||
+        !scanU64(line, "base_insts", r.baseInsts) ||
+        !scanU64(line, "base_result", r.baseResult) ||
+        !scanU64(line, "treat_cycles", r.treatCycles) ||
+        !scanU64(line, "treat_insts", r.treatInsts) ||
+        !scanU64(line, "treat_result", r.treatResult))
+        return false;
+    if (!scanU64(line, "base_metric", r.baseMetricBits, 16) ||
+        !scanU64(line, "treat_metric", r.treatMetricBits, 16) ||
+        !scanU64(line, "speedup", r.speedupBits, 16))
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+bool
+ResultCache::lookup(const std::string &key, core::RunOutcome &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    out = it->second;
+    ++hits_;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &key, const core::RunOutcome &o)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_[key] = o;
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path))
+{
+    mbias_assert(!path_.empty(), "result store needs a path");
+}
+
+std::size_t
+ResultStore::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return 0;
+    std::size_t read = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        TaskRecord rec;
+        if (!TaskRecord::fromJson(line, rec))
+            continue; // torn tail of a killed run, or garbage
+        byKey_[rec.key] = std::move(rec);
+        ++read;
+    }
+    return read;
+}
+
+void
+ResultStore::reset()
+{
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    byKey_.clear();
+}
+
+const TaskRecord *
+ResultStore::find(const std::string &key) const
+{
+    auto it = byKey_.find(key);
+    return it == byKey_.end() ? nullptr : &it->second;
+}
+
+void
+ResultStore::append(const TaskRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto parent = std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    // A killed run can leave a torn partial line at the end of the
+    // file; before the first append, truncate back to the last
+    // complete record so the new record starts on its own line and
+    // the healed file is pure JSONL again.
+    if (!tailChecked_) {
+        tailChecked_ = true;
+        std::uintmax_t keep = 0;
+        bool torn = false;
+        {
+            std::ifstream in(path_, std::ios::binary);
+            char c;
+            std::uintmax_t pos = 0;
+            while (in && in.get(c)) {
+                ++pos;
+                if (c == '\n')
+                    keep = pos;
+            }
+            torn = in.eof() && pos > keep;
+        }
+        if (torn) {
+            std::error_code ec;
+            std::filesystem::resize_file(path_, keep, ec);
+            mbias_assert(!ec, "cannot drop torn tail of ", path_);
+        }
+    }
+    std::ofstream out(path_, std::ios::app);
+    mbias_assert(out.good(), "cannot append to result store ", path_);
+    out << rec.toJson() << "\n";
+    out.flush();
+    mbias_assert(out.good(), "write to result store failed: ", path_);
+}
+
+} // namespace mbias::campaign

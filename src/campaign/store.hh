@@ -1,0 +1,138 @@
+#ifndef MBIAS_CAMPAIGN_STORE_HH
+#define MBIAS_CAMPAIGN_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "campaign/spec.hh"
+#include "core/runner.hh"
+
+namespace mbias::campaign
+{
+
+/**
+ * Content address of one campaign task: a 64-bit FNV-1a hash (16 hex
+ * digits) over every input that determines the task's outcome —
+ * workload + config, machine name(s), both toolchain specs, metric,
+ * the setup, and the repetition plan (including the task seed, but
+ * only when the plan actually consumes it, i.e. ASLR mode — so two
+ * Single-mode tasks measuring the same setup share an address and a
+ * cached result).
+ *
+ * Machines are identified by MachineConfig::name: campaigns over
+ * hand-tweaked anonymous configs should give them distinct names or
+ * forgo the store.
+ */
+std::string taskKey(const core::ExperimentSpec &experiment,
+                    const CampaignTask &task);
+
+/**
+ * One persisted task outcome: the flat, order-stable JSON object
+ * stored per line in the campaign's JSONL result store.  Speedup and
+ * metric values are stored as raw IEEE-754 bit patterns (hex) so a
+ * resumed campaign reproduces them *bitwise*, not round-tripped
+ * through decimal.
+ */
+struct TaskRecord
+{
+    std::string key;
+    std::uint64_t taskIndex = 0;
+
+    // The setup (Explicit link orders are not storable; see toJson).
+    std::uint64_t envBytes = 0;
+    int linkKind = 0;
+    std::uint64_t linkSeed = 0;
+
+    int planKind = 0;
+    unsigned reps = 1;
+
+    // Single-mode payloads (zero in ASLR mode).
+    std::uint64_t baseCycles = 0, baseInsts = 0, baseResult = 0;
+    std::uint64_t treatCycles = 0, treatInsts = 0, treatResult = 0;
+
+    // IEEE-754 bit patterns.
+    std::uint64_t baseMetricBits = 0;
+    std::uint64_t treatMetricBits = 0;
+    std::uint64_t speedupBits = 0;
+
+    /** Builds the record for a finished task. */
+    static TaskRecord make(std::string key, const CampaignTask &task,
+                           const core::RunOutcome &outcome,
+                           double base_metric, double treat_metric);
+
+    /** Reconstitutes the outcome a resumed campaign reuses. */
+    core::RunOutcome toOutcome() const;
+
+    /** One JSON object, no newline. */
+    std::string toJson() const;
+
+    /** Parses one line; returns false on malformed input. */
+    static bool fromJson(const std::string &line, TaskRecord &out);
+};
+
+/**
+ * In-memory content-addressed result cache, shared by all workers of
+ * one engine run.  Two tasks with the same address (duplicate setups
+ * in Single mode) compute the same outcome, so the second becomes a
+ * lookup.  Thread-safe; a concurrent miss of the same key simply
+ * means both tasks execute — identical results, so last-insert-wins
+ * is harmless.
+ */
+class ResultCache
+{
+  public:
+    bool lookup(const std::string &key, core::RunOutcome &out) const;
+    void insert(const std::string &key, const core::RunOutcome &o);
+
+    /** Number of successful lookups so far. */
+    std::uint64_t hits() const;
+
+  private:
+    mutable std::mutex mutex_;
+    mutable std::uint64_t hits_ = 0;
+    std::unordered_map<std::string, core::RunOutcome> map_;
+};
+
+/**
+ * The persistent result store: an append-only JSONL file (one
+ * TaskRecord per line) that makes campaigns resumable.  load() reads
+ * whatever a previous (possibly killed) run managed to append —
+ * partial trailing lines are skipped — and the engine serves those
+ * tasks from the store instead of re-executing them.  Records are
+ * keyed by content address, so duplicate appends (e.g. two identical
+ * tasks racing a cache miss) collapse on load.
+ */
+class ResultStore
+{
+  public:
+    explicit ResultStore(std::string path);
+
+    /** Loads existing records; returns how many were read. */
+    std::size_t load();
+
+    /** Deletes any existing file (fresh, non-resumed campaigns). */
+    void reset();
+
+    /** Looks up a loaded record; nullptr when absent. */
+    const TaskRecord *find(const std::string &key) const;
+
+    /** Appends one record and flushes it to disk (thread-safe). */
+    void append(const TaskRecord &rec);
+
+    /** Number of loaded (not appended) records. */
+    std::size_t loadedCount() const { return byKey_.size(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    bool tailChecked_ = false; ///< torn-tail repair done (see append)
+    std::unordered_map<std::string, TaskRecord> byKey_;
+};
+
+} // namespace mbias::campaign
+
+#endif // MBIAS_CAMPAIGN_STORE_HH

@@ -1,0 +1,89 @@
+#include "campaign/threadpool.hh"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbias::campaign
+{
+
+ThreadPool::ThreadPool(unsigned jobs) : jobs_(std::max(jobs, 1u)) {}
+
+namespace
+{
+
+/** One worker's queue.  A plain mutex-guarded deque: campaign tasks
+ *  are milliseconds each, so queue overhead is noise. */
+struct WorkQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+
+    bool
+    popFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+void
+ThreadPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t, unsigned)> &fn)
+{
+    if (jobs_ == 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    const unsigned workers =
+        unsigned(std::min<std::size_t>(jobs_, count));
+    std::vector<WorkQueue> queues(workers);
+    for (std::size_t i = 0; i < count; ++i)
+        queues[i % workers].tasks.push_back(i);
+
+    auto work = [&](unsigned w) {
+        std::size_t task;
+        for (;;) {
+            bool got = queues[w].popFront(task);
+            // No new tasks are ever enqueued after the deal above, so
+            // a full unsuccessful sweep over all queues means done.
+            for (unsigned k = 1; !got && k < workers; ++k)
+                got = queues[(w + k) % workers].stealBack(task);
+            if (!got)
+                return;
+            fn(task, w);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads.emplace_back(work, w);
+    work(0);
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace mbias::campaign

@@ -56,10 +56,18 @@ BiasAnalyzer::analyze(const ExperimentSpec &spec,
 {
     mbias_assert(setups.size() >= 2, "bias analysis needs >= 2 setups");
     ExperimentRunner runner(spec);
+    return aggregate(spec, runner.runAll(setups));
+}
+
+BiasReport
+BiasAnalyzer::aggregate(const ExperimentSpec &spec,
+                        std::vector<RunOutcome> outcomes) const
+{
+    mbias_assert(outcomes.size() >= 2, "bias analysis needs >= 2 outcomes");
 
     BiasReport r;
     r.specDescription = spec.str();
-    r.outcomes = runner.runAll(setups);
+    r.outcomes = std::move(outcomes);
 
     for (const auto &o : r.outcomes)
         r.speedups.add(o.speedup);

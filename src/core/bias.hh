@@ -97,6 +97,14 @@ class BiasAnalyzer
     BiasReport analyze(const ExperimentSpec &spec,
                        SetupRandomizer &randomizer, unsigned n) const;
 
+    /**
+     * Aggregates outcomes that were already measured elsewhere (e.g.
+     * by a parallel campaign, possibly loaded from a result store)
+     * into the same report analyze() would have produced.
+     */
+    BiasReport aggregate(const ExperimentSpec &spec,
+                         std::vector<RunOutcome> outcomes) const;
+
   private:
     double threshold_;
     double confidence_;

@@ -13,9 +13,24 @@ ExperimentRunner::ExperimentRunner(ExperimentSpec spec)
 {
 }
 
+void
+ExperimentRunner::bindThread()
+{
+    const auto self = std::this_thread::get_id();
+    if (owner_ == std::thread::id()) {
+        owner_ = self;
+        return;
+    }
+    mbias_assert(owner_ == self,
+                 "ExperimentRunner used from two threads; the compile "
+                 "cache is not synchronized — give each worker its own "
+                 "runner (see the class comment)");
+}
+
 const std::vector<isa::Module> &
 ExperimentRunner::compiled(const toolchain::ToolchainSpec &tc)
 {
+    bindThread();
     const auto key = std::make_pair(int(tc.vendor), int(tc.level));
     auto it = cache_.find(key);
     if (it != cache_.end())

@@ -2,6 +2,7 @@
 #define MBIAS_CORE_RUNNER_HH
 
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -30,6 +31,15 @@ struct RunOutcome
  * Executes an ExperimentSpec under chosen setups: builds the workload,
  * compiles baseline and treatment once each (modules are cached), and
  * links/loads/runs per setup.
+ *
+ * Thread-safety contract: a runner is stateful (the lazily populated
+ * compile cache) and must only ever be used from ONE thread — give
+ * each worker of a parallel campaign its own runner (compilation is
+ * deterministic, so per-worker caches cannot diverge).  The contract
+ * is enforced: the runner binds to the first thread that runs with it
+ * and panics if a second thread shows up.  Constructing on one thread
+ * and handing off to a single worker is fine; binding happens at
+ * first use, not construction.
  */
 class ExperimentRunner
 {
@@ -87,9 +97,13 @@ class ExperimentRunner
     const std::vector<isa::Module> &
     compiled(const toolchain::ToolchainSpec &tc);
 
+    /** Enforces the one-thread contract (see class comment). */
+    void bindThread();
+
     ExperimentSpec spec_;
     std::uint64_t spAlign_ = 0;
     std::map<std::pair<int, int>, std::vector<isa::Module>> cache_;
+    std::thread::id owner_; ///< bound on first use; empty = unbound
 };
 
 } // namespace mbias::core

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "base/random.hh"
+#include "base/seeding.hh"
 
 namespace
 {
@@ -121,6 +122,46 @@ TEST(Rng, SplitIndependent)
     for (int i = 0; i < 64; ++i)
         same += child.next() == parent2.next();
     EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitAtIsPureAndKeyed)
+{
+    Rng parent(31);
+    Rng a1 = parent.splitAt(7);
+    Rng a2 = parent.splitAt(7); // parent state unchanged by splitAt
+    Rng b = parent.splitAt(8);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        const auto va = a1.next();
+        EXPECT_EQ(va, a2.next());
+        same += va == b.next();
+    }
+    EXPECT_LT(same, 2);
+    // splitAt did not advance the parent.
+    Rng parent2(31);
+    EXPECT_EQ(parent.next(), parent2.next());
+}
+
+TEST(Seeding, MixSeedIndependentStreams)
+{
+    using mbias::mixSeed;
+    EXPECT_EQ(mixSeed(42, 7), mixSeed(42, 7));
+    EXPECT_NE(mixSeed(42, 7), mixSeed(42, 8));
+    EXPECT_NE(mixSeed(42, 7), mixSeed(43, 7));
+    // The stream index must not be cancellable against the root.
+    EXPECT_NE(mixSeed(42, 7), mixSeed(42 ^ 7, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(mixSeed(42, i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Seeding, StreamRngMatchesMixSeed)
+{
+    Rng direct(mbias::mixSeed(9, 4));
+    Rng stream = mbias::streamRng(9, 4);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(direct.next(), stream.next());
 }
 
 } // namespace

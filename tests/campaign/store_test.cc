@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Content addressing and persistence: task keys hash exactly the
+ * inputs that determine an outcome, records survive a JSON round
+ * trip bitwise, and the in-memory cache deduplicates identical tasks
+ * with exact accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "campaign/engine.hh"
+#include "campaign/store.hh"
+
+namespace
+{
+
+using namespace mbias;
+using campaign::CampaignSpec;
+using campaign::CampaignTask;
+using campaign::RepetitionPlan;
+using campaign::ResultCache;
+using campaign::TaskRecord;
+using campaign::taskKey;
+
+CampaignTask
+task(std::uint64_t env, std::uint64_t seed = 11,
+     RepetitionPlan plan = {})
+{
+    CampaignTask t;
+    t.setup.envBytes = env;
+    t.taskSeed = seed;
+    t.plan = plan;
+    return t;
+}
+
+TEST(TaskKey, HashesOutcomeDeterminingInputsOnly)
+{
+    core::ExperimentSpec exp;
+    const auto base = taskKey(exp, task(100));
+    EXPECT_EQ(base.size(), 16u);
+    EXPECT_EQ(base, taskKey(exp, task(100)));
+
+    // Setup factors and experiment knobs split the address...
+    EXPECT_NE(base, taskKey(exp, task(101)));
+    CampaignTask linked = task(100);
+    linked.setup.linkOrder = toolchain::LinkOrder::shuffled(3);
+    EXPECT_NE(base, taskKey(exp, linked));
+    core::ExperimentSpec other;
+    other.withWorkload("mcf");
+    EXPECT_NE(base, taskKey(other, task(100)));
+    other = core::ExperimentSpec{};
+    other.withMachine(sim::MachineConfig::p4Like());
+    EXPECT_NE(base, taskKey(other, task(100)));
+
+    // ...but the task seed only matters when the plan consumes it:
+    // Single-mode duplicates of one setup share a cached result.
+    EXPECT_EQ(base, taskKey(exp, task(100, /*seed=*/999)));
+    const RepetitionPlan aslr{RepetitionPlan::Kind::AslrRandomized, 7};
+    EXPECT_NE(taskKey(exp, task(100, 11, aslr)),
+              taskKey(exp, task(100, 999, aslr)));
+    EXPECT_NE(base, taskKey(exp, task(100, 11, aslr)));
+}
+
+TEST(TaskRecord, JsonRoundTripIsBitwise)
+{
+    core::RunOutcome o;
+    o.setup.envBytes = 300;
+    o.setup.linkOrder = toolchain::LinkOrder::shuffled(17);
+    o.baseline.halted = o.treatment.halted = true;
+    o.baseline.counters.set(sim::Counter::Cycles, 109798);
+    o.baseline.counters.set(sim::Counter::Instructions, 101405);
+    o.baseline.result = 5730506297605046414ull;
+    o.treatment.counters.set(sim::Counter::Cycles, 117022);
+    o.treatment.counters.set(sim::Counter::Instructions, 99847);
+    o.treatment.result = 5730506297605046414ull;
+    o.speedup = 109798.0 / 117022.0;
+
+    CampaignTask t = task(300);
+    t.setup = o.setup;
+    t.index = 42;
+    const auto rec =
+        TaskRecord::make("00deadbeef00f00d", t, o, 109798.0, 117022.0);
+    TaskRecord back;
+    ASSERT_TRUE(TaskRecord::fromJson(rec.toJson(), back));
+    EXPECT_EQ(back.key, rec.key);
+    EXPECT_EQ(back.taskIndex, 42u);
+
+    const auto out = back.toOutcome();
+    EXPECT_EQ(out.setup, o.setup);
+    EXPECT_EQ(out.baseline.cycles(), o.baseline.cycles());
+    EXPECT_EQ(out.baseline.instructions(), o.baseline.instructions());
+    EXPECT_EQ(out.baseline.result, o.baseline.result);
+    EXPECT_EQ(out.treatment.cycles(), o.treatment.cycles());
+    EXPECT_TRUE(out.baseline.halted && out.treatment.halted);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out.speedup),
+              std::bit_cast<std::uint64_t>(o.speedup));
+}
+
+TEST(TaskRecord, RejectsTornLines)
+{
+    core::RunOutcome o;
+    o.speedup = 1.25;
+    const auto rec = TaskRecord::make("0123456789abcdef", task(0), o,
+                                      4.0, 3.2);
+    const std::string line = rec.toJson();
+    TaskRecord back;
+    EXPECT_TRUE(TaskRecord::fromJson(line, back));
+    // A run killed mid-append leaves a prefix of the line behind.
+    for (std::size_t cut : {line.size() - 1, line.size() / 2,
+                            std::size_t(3), std::size_t(0)})
+        EXPECT_FALSE(TaskRecord::fromJson(line.substr(0, cut), back))
+            << "accepted torn prefix of length " << cut;
+    EXPECT_FALSE(TaskRecord::fromJson("not json at all", back));
+}
+
+TEST(ResultCache, AccountsHits)
+{
+    ResultCache cache;
+    core::RunOutcome o;
+    o.speedup = 2.0;
+    core::RunOutcome got;
+    EXPECT_FALSE(cache.lookup("k1", got));
+    EXPECT_EQ(cache.hits(), 0u);
+    cache.insert("k1", o);
+    EXPECT_TRUE(cache.lookup("k1", got));
+    EXPECT_TRUE(cache.lookup("k1", got));
+    EXPECT_EQ(got.speedup, 2.0);
+    EXPECT_FALSE(cache.lookup("k2", got));
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+// Duplicate setups in a campaign are content-address hits: only the
+// unique setups hit the simulator.
+TEST(CampaignCache, DuplicateSetupsExecuteOnce)
+{
+    std::vector<core::ExperimentSetup> setups;
+    for (int round = 0; round < 3; ++round)
+        for (std::uint64_t env : {0ull, 52ull, 300ull, 1024ull}) {
+            core::ExperimentSetup s;
+            s.envBytes = env;
+            setups.push_back(s);
+        }
+    CampaignSpec spec;
+    spec.withExperiment(core::ExperimentSpec().withWorkload("milc"))
+        .withSetups(setups);
+    campaign::CampaignOptions opts;
+    opts.jobs = 1; // serial: hit accounting is exact
+    auto report = campaign::CampaignEngine(spec, opts).run();
+    EXPECT_EQ(report.stats.totalTasks, 12u);
+    EXPECT_EQ(report.stats.executed, 4u);
+    EXPECT_EQ(report.stats.cacheHits, 8u);
+    EXPECT_EQ(report.stats.resumedFromStore, 0u);
+    // The duplicates' outcomes are the cached ones, bit for bit.
+    const auto &o = report.bias.outcomes;
+    ASSERT_EQ(o.size(), 12u);
+    for (std::size_t i = 4; i < o.size(); ++i)
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(o[i].speedup),
+                  std::bit_cast<std::uint64_t>(o[i % 4].speedup));
+}
+
+} // namespace

@@ -10,6 +10,9 @@
  *                  [--counters]
  *   mbias bias     --workload perl [--factor env|link|both]
  *                  [--setups N] [--machine M] [--vendor V]
+ *   mbias campaign --workload perl [--factor env|link|both]
+ *                  [--setups N] [--jobs N] [--resume] [--out PATH]
+ *                  [--seed S] [--aslr-reps K] [--no-store]
  *   mbias causal   --workload perl [--factor env|link] [--setups N]
  *   mbias variance --workload perl [--env N] [--reps K]
  *   mbias survey
@@ -20,6 +23,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "campaign/engine.hh"
 #include "core/bias.hh"
 #include "core/causal.hh"
 #include "core/conclusion.hh"
@@ -198,6 +202,37 @@ cmdBias(const Args &args)
 }
 
 int
+cmdCampaign(const Args &args)
+{
+    campaign::CampaignSpec cspec;
+    cspec.withExperiment(specFromArgs(args))
+        .withSpace(spaceByFactor(args.get("factor", "both")),
+                   unsigned(args.getInt("setups", 31)))
+        .withSeed(args.getInt("seed", 42));
+    if (args.options.count("aslr-reps"))
+        cspec.withPlan({campaign::RepetitionPlan::Kind::AslrRandomized,
+                        unsigned(args.getInt("aslr-reps", 7))});
+
+    campaign::CampaignOptions opts;
+    opts.jobs = unsigned(args.getInt("jobs", 1));
+    opts.outPath = args.options.count("no-store")
+                       ? std::string()
+                       : args.get("out", "results/campaign.jsonl");
+    opts.resume = args.options.count("resume") > 0;
+
+    campaign::CampaignEngine engine(cspec, opts);
+    auto report = engine.run();
+    std::printf("%s", report.str().c_str());
+    auto check = core::ConclusionChecker().check(report.bias);
+    std::printf("%s", check.str().c_str());
+    if (!opts.outPath.empty())
+        std::printf("result store    : %s (rerun with --resume to "
+                    "extend or recover)\n",
+                    opts.outPath.c_str());
+    return 0;
+}
+
+int
 cmdCausal(const Args &args)
 {
     core::ExperimentSpec spec = specFromArgs(args);
@@ -336,6 +371,9 @@ usage()
         "           [--machine M] [--vendor V] [--counters]\n"
         "           [--manifest]\n"
         "  bias     --workload W [--factor env|link|both] [--setups N]\n"
+        "  campaign --workload W [--factor env|link|both] [--setups N]\n"
+        "           [--jobs N] [--resume] [--out PATH] [--seed S]\n"
+        "           [--aslr-reps K] [--no-store]\n"
         "  causal   --workload W [--factor env|link] [--setups N]\n"
         "  variance --workload W [--env N] [--reps K]\n"
         "  profile  --workload W [--opt O] [--env N] [--top K]\n"
@@ -357,6 +395,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (args.command == "bias")
         return cmdBias(args);
+    if (args.command == "campaign")
+        return cmdCampaign(args);
     if (args.command == "causal")
         return cmdCausal(args);
     if (args.command == "variance")
