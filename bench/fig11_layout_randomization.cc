@@ -22,6 +22,7 @@
 #include "campaign/engine.hh"
 #include "core/setup.hh"
 #include "core/table.hh"
+#include "obs/metrics.hh"
 #include "stats/sample.hh"
 
 using namespace mbias;
@@ -43,15 +44,18 @@ envSetups(const std::vector<std::uint64_t> &envs)
     return out;
 }
 
-/** Runs the hostile setups under @p plan; returns the four speedups. */
+/** Runs the hostile setups under @p plan; returns the four speedups
+ *  and accumulates the campaign's execution metrics into @p metrics. */
 std::vector<double>
-hostileSpeedups(unsigned jobs, campaign::RepetitionPlan plan)
+hostileSpeedups(unsigned jobs, campaign::RepetitionPlan plan,
+                obs::MetricsSnapshot &metrics)
 {
     campaign::CampaignSpec cspec; // perl, core2like, O2 vs O3
     cspec.withSetups(envSetups(hostile_envs)).withPlan(plan);
     campaign::CampaignOptions opts;
     opts.jobs = jobs;
     auto report = campaign::CampaignEngine(cspec, opts).run();
+    metrics.merge(report.metrics);
     std::vector<double> speedups;
     for (const auto &o : report.bias.outcomes)
         speedups.push_back(o.speedup);
@@ -80,10 +84,11 @@ main(int argc, char **argv)
     std::printf("layout-marginalized speedup (dense env grid): %.4f\n\n",
                 truth);
 
+    obs::MetricsSnapshot metrics = truth_report.metrics;
     using Kind = campaign::RepetitionPlan::Kind;
-    auto single = hostileSpeedups(jobs, {Kind::Single, 1});
-    auto a7 = hostileSpeedups(jobs, {Kind::AslrRandomized, 7});
-    auto a21 = hostileSpeedups(jobs, {Kind::AslrRandomized, 21});
+    auto single = hostileSpeedups(jobs, {Kind::Single, 1}, metrics);
+    auto a7 = hostileSpeedups(jobs, {Kind::AslrRandomized, 7}, metrics);
+    auto a21 = hostileSpeedups(jobs, {Kind::AslrRandomized, 21}, metrics);
 
     core::TextTable t({"setup", "single run", "ASLR x7", "ASLR x21",
                        "|err| single", "|err| x21"});
@@ -102,5 +107,8 @@ main(int argc, char **argv)
     std::printf("[campaign: %u job(s), %.3f s for the ground-truth "
                 "grid]\n",
                 jobs, truth_report.stats.wallSeconds);
+    // Machine-readable execution metrics; reproduce_all.sh lifts this
+    // line into results/BENCH_campaign.json.
+    std::printf("[metrics] %s\n", metrics.toJson().c_str());
     return 0;
 }

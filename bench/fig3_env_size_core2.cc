@@ -59,5 +59,8 @@ main(int argc, char **argv)
     std::printf("paper's shape: range straddles 1.0 (published: ~0.92 to "
                 "~1.10 for perlbench)\n");
     std::printf("[campaign: %s]\n", report.stats.str().c_str());
+    // Machine-readable execution metrics; reproduce_all.sh lifts this
+    // line into results/BENCH_campaign.json.
+    std::printf("[metrics] %s\n", report.metrics.toJson().c_str());
     return 0;
 }

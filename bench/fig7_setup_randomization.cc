@@ -18,6 +18,7 @@
 #include "core/experiment.hh"
 #include "core/setup.hh"
 #include "core/table.hh"
+#include "obs/metrics.hh"
 #include "workloads/registry.hh"
 
 using namespace mbias;
@@ -36,6 +37,7 @@ main(int argc, char **argv)
     core::ConclusionChecker checker;
     unsigned wrongable = 0;
     double wall = 0.0;
+    obs::MetricsSnapshot metrics; // summed over per-workload campaigns
     for (const auto *w : workloads::suite()) {
         core::ExperimentSpec spec;
         spec.withWorkload(w->name());
@@ -48,6 +50,7 @@ main(int argc, char **argv)
         opts.jobs = jobs;
         auto cr = campaign::CampaignEngine(cspec, opts).run();
         wall += cr.stats.wallSeconds;
+        metrics.merge(cr.metrics);
         const auto &report = cr.bias;
         auto check = checker.check(report);
         wrongable += check.wrongDataPossible;
@@ -67,5 +70,8 @@ main(int argc, char **argv)
                 "setup-induced uncertainty instead.\n",
                 wrongable, workloads::suite().size());
     std::printf("[campaign: %u job(s), %.3f s total]\n", jobs, wall);
+    // Machine-readable execution metrics; reproduce_all.sh lifts this
+    // line into results/BENCH_campaign.json.
+    std::printf("[metrics] %s\n", metrics.toJson().c_str());
     return 0;
 }

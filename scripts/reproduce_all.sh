@@ -37,11 +37,17 @@ for b in "$BUILD"/bench/*; do
         start="$(date +%s.%N)"
         "$b" --jobs "$JOBS" 2>&1 | tee -a results/bench_output.txt
         end="$(date +%s.%N)"
+        # The harness prints its merged execution metrics (cache hits,
+        # queue waits, task latencies) as one `[metrics] {...}` line;
+        # embed that object next to the wall time.
+        metrics="$(grep '^\[metrics\] ' results/bench_output.txt \
+            | tail -n 1 | sed 's/^\[metrics\] //')"
+        [ -n "$metrics" ] || metrics='{}'
         [ "$first" = 1 ] || printf ',\n' >> results/BENCH_campaign.json
         first=0
-        printf '    {"figure": "%s", "jobs": %s, "wall_seconds": %s}' \
+        printf '    {"figure": "%s", "jobs": %s, "wall_seconds": %s, "metrics": %s}' \
             "$name" "$JOBS" "$(echo "$end $start" | awk '{print $1-$2}')" \
-            >> results/BENCH_campaign.json
+            "$metrics" >> results/BENCH_campaign.json
         ;;
       *)
         "$b" 2>&1 | tee -a results/bench_output.txt

@@ -1,6 +1,8 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 namespace mbias
@@ -8,19 +10,34 @@ namespace mbias
 
 namespace
 {
-bool logging_on = true;
+
+std::atomic<bool> logging_on{true};
+
+/**
+ * Serializes warn/inform lines: concurrent campaign workers each emit
+ * whole lines, never interleaved fragments.  A single fprintf is not
+ * atomic across its format arguments on all libcs, so the mutex is
+ * load-bearing, not cosmetic.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 void
 setLoggingEnabled(bool enabled)
 {
-    logging_on = enabled;
+    logging_on.store(enabled, std::memory_order_relaxed);
 }
 
 bool
 loggingEnabled()
 {
-    return logging_on;
+    return logging_on.load(std::memory_order_relaxed);
 }
 
 void
@@ -40,15 +57,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    if (logging_on)
-        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (!loggingEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (logging_on)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (!loggingEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace mbias

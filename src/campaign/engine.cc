@@ -2,13 +2,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/seeding.hh"
 #include "campaign/store.hh"
 #include "campaign/threadpool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mbias::campaign
 {
@@ -52,6 +58,86 @@ executeTask(core::ExperimentRunner &runner, const CampaignTask &task)
     return r;
 }
 
+/**
+ * The live progress line: a helper thread redraws one stderr line a
+ * few times a second — `NNN/NNN tasks (PP%) | cache HH% | ETA SSs` —
+ * and blanks it on completion so the final report starts clean.
+ * Display only; it never touches task state.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(bool enabled, std::uint64_t total,
+                  const std::atomic<std::uint64_t> &done,
+                  const std::atomic<std::uint64_t> &cache_hits)
+        : total_(total)
+    {
+        if (!enabled || total == 0)
+            return;
+        start_ = std::chrono::steady_clock::now();
+        thread_ = std::thread([this, &done, &cache_hits] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (!stop_) {
+                draw(done.load(), cache_hits.load());
+                cv_.wait_for(lock, std::chrono::milliseconds(200));
+            }
+            // Blank the line out so the report overwrites it.
+            std::fprintf(stderr, "\r%78s\r", "");
+        });
+    }
+
+    ~ProgressMeter()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    draw(std::uint64_t done, std::uint64_t hits) const
+    {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        char eta[32] = "--";
+        if (done > 0 && done < total_)
+            std::snprintf(eta, sizeof(eta), "%.0fs",
+                          elapsed / double(done) *
+                              double(total_ - done));
+        std::fprintf(stderr,
+                     "\rcampaign: %llu/%llu tasks (%3.0f%%) | cache "
+                     "%3.0f%% | ETA %-8s",
+                     (unsigned long long)done,
+                     (unsigned long long)total_,
+                     100.0 * double(done) / double(total_),
+                     done ? 100.0 * double(hits) / double(done) : 0.0,
+                     eta);
+    }
+
+    std::uint64_t total_;
+    std::chrono::steady_clock::time_point start_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
 } // namespace
 
 CampaignEngine::CampaignEngine(CampaignSpec spec, CampaignOptions opts)
@@ -67,23 +153,40 @@ CampaignEngine::run()
 {
     const auto start = std::chrono::steady_clock::now();
 
+    // Each run gets its own metrics registry so the report's snapshot
+    // is exactly this campaign — nothing leaks across runs.
+    obs::Registry metrics;
+    obs::Tracer &tracer = obs::Tracer::global();
+    const bool tracing = !opts_.tracePath.empty();
+    if (tracing)
+        tracer.start();
+
+    const obs::Provenance provenance =
+        obs::Provenance::capture(opts_.jobs);
+
     const std::vector<CampaignTask> tasks = spec_.expand();
     std::vector<std::string> keys;
     keys.reserve(tasks.size());
     for (const auto &t : tasks)
         keys.push_back(taskKey(spec_.experiment, t));
+    metrics.counter("engine.tasks").add(tasks.size());
 
     std::unique_ptr<ResultStore> store;
     if (!opts_.outPath.empty()) {
-        store = std::make_unique<ResultStore>(opts_.outPath);
+        store = std::make_unique<ResultStore>(opts_.outPath, &metrics);
         if (opts_.resume)
             store->load();
         else
             store->reset();
+        // Fresh stores (and pre-provenance legacy ones) get this
+        // run's host setup as their header; a resumed store keeps
+        // the header of the run that created it.
+        if (store->headerProvenanceJson().empty())
+            store->writeHeader(provenance);
     }
 
-    ThreadPool pool(opts_.jobs);
-    ResultCache cache;
+    ThreadPool pool(opts_.jobs, &metrics);
+    ResultCache cache(&metrics);
     std::vector<core::RunOutcome> results(tasks.size());
     // One runner per worker: the runner's compile cache is
     // single-thread-only (its documented contract), and compilation
@@ -92,8 +195,23 @@ CampaignEngine::run()
         pool.jobs());
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> resumed{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> done{0};
+
+    // Hot-path metric handles, resolved once (registry lookups take a
+    // lock; Counter::add / Histogram::record do not).
+    obs::Counter &cExecuted = metrics.counter("engine.executed");
+    obs::Counter &cResumed = metrics.counter("engine.store_hits");
+    obs::Histogram &hExecute = metrics.histogram("task.execute_us");
+    obs::Histogram &hTask = metrics.histogram("task.total_us");
+
+    ProgressMeter meter(opts_.progress, tasks.size(), done, cacheHits);
 
     pool.parallelFor(tasks.size(), [&](std::size_t i, unsigned w) {
+        const auto taskStart = std::chrono::steady_clock::now();
+        obs::ScopedSpan taskSpan("task", "campaign",
+                                 "{\"task\":" + std::to_string(i) +
+                                     "}");
         const CampaignTask &task = tasks[i];
         const std::string &key = keys[i];
 
@@ -101,27 +219,46 @@ CampaignEngine::run()
             if (const TaskRecord *rec = store->find(key)) {
                 results[i] = rec->toOutcome();
                 resumed.fetch_add(1, std::memory_order_relaxed);
+                cResumed.add();
+                done.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
         }
-        if (cache.lookup(key, results[i]))
+        if (cache.lookup(key, results[i])) {
+            cacheHits.fetch_add(1, std::memory_order_relaxed);
+            done.fetch_add(1, std::memory_order_relaxed);
             return;
+        }
 
-        if (!runners[w])
+        if (!runners[w]) {
+            obs::ScopedSpan span("runner-init", "campaign");
             runners[w] = std::make_unique<core::ExperimentRunner>(
                 spec_.experiment);
+            runners[w]->setMetrics(&metrics);
+        }
+        const auto execStart = std::chrono::steady_clock::now();
         const TaskResult r = executeTask(*runners[w], task);
+        hExecute.record(microsSince(execStart));
         executed.fetch_add(1, std::memory_order_relaxed);
+        cExecuted.add();
         results[i] = r.outcome;
         cache.insert(key, r.outcome);
-        if (store)
+        if (store) {
+            obs::ScopedSpan span("store-append", "campaign");
             store->append(TaskRecord::make(key, task, r.outcome,
-                                           r.baseMetric, r.treatMetric));
+                                           r.baseMetric,
+                                           r.treatMetric));
+        }
+        hTask.record(microsSince(taskStart));
+        done.fetch_add(1, std::memory_order_relaxed);
     });
 
     CampaignReport report;
-    report.bias = core::BiasAnalyzer().aggregate(spec_.experiment,
-                                                 std::move(results));
+    {
+        obs::ScopedSpan span("aggregate", "campaign");
+        report.bias = core::BiasAnalyzer().aggregate(
+            spec_.experiment, std::move(results));
+    }
     report.stats.totalTasks = tasks.size();
     report.stats.executed = executed.load();
     report.stats.cacheHits = cache.hits();
@@ -131,6 +268,18 @@ CampaignEngine::run()
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    report.provenance = provenance;
+    report.metrics = metrics.snapshot();
+    if (store)
+        store->appendMetrics(report.metrics);
+    if (tracing) {
+        tracer.stop();
+        if (!tracer.writeTo(opts_.tracePath))
+            mbias_warn("cannot write trace to ", opts_.tracePath);
+        else
+            inform("trace written to " + opts_.tracePath +
+                   " (open in Perfetto: https://ui.perfetto.dev)");
+    }
     return report;
 }
 

@@ -24,6 +24,22 @@ struct CampaignOptions
 
     /** Reuse (skip) tasks already persisted under outPath. */
     bool resume = false;
+
+    /**
+     * Chrome-trace JSON output path; empty disables tracing.  The
+     * engine runs a process-wide trace session for the duration of
+     * run() and writes per-task phase spans (queue-wait,
+     * setup-materialize, run, store-append, aggregate) viewable in
+     * Perfetto (ui.perfetto.dev).  No-op with MBIAS_OBS=OFF.
+     */
+    std::string tracePath;
+
+    /**
+     * Live progress line on stderr (tasks done/total, cache-hit
+     * rate, ETA), redrawn in place a few times a second.  Meant for
+     * interactive ttys; off by default.
+     */
+    bool progress = false;
 };
 
 /**

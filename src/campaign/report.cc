@@ -1,5 +1,6 @@
 #include "campaign/report.hh"
 
+#include <cstdio>
 #include <sstream>
 
 namespace mbias::campaign
@@ -22,6 +23,23 @@ CampaignReport::str() const
     std::ostringstream os;
     os << bias.str();
     os << "  campaign        : " << stats.str() << "\n";
+    // The acceptance-facing latency summary; schedule-dependent, so
+    // informational only (unlike the counters above).
+    auto hist = [&](const char *name) {
+        auto it = metrics.histograms.find(name);
+        return it == metrics.histograms.end() ? obs::HistogramStats{}
+                                              : it->second;
+    };
+    const auto run = hist("task.execute_us");
+    const auto wait = hist("pool.queue_wait_us");
+    if (run.count || wait.count) {
+        os << "  latency         : task p50 " << run.quantile(0.5)
+           << " us, p99 " << run.quantile(0.99)
+           << " us; queue wait mean ";
+        char mean[32];
+        std::snprintf(mean, sizeof(mean), "%.1f", wait.mean());
+        os << mean << " us\n";
+    }
     return os.str();
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/bias.hh"
+#include "obs/metrics.hh"
+#include "obs/provenance.hh"
 
 namespace mbias::campaign
 {
@@ -33,14 +35,22 @@ struct CampaignStats
 /**
  * What a campaign produces: the paper-facing bias analysis (the same
  * BiasReport the serial BiasAnalyzer yields, aggregated from the
- * campaign's outcomes in task order) plus execution accounting.
+ * campaign's outcomes in task order), execution accounting, the
+ * run's metrics snapshot, and the host-setup provenance it ran under
+ * — so every reported number is auditable after the fact.
  */
 struct CampaignReport
 {
     core::BiasReport bias;
     CampaignStats stats;
 
-    /** bias.str() plus the accounting line. */
+    /** This run's merged metrics (empty with MBIAS_OBS=OFF). */
+    obs::MetricsSnapshot metrics;
+
+    /** Host setup of this run (also in the store header). */
+    obs::Provenance provenance;
+
+    /** bias.str() plus the accounting and latency lines. */
     std::string str() const;
 };
 

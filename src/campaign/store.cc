@@ -229,15 +229,28 @@ TaskRecord::fromJson(const std::string &line, TaskRecord &out)
     return true;
 }
 
+ResultCache::ResultCache(obs::Registry *metrics)
+{
+    if (metrics) {
+        hitCounter_ = &metrics->counter("cache.hits");
+        missCounter_ = &metrics->counter("cache.misses");
+    }
+}
+
 bool
 ResultCache::lookup(const std::string &key, core::RunOutcome &out) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
-    if (it == map_.end())
+    if (it == map_.end()) {
+        if (missCounter_)
+            missCounter_->add();
         return false;
+    }
     out = it->second;
     ++hits_;
+    if (hitCounter_)
+        hitCounter_->add();
     return true;
 }
 
@@ -255,9 +268,57 @@ ResultCache::hits() const
     return hits_;
 }
 
-ResultStore::ResultStore(std::string path) : path_(std::move(path))
+namespace
+{
+
+/** Store meta lines (header / metrics trailer) all share this prefix;
+ *  they are intentionally unparseable as TaskRecords. */
+constexpr const char *kMetaPrefix = "{\"mbias_";
+constexpr const char *kHeaderTag = "\"mbias_store\"";
+constexpr const char *kMetricsTag = "\"mbias_metrics\"";
+
+bool
+isMetaLine(const std::string &line)
+{
+    return line.rfind(kMetaPrefix, 0) == 0;
+}
+
+/** Extracts the raw `{...}` after `"provenance":` in a header line;
+ *  empty when absent. */
+std::string
+provenanceOfHeader(const std::string &line)
+{
+    const std::string needle = "\"provenance\":";
+    const auto at = line.find(needle);
+    if (at == std::string::npos || line.back() != '}')
+        return "";
+    // The provenance object runs to the header's final closing brace.
+    return line.substr(at + needle.size(),
+                       line.size() - 1 - (at + needle.size()));
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string path, obs::Registry *metrics)
+    : path_(std::move(path))
 {
     mbias_assert(!path_.empty(), "result store needs a path");
+    if (metrics) {
+        tornCounter_ = &metrics->counter("store.torn_lines");
+        appendCounter_ = &metrics->counter("store.appends");
+        loadedCounter_ = &metrics->counter("store.loaded");
+    }
+}
+
+void
+ResultStore::countTorn(std::uintmax_t byte_offset, const char *what)
+{
+    ++tornLines_;
+    if (tornCounter_)
+        tornCounter_->add();
+    mbias_warn("result store ", path_, ": dropping ", what,
+               " at byte offset ", byte_offset,
+               " (torn tail of a killed run, or corruption)");
 }
 
 std::size_t
@@ -268,13 +329,29 @@ ResultStore::load()
         return 0;
     std::size_t read = 0;
     std::string line;
+    std::uintmax_t offset = 0;
     while (std::getline(in, line)) {
+        const std::uintmax_t lineStart = offset;
+        offset += line.size() + 1; // +1: the newline getline consumed
+        if (isMetaLine(line)) {
+            if (line.back() != '}') { // killed while writing the line
+                countTorn(lineStart, "truncated meta line");
+                continue;
+            }
+            if (line.find(kHeaderTag) != std::string::npos)
+                headerJson_ = provenanceOfHeader(line);
+            continue; // metrics trailers are for obs-summary, not load
+        }
         TaskRecord rec;
-        if (!TaskRecord::fromJson(line, rec))
-            continue; // torn tail of a killed run, or garbage
+        if (!TaskRecord::fromJson(line, rec)) {
+            countTorn(lineStart, "unparseable record");
+            continue;
+        }
         byKey_[rec.key] = std::move(rec);
         ++read;
     }
+    if (loadedCounter_)
+        loadedCounter_->add(read);
     return read;
 }
 
@@ -284,6 +361,46 @@ ResultStore::reset()
     std::error_code ec;
     std::filesystem::remove(path_, ec);
     byKey_.clear();
+    headerJson_.clear();
+}
+
+void
+ResultStore::writeHeader(const obs::Provenance &prov)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    mbias_assert(headerJson_.empty(),
+                 "store ", path_, " already has a provenance header");
+    headerJson_ = prov.toJson();
+    const auto parent = std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream out(path_, std::ios::app);
+    mbias_assert(out.good(), "cannot write store header: ", path_);
+    out << "{\"mbias_store\":1,\"provenance\":" << headerJson_
+        << "}\n";
+    out.flush();
+    mbias_assert(out.good(), "store header write failed: ", path_);
+}
+
+void
+ResultStore::appendMetrics(const obs::MetricsSnapshot &snap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ofstream out(path_, std::ios::app);
+    mbias_assert(out.good(), "cannot append to result store ", path_);
+    out << "{\"mbias_metrics\":1,\"snapshot\":" << snap.toJson()
+        << "}\n";
+    out.flush();
+    mbias_assert(out.good(), "metrics append failed: ", path_);
+}
+
+bool
+ResultStore::headerProvenance(obs::Provenance &out) const
+{
+    return !headerJson_.empty() &&
+           obs::Provenance::fromJson(headerJson_, out);
 }
 
 const TaskRecord *
@@ -322,6 +439,7 @@ ResultStore::append(const TaskRecord &rec)
             torn = in.eof() && pos > keep;
         }
         if (torn) {
+            countTorn(keep, "torn trailing line (healing file)");
             std::error_code ec;
             std::filesystem::resize_file(path_, keep, ec);
             mbias_assert(!ec, "cannot drop torn tail of ", path_);
@@ -332,6 +450,69 @@ ResultStore::append(const TaskRecord &rec)
     out << rec.toJson() << "\n";
     out.flush();
     mbias_assert(out.good(), "write to result store failed: ", path_);
+    if (appendCounter_)
+        appendCounter_->add();
+}
+
+StoreSummary
+summarizeStore(const std::string &path)
+{
+    StoreSummary s;
+    s.path = path;
+    std::ifstream in(path);
+    if (!in)
+        return s;
+    std::string line;
+    bool sawNewlineEnd = true;
+    while (std::getline(in, line)) {
+        sawNewlineEnd = !in.eof();
+        if (isMetaLine(line)) {
+            if (line.back() != '}') {
+                ++s.tornLines;
+                continue;
+            }
+            if (line.find(kHeaderTag) != std::string::npos)
+                s.provenanceJson = provenanceOfHeader(line);
+            else if (line.find(kMetricsTag) != std::string::npos)
+                s.metricsJson = line;
+            continue;
+        }
+        TaskRecord rec;
+        if (TaskRecord::fromJson(line, rec))
+            ++s.records;
+        else
+            ++s.tornLines;
+    }
+    // A file that does not end in a newline has a torn final line
+    // even if the prefix happened to parse.
+    if (!sawNewlineEnd && s.tornLines == 0)
+        ++s.tornLines;
+    return s;
+}
+
+std::string
+StoreSummary::str() const
+{
+    std::ostringstream os;
+    os << "store           : " << path << "\n"
+       << "records         : " << records << "\n";
+    if (tornLines)
+        os << "torn lines      : " << tornLines << "  <-- corrupted "
+           << "or killed mid-append\n";
+    obs::Provenance prov;
+    if (!provenanceJson.empty() &&
+        obs::Provenance::fromJson(provenanceJson, prov))
+        os << "provenance:\n" << prov.str();
+    else
+        os << "provenance      : (none recorded — store predates the "
+           << "obs layer?)\n";
+    if (!metricsJson.empty())
+        os << "metrics (final snapshot of the writing run):\n"
+           << obs::prettyJson(metricsJson) << "\n";
+    else
+        os << "metrics         : (no snapshot trailer — campaign "
+           << "still running, or killed)\n";
+    return os.str();
 }
 
 } // namespace mbias::campaign

@@ -8,6 +8,8 @@
 
 #include "campaign/spec.hh"
 #include "core/runner.hh"
+#include "obs/metrics.hh"
+#include "obs/provenance.hh"
 
 namespace mbias::campaign
 {
@@ -83,6 +85,9 @@ struct TaskRecord
 class ResultCache
 {
   public:
+    /** With @p metrics, counts `cache.hits` / `cache.misses`. */
+    explicit ResultCache(obs::Registry *metrics = nullptr);
+
     bool lookup(const std::string &key, core::RunOutcome &out) const;
     void insert(const std::string &key, const core::RunOutcome &o);
 
@@ -92,28 +97,62 @@ class ResultCache
   private:
     mutable std::mutex mutex_;
     mutable std::uint64_t hits_ = 0;
+    obs::Counter *hitCounter_ = nullptr;
+    obs::Counter *missCounter_ = nullptr;
     std::unordered_map<std::string, core::RunOutcome> map_;
 };
 
 /**
- * The persistent result store: an append-only JSONL file (one
- * TaskRecord per line) that makes campaigns resumable.  load() reads
- * whatever a previous (possibly killed) run managed to append —
- * partial trailing lines are skipped — and the engine serves those
- * tasks from the store instead of re-executing them.  Records are
- * keyed by content address, so duplicate appends (e.g. two identical
- * tasks racing a cache miss) collapse on load.
+ * The persistent result store: an append-only JSONL file that makes
+ * campaigns resumable and self-describing.  Three line shapes share
+ * the file:
+ *
+ *  - `{"mbias_store":1,"provenance":{...}}` — the header, first line
+ *    of a fresh store: the host-setup provenance block of the run
+ *    that created it (see obs::Provenance);
+ *  - one TaskRecord object per finished task;
+ *  - `{"mbias_metrics":1,...}` — a metrics-snapshot trailer appended
+ *    when a campaign finishes (one per run; the last one wins).
+ *
+ * load() reads whatever a previous (possibly killed) run managed to
+ * append — every dropped unparseable line is counted in tornLines()
+ * (and `store.torn_lines`) and warned about with its byte offset, so
+ * corruption is visible instead of silent — and the engine serves
+ * loaded tasks from the store instead of re-executing them.  Records
+ * are keyed by content address, so duplicate appends (e.g. two
+ * identical tasks racing a cache miss) collapse on load.
  */
 class ResultStore
 {
   public:
-    explicit ResultStore(std::string path);
+    /** With @p metrics, counts `store.appends`, `store.loaded`, and
+     *  `store.torn_lines`. */
+    explicit ResultStore(std::string path,
+                        obs::Registry *metrics = nullptr);
 
-    /** Loads existing records; returns how many were read. */
+    /** Loads existing records and header; returns how many records
+     *  were read. */
     std::size_t load();
 
     /** Deletes any existing file (fresh, non-resumed campaigns). */
     void reset();
+
+    /** Writes the provenance header line (fresh stores only — call
+     *  after reset(), or after a load() that found no header). */
+    void writeHeader(const obs::Provenance &prov);
+
+    /** Appends a `{"mbias_metrics":1,...}` snapshot trailer. */
+    void appendMetrics(const obs::MetricsSnapshot &snap);
+
+    /** Raw provenance JSON of the header (written or loaded);
+     *  empty when the store has none. */
+    const std::string &headerProvenanceJson() const
+    {
+        return headerJson_;
+    }
+
+    /** Parses the header provenance; false when absent/malformed. */
+    bool headerProvenance(obs::Provenance &out) const;
 
     /** Looks up a loaded record; nullptr when absent. */
     const TaskRecord *find(const std::string &key) const;
@@ -124,14 +163,45 @@ class ResultStore
     /** Number of loaded (not appended) records. */
     std::size_t loadedCount() const { return byKey_.size(); }
 
+    /** Unparseable lines dropped by load() / torn tails healed by
+     *  append() so far. */
+    std::uint64_t tornLines() const { return tornLines_; }
+
     const std::string &path() const { return path_; }
 
   private:
+    void countTorn(std::uintmax_t byte_offset, const char *what);
+
     std::string path_;
     std::mutex mutex_;
     bool tailChecked_ = false; ///< torn-tail repair done (see append)
+    std::string headerJson_;
+    std::uint64_t tornLines_ = 0;
+    obs::Counter *tornCounter_ = nullptr;
+    obs::Counter *appendCounter_ = nullptr;
+    obs::Counter *loadedCounter_ = nullptr;
     std::unordered_map<std::string, TaskRecord> byKey_;
 };
+
+/**
+ * What `mbias obs-summary` prints: the self-description a finished
+ * store carries — provenance header, the last metrics trailer, and
+ * record accounting.
+ */
+struct StoreSummary
+{
+    std::string path;
+    std::string provenanceJson; ///< empty when the store has no header
+    std::string metricsJson;    ///< last metrics trailer, or empty
+    std::size_t records = 0;
+    std::size_t tornLines = 0;
+
+    /** Pretty, human-readable rendering. */
+    std::string str() const;
+};
+
+/** Scans a store file without loading it into an engine. */
+StoreSummary summarizeStore(const std::string &path);
 
 } // namespace mbias::campaign
 

@@ -1,15 +1,26 @@
 #include "campaign/threadpool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace mbias::campaign
 {
 
-ThreadPool::ThreadPool(unsigned jobs) : jobs_(std::max(jobs, 1u)) {}
+ThreadPool::ThreadPool(unsigned jobs, obs::Registry *metrics)
+    : jobs_(std::max(jobs, 1u))
+{
+    if (metrics) {
+        tasks_ = &metrics->counter("pool.tasks");
+        steals_ = &metrics->counter("pool.steals");
+        queueWait_ = &metrics->histogram("pool.queue_wait_us");
+    }
+}
 
 namespace
 {
@@ -52,8 +63,13 @@ ThreadPool::parallelFor(
     const std::function<void(std::size_t, unsigned)> &fn)
 {
     if (jobs_ == 1 || count <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        // Serial reference schedule: no queues, so no queue wait —
+        // only the schedule-independent task count is recorded.
+        for (std::size_t i = 0; i < count; ++i) {
+            if (tasks_)
+                tasks_->add();
             fn(i, 0);
+        }
         return;
     }
 
@@ -63,16 +79,43 @@ ThreadPool::parallelFor(
     for (std::size_t i = 0; i < count; ++i)
         queues[i % workers].tasks.push_back(i);
 
+    obs::Tracer &tracer = obs::Tracer::global();
     auto work = [&](unsigned w) {
+        obs::setThreadShard(w);
         std::size_t task;
         for (;;) {
+            const auto waitStart = std::chrono::steady_clock::now();
+            const std::uint64_t waitStartUs =
+                tracer.active() ? tracer.nowUs() : 0;
             bool got = queues[w].popFront(task);
+            bool stolen = false;
             // No new tasks are ever enqueued after the deal above, so
             // a full unsuccessful sweep over all queues means done.
-            for (unsigned k = 1; !got && k < workers; ++k)
+            for (unsigned k = 1; !got && k < workers; ++k) {
                 got = queues[(w + k) % workers].stealBack(task);
+                stolen = got;
+            }
             if (!got)
                 return;
+            if (queueWait_)
+                queueWait_->record(std::uint64_t(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - waitStart)
+                        .count()));
+            if (stolen && steals_)
+                steals_->add();
+            if (tasks_)
+                tasks_->add();
+            if (tracer.active()) {
+                obs::TraceEvent e;
+                e.name = "queue-wait";
+                e.cat = "pool";
+                e.tsUs = waitStartUs;
+                const std::uint64_t end = tracer.nowUs();
+                e.durUs = end > waitStartUs ? end - waitStartUs : 0;
+                e.tid = w;
+                tracer.record(std::move(e));
+            }
             fn(task, w);
         }
     };
@@ -84,6 +127,8 @@ ThreadPool::parallelFor(
     work(0);
     for (auto &t : threads)
         t.join();
+    // The calling thread doubled as worker 0; restore its default id.
+    obs::setThreadShard(0);
 }
 
 } // namespace mbias::campaign

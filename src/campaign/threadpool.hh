@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "obs/metrics.hh"
+
 namespace mbias::campaign
 {
 
@@ -24,8 +26,15 @@ namespace mbias::campaign
 class ThreadPool
 {
   public:
-    /** @p jobs is the worker count; 0 is treated as 1. */
-    explicit ThreadPool(unsigned jobs);
+    /**
+     * @p jobs is the worker count; 0 is treated as 1.  With a
+     * @p metrics registry the pool records `pool.tasks` (schedule
+     * independent), `pool.steals`, and the `pool.queue_wait_us`
+     * histogram (both schedule dependent by nature), and each
+     * dequeue emits a "queue-wait" span when tracing is active.
+     */
+    explicit ThreadPool(unsigned jobs,
+                        obs::Registry *metrics = nullptr);
 
     unsigned jobs() const { return jobs_; }
 
@@ -45,6 +54,9 @@ class ThreadPool
 
   private:
     unsigned jobs_;
+    obs::Counter *tasks_ = nullptr;  ///< resolved once; see ctor
+    obs::Counter *steals_ = nullptr;
+    obs::Histogram *queueWait_ = nullptr;
 };
 
 } // namespace mbias::campaign

@@ -1,6 +1,10 @@
 #include "core/runner.hh"
 
+#include <chrono>
+#include <optional>
+
 #include "base/logging.hh"
+#include "obs/trace.hh"
 #include "toolchain/linker.hh"
 #include "toolchain/loader.hh"
 #include "workloads/registry.hh"
@@ -8,9 +12,32 @@
 namespace mbias::core
 {
 
+namespace
+{
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
+
 ExperimentRunner::ExperimentRunner(ExperimentSpec spec)
     : spec_(std::move(spec))
 {
+}
+
+void
+ExperimentRunner::setMetrics(obs::Registry *metrics)
+{
+    compileCounter_ =
+        metrics ? &metrics->counter("runner.compiles") : nullptr;
+    runHistogram_ =
+        metrics ? &metrics->histogram("runner.run_us") : nullptr;
 }
 
 void
@@ -35,6 +62,9 @@ ExperimentRunner::compiled(const toolchain::ToolchainSpec &tc)
     auto it = cache_.find(key);
     if (it != cache_.end())
         return it->second;
+    obs::ScopedSpan span("compile", "runner");
+    if (compileCounter_)
+        compileCounter_->add();
     const auto &w = workloads::findWorkload(spec_.workload);
     toolchain::Compiler cc(tc.vendor, tc.level);
     auto mods = cc.compile(w.build(spec_.workloadConfig));
@@ -46,6 +76,10 @@ ExperimentRunner::runSide(const toolchain::ToolchainSpec &tc,
                           const ExperimentSetup &setup,
                           bool treatment_side)
 {
+    // Phase 1: materialize the setup (compile-on-miss, link in this
+    // setup's order, load with this setup's environment block).
+    std::optional<obs::ScopedSpan> materialize;
+    materialize.emplace("setup-materialize", "runner");
     toolchain::Linker linker;
     auto prog = linker.link(compiled(tc), setup.linkOrder);
     toolchain::LoaderConfig lc;
@@ -53,11 +87,17 @@ ExperimentRunner::runSide(const toolchain::ToolchainSpec &tc,
     if (spAlign_)
         lc.spAlign = spAlign_;
     auto image = toolchain::Loader::load(std::move(prog), lc);
+    materialize.reset();
     const sim::MachineConfig &mc =
         treatment_side && spec_.treatmentMachine ? *spec_.treatmentMachine
                                                  : spec_.machine;
     sim::Machine machine(mc);
+    // Phase 2: the measured simulation itself.
+    obs::ScopedSpan runSpan("run", "runner");
+    const auto t0 = std::chrono::steady_clock::now();
     auto rr = machine.run(image);
+    if (runHistogram_)
+        runHistogram_->record(microsSince(t0));
     mbias_assert(rr.halted, "workload did not halt: ", spec_.workload);
     return rr;
 }
@@ -94,10 +134,14 @@ ExperimentRunner::aslrRandomizedMetric(const toolchain::ToolchainSpec &tc,
                                        std::uint64_t aslr_seed_base)
 {
     mbias_assert(reps >= 1, "need at least one repetition");
+    std::optional<obs::ScopedSpan> materialize;
+    materialize.emplace("setup-materialize", "runner");
     toolchain::Linker linker;
     auto prog = linker.link(compiled(tc), setup.linkOrder);
+    materialize.reset();
     stats::Sample out;
     sim::Machine machine(spec_.machine);
+    obs::ScopedSpan runSpan("run", "runner");
     for (unsigned r = 0; r < reps; ++r) {
         toolchain::LoaderConfig lc;
         lc.envBytes = setup.envBytes;
@@ -105,7 +149,10 @@ ExperimentRunner::aslrRandomizedMetric(const toolchain::ToolchainSpec &tc,
         if (spAlign_)
             lc.spAlign = spAlign_;
         auto image = toolchain::Loader::load(prog, lc);
+        const auto t0 = std::chrono::steady_clock::now();
         auto rr = machine.run(image);
+        if (runHistogram_)
+            runHistogram_->record(microsSince(t0));
         mbias_assert(rr.halted, "workload did not halt: ", spec_.workload);
         out.add(metricOf(rr));
     }

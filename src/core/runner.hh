@@ -7,6 +7,7 @@
 
 #include "core/experiment.hh"
 #include "core/setup.hh"
+#include "obs/metrics.hh"
 #include "sim/machine.hh"
 #include "stats/sample.hh"
 
@@ -93,6 +94,15 @@ class ExperimentRunner
      */
     void setSpAlignOverride(std::uint64_t align) { spAlign_ = align; }
 
+    /**
+     * Attaches a metrics registry: the runner then counts
+     * `runner.compiles` and records `runner.run_us` per simulated
+     * side.  @p metrics must outlive the runner; nullptr detaches.
+     * (Span tracing is independent of this — spans go to the global
+     * Tracer whenever a session is active.)
+     */
+    void setMetrics(obs::Registry *metrics);
+
   private:
     const std::vector<isa::Module> &
     compiled(const toolchain::ToolchainSpec &tc);
@@ -102,6 +112,8 @@ class ExperimentRunner
 
     ExperimentSpec spec_;
     std::uint64_t spAlign_ = 0;
+    obs::Counter *compileCounter_ = nullptr;
+    obs::Histogram *runHistogram_ = nullptr;
     std::map<std::pair<int, int>, std::vector<isa::Module>> cache_;
     std::thread::id owner_; ///< bound on first use; empty = unbound
 };

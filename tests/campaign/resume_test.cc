@@ -70,17 +70,23 @@ TEST(CampaignResume, KillAndResumeRecoversWithoutRecompute)
     EXPECT_EQ(full.stats.totalTasks, num_tasks);
     EXPECT_EQ(full.stats.executed, num_tasks);
 
-    // Simulate a kill after 9 completed tasks: keep 9 whole records
-    // and the torn prefix of a 10th, exactly what a dead process
-    // leaves behind mid-append.
+    // The store self-describes: a provenance header line, one record
+    // per task, and a metrics trailer.
     const auto lines = readLines(path);
-    ASSERT_EQ(lines.size(), num_tasks);
+    ASSERT_EQ(lines.size(), num_tasks + 2);
+    EXPECT_EQ(lines.front().rfind("{\"mbias_store\"", 0), 0u);
+    EXPECT_EQ(lines.back().rfind("{\"mbias_metrics\"", 0), 0u);
+
+    // Simulate a kill after 9 completed tasks: keep the header, 9
+    // whole records, and the torn prefix of a 10th, exactly what a
+    // dead process leaves behind mid-append.
     constexpr unsigned survived = 9;
     {
         std::ofstream out(path, std::ios::trunc);
-        for (unsigned i = 0; i < survived; ++i)
+        for (unsigned i = 0; i <= survived; ++i)
             out << lines[i] << "\n";
-        out << lines[survived].substr(0, lines[survived].size() / 2);
+        const auto &torn = lines[survived + 1];
+        out << torn.substr(0, torn.size() / 2);
     }
 
     opts.resume = true;
@@ -95,11 +101,12 @@ TEST(CampaignResume, KillAndResumeRecoversWithoutRecompute)
     EXPECT_EQ(third.stats.resumedFromStore, num_tasks);
     EXPECT_EQ(bits(third), bits(full));
 
-    // The store healed the torn line: every line now parses.
+    // The store healed the torn line: every non-meta line now parses.
     for (const auto &line : readLines(path)) {
+        if (line.empty() || line.rfind("{\"mbias_", 0) == 0)
+            continue;
         campaign::TaskRecord rec;
-        EXPECT_TRUE(campaign::TaskRecord::fromJson(line, rec) ||
-                    line.empty());
+        EXPECT_TRUE(campaign::TaskRecord::fromJson(line, rec));
     }
     std::filesystem::remove(path);
 }
@@ -120,7 +127,8 @@ TEST(CampaignResume, FreshRunDiscardsStaleStore)
     auto again = CampaignEngine(testSpec(), opts).run();
     EXPECT_EQ(again.stats.executed, num_tasks);
     EXPECT_EQ(again.stats.resumedFromStore, 0u);
-    EXPECT_EQ(readLines(path).size(), num_tasks);
+    // Header + one record per task + metrics trailer.
+    EXPECT_EQ(readLines(path).size(), num_tasks + 2);
     std::filesystem::remove(path);
 }
 

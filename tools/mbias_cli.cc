@@ -13,17 +13,26 @@
  *   mbias campaign --workload perl [--factor env|link|both]
  *                  [--setups N] [--jobs N] [--resume] [--out PATH]
  *                  [--seed S] [--aslr-reps K] [--no-store]
+ *                  [--trace T.json] [--provenance]
+ *   mbias obs-summary [--store PATH]
  *   mbias causal   --workload perl [--factor env|link] [--setups N]
  *   mbias variance --workload perl [--env N] [--reps K]
  *   mbias survey
+ *
+ * Global flags: --quiet silences warn/inform (and the campaign
+ * progress line); --verbose forces logging on and prints extra
+ * detail (campaign metrics and provenance).
  */
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include <unistd.h>
+
 #include "base/logging.hh"
 #include "campaign/engine.hh"
+#include "campaign/store.hh"
 #include "core/bias.hh"
 #include "core/causal.hh"
 #include "core/conclusion.hh"
@@ -219,6 +228,10 @@ cmdCampaign(const Args &args)
                        ? std::string()
                        : args.get("out", "results/campaign.jsonl");
     opts.resume = args.options.count("resume") > 0;
+    opts.tracePath = args.get("trace", "");
+    // The in-place progress line is for humans watching a terminal;
+    // logs and pipes get clean output.
+    opts.progress = loggingEnabled() && isatty(fileno(stderr));
 
     campaign::CampaignEngine engine(cspec, opts);
     auto report = engine.run();
@@ -227,8 +240,32 @@ cmdCampaign(const Args &args)
     std::printf("%s", check.str().c_str());
     if (!opts.outPath.empty())
         std::printf("result store    : %s (rerun with --resume to "
-                    "extend or recover)\n",
+                    "extend or recover; inspect with obs-summary)\n",
                     opts.outPath.c_str());
+    if (!opts.tracePath.empty())
+        std::printf("trace           : %s (open in Perfetto: "
+                    "https://ui.perfetto.dev)\n",
+                    opts.tracePath.c_str());
+    if (args.options.count("verbose")) {
+        std::printf("metrics:\n%s", report.metrics.str().c_str());
+        std::printf("provenance:\n%s", report.provenance.str().c_str());
+    } else if (args.options.count("provenance")) {
+        std::printf("provenance:\n%s", report.provenance.str().c_str());
+    }
+    return 0;
+}
+
+int
+cmdObsSummary(const Args &args)
+{
+    const std::string path =
+        args.get("store", args.get("out", "results/campaign.jsonl"));
+    const auto summary = campaign::summarizeStore(path);
+    if (summary.records == 0 && summary.provenanceJson.empty())
+        mbias_fatal("no result store at '", path,
+                    "' (run `mbias campaign --out ", path,
+                    "` first, or pass --store)");
+    std::printf("%s", summary.str().c_str());
     return 0;
 }
 
@@ -373,13 +410,18 @@ usage()
         "  bias     --workload W [--factor env|link|both] [--setups N]\n"
         "  campaign --workload W [--factor env|link|both] [--setups N]\n"
         "           [--jobs N] [--resume] [--out PATH] [--seed S]\n"
-        "           [--aslr-reps K] [--no-store]\n"
+        "           [--aslr-reps K] [--no-store] [--trace T.json]\n"
+        "           [--provenance]\n"
+        "  obs-summary [--store PATH]\n"
         "  causal   --workload W [--factor env|link] [--setups N]\n"
         "  variance --workload W [--env N] [--reps K]\n"
         "  profile  --workload W [--opt O] [--env N] [--top K]\n"
         "  disasm   --workload W [--opt O] [--link-seed S]\n"
         "           [--function F]\n"
-        "  survey\n");
+        "  survey\n"
+        "global: --quiet (silence warn/inform + progress line)\n"
+        "        --verbose (force logging on; campaign prints metrics\n"
+        "        and provenance)\n");
     return 2;
 }
 
@@ -389,6 +431,10 @@ int
 main(int argc, char **argv)
 {
     const Args args = parseArgs(argc, argv);
+    if (args.options.count("quiet"))
+        setLoggingEnabled(false);
+    else if (args.options.count("verbose"))
+        setLoggingEnabled(true);
     if (args.command == "list")
         return cmdList();
     if (args.command == "run")
@@ -397,6 +443,8 @@ main(int argc, char **argv)
         return cmdBias(args);
     if (args.command == "campaign")
         return cmdCampaign(args);
+    if (args.command == "obs-summary")
+        return cmdObsSummary(args);
     if (args.command == "causal")
         return cmdCausal(args);
     if (args.command == "variance")
