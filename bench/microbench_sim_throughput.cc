@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Throughput microbenchmark for this PR's two optimization layers:
+ *
+ *  1. raw interpreter speed — simulated instructions/second of the
+ *     plan-based fast path vs the reference interpreter on one image
+ *     (identical results, different wall-clock);
+ *  2. end-to-end campaign throughput — tasks/second of a fig3-style
+ *     environment-size sweep under the 2x2 matrix
+ *     {artifact cache on, off} x {fast path, reference interpreter}.
+ *
+ * The headline `speedup` compares the optimized engine (cache + fast
+ * path) against the pre-cache, pre-fast-path configuration (no cache +
+ * reference), i.e. the seed tree's behavior.  Human-readable progress
+ * goes to stderr; stdout is exactly one JSON document, which
+ * scripts/reproduce_all.sh captures as results/BENCH_sim.json.
+ *
+ * Timing methodology: each arm runs once to warm (and to verify the
+ * report is bitwise identical across arms), then best-of-kRounds
+ * timed runs are reported, which suppresses one-off scheduling noise
+ * the same way the repo's interleaved probes do.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "bench_args.hh"
+#include "campaign/engine.hh"
+#include "core/experiment.hh"
+#include "core/setup.hh"
+#include "sim/machine.hh"
+#include "sim/plan.hh"
+#include "toolchain/artifacts.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/registry.hh"
+
+using namespace mbias;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Simulated instructions/second of one interpreter on one image. */
+double
+rawInstsPerSec(const toolchain::ProcessImage &image, bool fast)
+{
+    sim::Machine machine(sim::MachineConfig::core2Like());
+    machine.setUseFastPath(fast);
+    auto warm = machine.run(image);
+    mbias_assert(warm.halted, "bench workload did not halt");
+    const double insts = double(warm.instructions());
+    constexpr int kRounds = 5, kReps = 6;
+    double best = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < kReps; ++r)
+            machine.run(image);
+        best = std::max(best, insts * kReps / secondsSince(t0));
+    }
+    return best;
+}
+
+struct ArmResult
+{
+    double tasksPerSec = 0.0;
+    double wallSeconds = 0.0;
+    std::uint64_t tasks = 0;
+    double sumSpeedup = 0.0; ///< campaign-result checksum across arms
+    toolchain::ArtifactCacheStats cacheStats;
+};
+
+/** One fig3-style env sweep under one (cache, interpreter) setting. */
+ArmResult
+campaignArm(bool cache_on, bool fast, unsigned jobs)
+{
+    // The interpreter toggle is the same process-wide escape hatch
+    // users have: MBIAS_SIM_REFERENCE pins runs to the reference
+    // interpreter and is re-read on every run().
+    if (fast)
+        ::unsetenv("MBIAS_SIM_REFERENCE");
+    else
+        ::setenv("MBIAS_SIM_REFERENCE", "1", 1);
+
+    std::vector<core::ExperimentSetup> setups;
+    for (std::uint64_t env = 0; env <= 4096; env += 40) {
+        core::ExperimentSetup setup;
+        setup.envBytes = env;
+        setups.push_back(setup);
+    }
+    campaign::CampaignSpec cspec; // perl on core2like by default
+    cspec.withSetups(setups);
+    campaign::CampaignOptions opts;
+    opts.jobs = jobs;
+    opts.artifactCache = cache_on;
+
+    ArmResult out;
+    constexpr int kRounds = 3;
+    for (int round = 0; round < kRounds; ++round) {
+        // Every round starts from a cold process-wide state, so the
+        // arm includes the cache-fill cost it would pay in a real
+        // campaign (and the cache-off arm can't hit stale entries).
+        toolchain::ArtifactCache::global().clear();
+        sim::PlanCache::global().clear();
+        // stats() counters are cumulative over the process; diff
+        // around the run to attribute hits/misses to this round.
+        const auto before = toolchain::ArtifactCache::global().stats();
+        const auto t0 = std::chrono::steady_clock::now();
+        auto report = campaign::CampaignEngine(cspec, opts).run();
+        const double wall = secondsSince(t0);
+        if (out.tasks == 0) {
+            out.tasks = report.stats.totalTasks;
+            for (const auto &o : report.bias.outcomes)
+                out.sumSpeedup += o.speedup;
+        }
+        if (out.wallSeconds == 0.0 || wall < out.wallSeconds) {
+            out.wallSeconds = wall;
+            auto s = toolchain::ArtifactCache::global().stats();
+            s.compileHits -= before.compileHits;
+            s.compileMisses -= before.compileMisses;
+            s.linkHits -= before.linkHits;
+            s.linkMisses -= before.linkMisses;
+            s.imageHits -= before.imageHits;
+            s.imageMisses -= before.imageMisses;
+            s.evictions -= before.evictions;
+            out.cacheStats = s;
+        }
+    }
+    ::unsetenv("MBIAS_SIM_REFERENCE");
+    out.tasksPerSec = double(out.tasks) / out.wallSeconds;
+    return out;
+}
+
+double
+hitRate(std::uint64_t hits, std::uint64_t misses)
+{
+    const std::uint64_t total = hits + misses;
+    return total ? double(hits) / double(total) : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned jobs = benchutil::jobsFromArgs(argc, argv);
+
+    std::fprintf(stderr, "sim throughput microbench (jobs=%u)\n", jobs);
+
+    // Part 1: raw interpreter throughput on one loaded image.
+    const auto &w = workloads::findWorkload("perl");
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    auto prog = toolchain::Linker().link(cc.compile(w.build({})));
+    toolchain::LoaderConfig lc;
+    lc.envBytes = 1024;
+    const auto image = toolchain::Loader::load(std::move(prog), lc);
+    const double refIps = rawInstsPerSec(image, false);
+    const double fastIps = rawInstsPerSec(image, true);
+    std::fprintf(stderr,
+                 "  interpreter: fast %.1f Mi/s, reference %.1f Mi/s "
+                 "(%.2fx)\n",
+                 fastIps / 1e6, refIps / 1e6, fastIps / refIps);
+
+    // Part 2: the 2x2 campaign matrix.  Arms differ only in engine
+    // plumbing, so their campaign results must agree exactly.
+    const ArmResult optimized = campaignArm(true, true, jobs);
+    const ArmResult cacheOnly = campaignArm(true, false, jobs);
+    const ArmResult fastOnly = campaignArm(false, true, jobs);
+    const ArmResult seedLike = campaignArm(false, false, jobs);
+    for (const ArmResult *arm : {&cacheOnly, &fastOnly, &seedLike})
+        mbias_assert(arm->sumSpeedup == optimized.sumSpeedup &&
+                         arm->tasks == optimized.tasks,
+                     "campaign results must not depend on cache or "
+                     "interpreter choice");
+
+    const double speedup =
+        optimized.tasksPerSec / seedLike.tasksPerSec;
+    std::fprintf(stderr,
+                 "  campaign: cache+fast %.1f tasks/s, seed-like %.1f "
+                 "tasks/s -> speedup %.2fx\n",
+                 optimized.tasksPerSec, seedLike.tasksPerSec, speedup);
+
+    const auto &cs = optimized.cacheStats;
+    std::printf("{\n");
+    std::printf("  \"jobs\": %u,\n", jobs);
+    std::printf("  \"interpreter\": {\n");
+    std::printf("    \"fast_insts_per_sec\": %.0f,\n", fastIps);
+    std::printf("    \"reference_insts_per_sec\": %.0f,\n", refIps);
+    std::printf("    \"ratio\": %.4f\n", fastIps / refIps);
+    std::printf("  },\n");
+    std::printf("  \"campaign_env_sweep\": {\n");
+    std::printf("    \"tasks\": %llu,\n",
+                (unsigned long long)optimized.tasks);
+    auto arm = [](const char *name, const ArmResult &r, bool comma) {
+        std::printf("    \"%s\": {\"tasks_per_sec\": %.2f, "
+                    "\"wall_seconds\": %.4f}%s\n",
+                    name, r.tasksPerSec, r.wallSeconds,
+                    comma ? "," : "");
+    };
+    arm("cache_fast", optimized, true);
+    arm("cache_reference", cacheOnly, true);
+    arm("nocache_fast", fastOnly, true);
+    arm("nocache_reference", seedLike, true);
+    std::printf("    \"cache_hit_rates\": {\"compile\": %.4f, "
+                "\"link\": %.4f, \"image\": %.4f}\n",
+                hitRate(cs.compileHits, cs.compileMisses),
+                hitRate(cs.linkHits, cs.linkMisses),
+                hitRate(cs.imageHits, cs.imageMisses));
+    std::printf("  },\n");
+    std::printf("  \"speedup\": %.4f\n", speedup);
+    std::printf("}\n");
+    return 0;
+}

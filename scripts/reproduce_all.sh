@@ -49,6 +49,14 @@ for b in "$BUILD"/bench/*; do
             "$name" "$JOBS" "$(echo "$end $start" | awk '{print $1-$2}')" \
             "$metrics" >> results/BENCH_campaign.json
         ;;
+      microbench_sim_throughput)
+        # Prints progress on stderr and one JSON document on stdout:
+        # the artifact-cache x interpreter throughput matrix.
+        "$b" --jobs "$JOBS" 2>&1 >results/BENCH_sim.json \
+            | tee -a results/bench_output.txt
+        echo "sim throughput: results/BENCH_sim.json" \
+            | tee -a results/bench_output.txt
+        ;;
       *)
         "$b" 2>&1 | tee -a results/bench_output.txt
         ;;

@@ -15,6 +15,7 @@
 #include "campaign/threadpool.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "toolchain/artifacts.hh"
 
 namespace mbias::campaign
 {
@@ -185,12 +186,31 @@ CampaignEngine::run()
             store->writeHeader(provenance);
     }
 
+    // All workers materialize setups through the shared artifact
+    // cache (unless disabled); its hit/miss/byte counters land in
+    // this run's registry for the duration of the run.
+    toolchain::ArtifactCache &artifacts =
+        toolchain::ArtifactCache::global();
+    if (opts_.artifactCache)
+        artifacts.attachMetrics(&metrics);
+    // The cache is process-global and the registry is per-run: detach
+    // on every exit path, before the registry dies.
+    struct DetachMetrics
+    {
+        toolchain::ArtifactCache *cache;
+        ~DetachMetrics()
+        {
+            if (cache)
+                cache->attachMetrics(nullptr);
+        }
+    } detachMetrics{opts_.artifactCache ? &artifacts : nullptr};
+
     ThreadPool pool(opts_.jobs, &metrics);
     ResultCache cache(&metrics);
     std::vector<core::RunOutcome> results(tasks.size());
-    // One runner per worker: the runner's compile cache is
-    // single-thread-only (its documented contract), and compilation
-    // is deterministic, so per-worker caches cannot diverge.
+    // One runner per worker: with the shared artifact cache runners
+    // are cheap handles; without it each keeps a private compile memo
+    // that must stay on its own thread.
     std::vector<std::unique_ptr<core::ExperimentRunner>> runners(
         pool.jobs());
     std::atomic<std::uint64_t> executed{0};
@@ -235,6 +255,8 @@ CampaignEngine::run()
             runners[w] = std::make_unique<core::ExperimentRunner>(
                 spec_.experiment);
             runners[w]->setMetrics(&metrics);
+            runners[w]->setArtifactCache(
+                opts_.artifactCache ? &artifacts : nullptr);
         }
         const auto execStart = std::chrono::steady_clock::now();
         const TaskResult r = executeTask(*runners[w], task);

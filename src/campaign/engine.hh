@@ -40,6 +40,17 @@ struct CampaignOptions
      * interactive ttys; off by default.
      */
     bool progress = false;
+
+    /**
+     * Materialize setups through the process-wide toolchain
+     * ArtifactCache, so all workers share one compile per toolchain,
+     * one link per (modules, order), and one layout per (program,
+     * environment).  Artifacts are immutable and the toolchain is
+     * deterministic, so results are bitwise-identical either way —
+     * off (`--no-artifact-cache`) re-links and re-loads per task,
+     * which is the benchmark's pre-cache baseline.
+     */
+    bool artifactCache = true;
 };
 
 /**

@@ -1,7 +1,7 @@
 #include "core/runner.hh"
 
 #include <chrono>
-#include <optional>
+#include <utility>
 
 #include "base/logging.hh"
 #include "obs/trace.hh"
@@ -27,7 +27,7 @@ microsSince(std::chrono::steady_clock::time_point t0)
 } // namespace
 
 ExperimentRunner::ExperimentRunner(ExperimentSpec spec)
-    : spec_(std::move(spec))
+    : spec_(std::move(spec)), artifacts_(&toolchain::ArtifactCache::global())
 {
 }
 
@@ -40,35 +40,69 @@ ExperimentRunner::setMetrics(obs::Registry *metrics)
         metrics ? &metrics->histogram("runner.run_us") : nullptr;
 }
 
-void
-ExperimentRunner::bindThread()
+toolchain::ModulesPtr
+ExperimentRunner::compiledModules(const toolchain::ToolchainSpec &tc)
 {
-    const auto self = std::this_thread::get_id();
-    if (owner_ == std::thread::id()) {
-        owner_ = self;
-        return;
+    auto produce = [&]() -> std::vector<isa::Module> {
+        obs::ScopedSpan span("compile", "runner");
+        if (compileCounter_)
+            compileCounter_->add();
+        const auto &w = workloads::findWorkload(spec_.workload);
+        toolchain::Compiler cc(tc.vendor, tc.level);
+        return cc.compile(w.build(spec_.workloadConfig));
+    };
+    if (artifacts_) {
+        // The key carries every compile input; compilation is
+        // deterministic, so the inputs identify the output.
+        const std::string key =
+            spec_.workload + '|' +
+            std::to_string(spec_.workloadConfig.scale) + '|' +
+            std::to_string(spec_.workloadConfig.seed) + '|' +
+            std::to_string(int(tc.vendor)) + '|' +
+            std::to_string(int(tc.level));
+        return artifacts_->compiled(key, produce);
     }
-    mbias_assert(owner_ == self,
-                 "ExperimentRunner used from two threads; the compile "
-                 "cache is not synchronized — give each worker its own "
-                 "runner (see the class comment)");
+    const auto key = std::make_pair(int(tc.vendor), int(tc.level));
+    auto it = localModules_.find(key);
+    if (it != localModules_.end())
+        return it->second;
+    auto mods = std::make_shared<toolchain::CompiledModules>();
+    mods->modules = produce();
+    return localModules_.emplace(key, std::move(mods)).first->second;
 }
 
-const std::vector<isa::Module> &
-ExperimentRunner::compiled(const toolchain::ToolchainSpec &tc)
+toolchain::ProgramPtr
+ExperimentRunner::linkedProgram(const toolchain::ToolchainSpec &tc,
+                                const toolchain::LinkOrder &order)
 {
-    bindThread();
-    const auto key = std::make_pair(int(tc.vendor), int(tc.level));
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
-    obs::ScopedSpan span("compile", "runner");
-    if (compileCounter_)
-        compileCounter_->add();
-    const auto &w = workloads::findWorkload(spec_.workload);
-    toolchain::Compiler cc(tc.vendor, tc.level);
-    auto mods = cc.compile(w.build(spec_.workloadConfig));
-    return cache_.emplace(key, std::move(mods)).first->second;
+    auto mods = compiledModules(tc);
+    if (artifacts_)
+        return artifacts_->linked(mods, order);
+    toolchain::Linker linker;
+    return std::make_shared<const toolchain::LinkedProgram>(
+        linker.link(mods->modules, order));
+}
+
+toolchain::LoaderConfig
+ExperimentRunner::loaderConfigFor(const ExperimentSetup &setup) const
+{
+    toolchain::LoaderConfig lc;
+    lc.envBytes = setup.envBytes;
+    if (spAlign_)
+        lc.spAlign = spAlign_;
+    return lc;
+}
+
+toolchain::ProcessImage
+ExperimentRunner::materialize(const toolchain::ToolchainSpec &tc,
+                              const ExperimentSetup &setup)
+{
+    obs::ScopedSpan span("setup-materialize", "runner");
+    auto prog = linkedProgram(tc, setup.linkOrder);
+    const toolchain::LoaderConfig lc = loaderConfigFor(setup);
+    if (artifacts_)
+        return artifacts_->image(prog, lc);
+    return toolchain::Loader::load(std::move(prog), lc);
 }
 
 sim::RunResult
@@ -76,23 +110,11 @@ ExperimentRunner::runSide(const toolchain::ToolchainSpec &tc,
                           const ExperimentSetup &setup,
                           bool treatment_side)
 {
-    // Phase 1: materialize the setup (compile-on-miss, link in this
-    // setup's order, load with this setup's environment block).
-    std::optional<obs::ScopedSpan> materialize;
-    materialize.emplace("setup-materialize", "runner");
-    toolchain::Linker linker;
-    auto prog = linker.link(compiled(tc), setup.linkOrder);
-    toolchain::LoaderConfig lc;
-    lc.envBytes = setup.envBytes;
-    if (spAlign_)
-        lc.spAlign = spAlign_;
-    auto image = toolchain::Loader::load(std::move(prog), lc);
-    materialize.reset();
+    auto image = materialize(tc, setup);
     const sim::MachineConfig &mc =
         treatment_side && spec_.treatmentMachine ? *spec_.treatmentMachine
                                                  : spec_.machine;
     sim::Machine machine(mc);
-    // Phase 2: the measured simulation itself.
     obs::ScopedSpan runSpan("run", "runner");
     const auto t0 = std::chrono::steady_clock::now();
     auto rr = machine.run(image);
@@ -109,13 +131,7 @@ ExperimentRunner::repeatedMetric(const toolchain::ToolchainSpec &tc,
                                  std::uint64_t noise_seed_base)
 {
     mbias_assert(reps >= 1, "need at least one repetition");
-    toolchain::Linker linker;
-    auto prog = linker.link(compiled(tc), setup.linkOrder);
-    toolchain::LoaderConfig lc;
-    lc.envBytes = setup.envBytes;
-    if (spAlign_)
-        lc.spAlign = spAlign_;
-    auto image = toolchain::Loader::load(std::move(prog), lc);
+    auto image = materialize(tc, setup);
     sim::Machine machine(spec_.machine);
     stats::Sample out;
     for (unsigned r = 0; r < reps; ++r) {
@@ -134,20 +150,20 @@ ExperimentRunner::aslrRandomizedMetric(const toolchain::ToolchainSpec &tc,
                                        std::uint64_t aslr_seed_base)
 {
     mbias_assert(reps >= 1, "need at least one repetition");
-    std::optional<obs::ScopedSpan> materialize;
-    materialize.emplace("setup-materialize", "runner");
-    toolchain::Linker linker;
-    auto prog = linker.link(compiled(tc), setup.linkOrder);
-    materialize.reset();
+    toolchain::ProgramPtr prog;
+    {
+        obs::ScopedSpan span("setup-materialize", "runner");
+        prog = linkedProgram(tc, setup.linkOrder);
+    }
     stats::Sample out;
     sim::Machine machine(spec_.machine);
     obs::ScopedSpan runSpan("run", "runner");
     for (unsigned r = 0; r < reps; ++r) {
-        toolchain::LoaderConfig lc;
-        lc.envBytes = setup.envBytes;
+        // Each rep loads under a fresh ASLR seed; these one-shot
+        // layouts bypass the artifact cache on purpose (they would
+        // only displace reusable entries).
+        toolchain::LoaderConfig lc = loaderConfigFor(setup);
         lc.aslrSeed = aslr_seed_base + r;
-        if (spAlign_)
-            lc.spAlign = spAlign_;
         auto image = toolchain::Loader::load(prog, lc);
         const auto t0 = std::chrono::steady_clock::now();
         auto rr = machine.run(image);

@@ -2,7 +2,6 @@
 #define MBIAS_CORE_RUNNER_HH
 
 #include <map>
-#include <thread>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -10,6 +9,7 @@
 #include "obs/metrics.hh"
 #include "sim/machine.hh"
 #include "stats/sample.hh"
+#include "toolchain/artifacts.hh"
 
 namespace mbias::core
 {
@@ -29,18 +29,21 @@ struct RunOutcome
 };
 
 /**
- * Executes an ExperimentSpec under chosen setups: builds the workload,
- * compiles baseline and treatment once each (modules are cached), and
- * links/loads/runs per setup.
+ * Executes an ExperimentSpec under chosen setups: materializes each
+ * setup (compile, link in the setup's order, load with the setup's
+ * environment block) through the shared toolchain ArtifactCache, then
+ * runs baseline and treatment on the simulator.
  *
- * Thread-safety contract: a runner is stateful (the lazily populated
- * compile cache) and must only ever be used from ONE thread — give
- * each worker of a parallel campaign its own runner (compilation is
- * deterministic, so per-worker caches cannot diverge).  The contract
- * is enforced: the runner binds to the first thread that runs with it
- * and panics if a second thread shows up.  Constructing on one thread
- * and handing off to a single worker is fine; binding happens at
- * first use, not construction.
+ * By default runners pull artifacts from ArtifactCache::global(), so
+ * every worker of a parallel campaign shares one compile per
+ * (workload, toolchain) and one link per (modules, order) no matter
+ * how tasks are scheduled — the toolchain is deterministic and cached
+ * artifacts are immutable, so results are identical to recomputing.
+ * setArtifactCache(nullptr) opts out: the runner then keeps only a
+ * private per-toolchain compile memo and re-links/re-loads per task
+ * (the pre-cache behavior, kept as the benchmark baseline).  In that
+ * mode the private memo is unsynchronized, so keep the runner on one
+ * thread — which the campaign engine does anyway (runner per worker).
  */
 class ExperimentRunner
 {
@@ -95,6 +98,17 @@ class ExperimentRunner
     void setSpAlignOverride(std::uint64_t align) { spAlign_ = align; }
 
     /**
+     * Selects the artifact cache the runner materializes setups
+     * through.  Defaults to ArtifactCache::global(); nullptr disables
+     * cross-stage sharing (see the class comment).  @p cache must
+     * outlive the runner.
+     */
+    void setArtifactCache(toolchain::ArtifactCache *cache)
+    {
+        artifacts_ = cache;
+    }
+
+    /**
      * Attaches a metrics registry: the runner then counts
      * `runner.compiles` and records `runner.run_us` per simulated
      * side.  @p metrics must outlive the runner; nullptr detaches.
@@ -104,18 +118,36 @@ class ExperimentRunner
     void setMetrics(obs::Registry *metrics);
 
   private:
-    const std::vector<isa::Module> &
-    compiled(const toolchain::ToolchainSpec &tc);
+    /** Compiled modules of one side: shared cache or private memo. */
+    toolchain::ModulesPtr
+    compiledModules(const toolchain::ToolchainSpec &tc);
 
-    /** Enforces the one-thread contract (see class comment). */
-    void bindThread();
+    /** The program of (@p tc, @p order): cached link or fresh link. */
+    toolchain::ProgramPtr
+    linkedProgram(const toolchain::ToolchainSpec &tc,
+                  const toolchain::LinkOrder &order);
+
+    /** The setup's LoaderConfig (envBytes + sp-align override). */
+    toolchain::LoaderConfig
+    loaderConfigFor(const ExperimentSetup &setup) const;
+
+    /**
+     * Materializes one setup end to end — compile on miss, link in
+     * the setup's order, load with the setup's environment block —
+     * one definition for every run flavor above.
+     */
+    toolchain::ProcessImage
+    materialize(const toolchain::ToolchainSpec &tc,
+                const ExperimentSetup &setup);
 
     ExperimentSpec spec_;
     std::uint64_t spAlign_ = 0;
     obs::Counter *compileCounter_ = nullptr;
     obs::Histogram *runHistogram_ = nullptr;
-    std::map<std::pair<int, int>, std::vector<isa::Module>> cache_;
-    std::thread::id owner_; ///< bound on first use; empty = unbound
+    toolchain::ArtifactCache *artifacts_;
+
+    /** Per-toolchain compile memo for the cache-off mode only. */
+    std::map<std::pair<int, int>, toolchain::ModulesPtr> localModules_;
 };
 
 } // namespace mbias::core

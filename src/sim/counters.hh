@@ -56,6 +56,9 @@ class PerfCounters
   public:
     PerfCounters() { counts_.fill(0); }
 
+    /** Bitwise equality over all counters (differential testing). */
+    bool operator==(const PerfCounters &) const = default;
+
     std::uint64_t get(Counter c) const { return counts_[index(c)]; }
     void inc(Counter c, std::uint64_t by = 1) { counts_[index(c)] += by; }
     void set(Counter c, std::uint64_t v) { counts_[index(c)] = v; }

@@ -2,8 +2,10 @@
 
 #include "base/bitutils.hh"
 #include "base/random.hh"
+#include "sim/plan.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include "base/logging.hh"
 
 namespace mbias::sim
@@ -15,6 +17,15 @@ using toolchain::PlacedInst;
 
 namespace
 {
+
+/** MBIAS_SIM_REFERENCE=1 pins every run to the reference interpreter
+ *  (re-read per run, so one process can compare both paths). */
+bool
+referenceForced()
+{
+    const char *e = std::getenv("MBIAS_SIM_REFERENCE");
+    return e && *e && !(e[0] == '0' && e[1] == '\0');
+}
 
 std::unique_ptr<uarch::BranchPredictor>
 makePredictor(const MachineConfig &c)
@@ -29,6 +40,92 @@ makePredictor(const MachineConfig &c)
     }
     mbias_panic("bad predictor kind");
 }
+
+/**
+ * Fast-path twin of uarch::Cache's line touch with a packed slot
+ * array: same geometry, same MRU-ordered hit/replacement decisions,
+ * but one uint64 per way — (tag << 1) | valid — instead of parallel
+ * vector<uint64> / vector<bool>, so the way scan and the MRU shift
+ * are plain word moves.  Starting from the same (reset) state, every
+ * access returns exactly what Cache::accessLine would, so the
+ * counters derived from it are bitwise identical; only the reference
+ * interpreter's own Cache instances accumulate internal hit/miss
+ * statistics, which nothing outside the machine observes.
+ */
+struct ShadowCache
+{
+    unsigned shift;
+    unsigned ways;
+    std::uint64_t setMask;
+    /** slots[set * ways + way] = (tag << 1) | 1, MRU-first; 0 empty. */
+    std::vector<std::uint64_t> slots;
+
+    explicit ShadowCache(const uarch::CacheConfig &c)
+        : shift(floorLog2(c.lineBytes)), ways(c.ways), setMask(c.sets - 1),
+          slots(std::size_t(c.sets) * c.ways, 0)
+    {
+    }
+
+    bool access(Addr addr)
+    {
+        const std::uint64_t tag = addr >> shift;
+        const std::uint64_t key = (tag << 1) | 1;
+        std::uint64_t *base = slots.data() + std::size_t(tag & setMask) * ways;
+        for (unsigned w = 0; w < ways; ++w) {
+            if (base[w] == key) {
+                for (unsigned k = w; k > 0; --k)
+                    base[k] = base[k - 1];
+                base[0] = key;
+                return true;
+            }
+        }
+        for (unsigned k = ways - 1; k > 0; --k)
+            base[k] = base[k - 1];
+        base[0] = key;
+        return false;
+    }
+};
+
+/** Fast-path twin of uarch::Tlb (fully associative, LRU): one packed
+ *  (vpn << 1) | valid word per entry, same MRU-ordered decisions. */
+struct ShadowTlb
+{
+    unsigned entries;
+    std::vector<std::uint64_t> slots; ///< MRU-first; 0 empty
+
+    explicit ShadowTlb(const uarch::TlbConfig &c)
+        : entries(c.entries), slots(c.entries, 0)
+    {
+    }
+
+    bool touch(std::uint64_t vpn)
+    {
+        const std::uint64_t key = (vpn << 1) | 1;
+        std::uint64_t *s = slots.data();
+        for (unsigned e = 0; e < entries; ++e) {
+            if (s[e] == key) {
+                for (unsigned k = e; k > 0; --k)
+                    s[k] = s[k - 1];
+                s[0] = key;
+                return true;
+            }
+        }
+        for (unsigned k = entries - 1; k > 0; --k)
+            s[k] = s[k - 1];
+        s[0] = key;
+        return false;
+    }
+
+    unsigned accessVpns(std::uint64_t first_vpn, std::uint64_t last_vpn)
+    {
+        unsigned miss_count = 0;
+        if (!touch(first_vpn))
+            ++miss_count;
+        if (last_vpn != first_vpn && !touch(last_vpn))
+            ++miss_count;
+        return miss_count;
+    }
+};
 
 } // namespace
 
@@ -186,6 +283,16 @@ RunResult
 Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
              const NoiseModel &noise, Profile *profile)
 {
+#if MBIAS_SIM_FASTPATH_ENABLED
+    // The fast path handles the common campaign case: deterministic,
+    // unprofiled runs.  Noise injection and per-function profiling
+    // read per-instruction state the fast lanes skip, so those runs
+    // stay on the reference interpreter.
+    if (useFastPath_ && !noise.enabled && !profile && !referenceForced())
+        return runFast(image, max_insts,
+                       *PlanCache::global().get(image.program));
+#endif
+
     // Cold start: deterministic from the image alone.
     icache_.reset();
     dcache_.reset();
@@ -196,7 +303,7 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
     btb_.reset();
     storeBuffer_.reset();
 
-    const toolchain::LinkedProgram &prog = image.program;
+    const toolchain::LinkedProgram &prog = image.prog();
     mbias_assert(!prog.code.empty(), "empty program");
 
     RunResult rr;
@@ -561,6 +668,792 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
         idx = next;
     }
 
+    ctrs.set(Counter::Cycles, pipe.now);
+    ctrs.set(Counter::Instructions, icount);
+    rr.halted = halted;
+    rr.result = regs[isa::reg::a0];
+    return rr;
+}
+
+
+RunResult
+Machine::runFast(const toolchain::ProcessImage &image,
+                 std::uint64_t max_insts, const ExecutionPlan &plan)
+{
+    // The contract of this function is bitwise equality with the
+    // reference interpreter above (noise disabled, no profile): it
+    // performs the same component accesses in the same order with the
+    // same arguments, so every counter and the cycle count match
+    // exactly.  What changes is the bookkeeping around them:
+    //
+    //  - dense pre-decoded operands (DecodedOp) instead of PlacedInst
+    //    records, and an O(1) return-address table;
+    //  - direct-threaded dispatch: every handler ends with its own
+    //    computed goto, so the host branch predictor learns per-opcode
+    //    successor patterns instead of sharing one switch jump;
+    //  - the uarch components' header-inline hot twins (accessLineHot,
+    //    accessVpnsHot, recordStoreHot, ...), devirtualized predictor
+    //    calls, and hot config fields hoisted into locals;
+    //  - functional memory through a small direct-mapped table of page
+    //    pointers instead of a hash lookup per access.
+    //
+    // Keep every simulated effect in lockstep with run() when touching
+    // either.
+
+    // Only the components the fast loop actually drives need a reset:
+    // the predictor and BTB are shared with the reference path (their
+    // hot twins mutate the real tables).  The caches, TLBs and store
+    // buffer are replaced wholesale by the shadows below — nothing
+    // observes their state here, and run() resets them on entry.
+    predictor_->reset();
+    btb_.reset();
+
+    const toolchain::LinkedProgram &prog = image.prog();
+    mbias_assert(!prog.code.empty(), "empty program");
+    mbias_assert(plan.ops.size() == prog.code.size(),
+                 "execution plan does not match the program");
+
+    RunResult rr;
+    PerfCounters &ctrs = rr.counters;
+
+    SparseMemory mem;
+    mem.writeBlock(prog.dataBase, prog.dataInit);
+
+    std::array<std::uint64_t, isa::reg::numRegs> regs{};
+    regs[isa::reg::sp] = image.initialSp;
+    regs[isa::reg::gp] = image.gp;
+    regs[isa::reg::hp] = image.heapBase;
+
+    Pipeline pipe;
+
+    // Hot configuration, hoisted: the reference re-reads these through
+    // config_ around opaque calls; here they live in registers.
+    const bool model_blocks = config_.enableFetchBlockModel;
+    const bool caches_on = config_.enableCaches;
+    const bool tlbs_on = config_.enableTlbs;
+    const unsigned fetch_width = config_.fetchWidth;
+    const Addr fetch_block_bytes = config_.fetchBlockBytes;
+    const Addr iline = config_.icache.lineBytes;
+    const Cycles i_miss_pen = config_.icache.missPenalty;
+    const Cycles l2_miss_pen = config_.l2.missPenalty;
+    const unsigned ipage_shift = itlb_.pageShift(); // Tlb asserts pow2
+    const Cycles itlb_miss_pen = config_.itlb.missPenalty;
+    const Addr dline = config_.dcache.lineBytes;
+    const Cycles d_hit_lat = config_.dcache.hitLatency;
+    const Cycles d_miss_pen = config_.dcache.missPenalty;
+    const unsigned dpage_shift = dtlb_.pageShift();
+    const Cycles dtlb_miss_pen = config_.dtlb.missPenalty;
+    const bool prefetch_on = config_.enableNextLinePrefetch;
+    const bool split_pen_on = config_.enableLineSplitPenalty;
+    const Cycles split_pen = config_.lineSplitPenalty;
+    const bool sb_alias_on = config_.enableStoreBufferAliasing;
+    const Cycles alias_pen = config_.aliasPenalty;
+    const Cycles ooo_window = config_.oooWindowCycles;
+    const Cycles mul_lat = config_.intMulLatency;
+    const Cycles div_lat = config_.intDivLatency;
+    const bool bp_on = config_.enableBranchPrediction;
+    const bool btb_on = config_.enableBtb;
+    const Cycles mispredict_pen = config_.branchMispredictPenalty;
+    const Cycles btb_miss_pen = config_.btbMissPenalty;
+
+    // The predictor's concrete type is fixed by the config the
+    // instance was built from; resolve it once so every branch calls
+    // the non-virtual hot twins.
+    uarch::GsharePredictor *gshare = nullptr;
+    uarch::BimodalPredictor *bimodal = nullptr;
+    if (config_.predictor == PredictorKind::Gshare)
+        gshare = static_cast<uarch::GsharePredictor *>(predictor_.get());
+    else
+        bimodal = static_cast<uarch::BimodalPredictor *>(predictor_.get());
+
+    // Packed-layout twins of the caches and TLBs (see ShadowCache):
+    // freshly constructed = freshly reset, so their access outcomes —
+    // the only thing the counters observe — match the reference's
+    // components access for access.
+    ShadowCache s_icache(config_.icache);
+    ShadowCache s_dcache(config_.dcache);
+    ShadowCache s_l2(config_.l2);
+    ShadowTlb s_itlb(config_.itlb);
+    ShadowTlb s_dtlb(config_.dtlb);
+
+    // Store-buffer twin in SoA layout: same ring order, same head
+    // rotation, same expiry and forwarding rules as StoreBuffer, but
+    // the masked addresses sit in their own dense array, so the common
+    // no-possible-alias case is one branchless scan of it; only a
+    // masked match runs the exact per-entry check.  ~0 marks an empty
+    // slot (masked addresses are <= alias_mask, so it never matches).
+    const unsigned sb_entries = storeBuffer_.entries();
+    const std::uint64_t alias_mask = storeBuffer_.aliasMask();
+    const std::uint64_t sb_max_age = storeBuffer_.maxAge();
+    std::vector<std::uint64_t> sb_masked(sb_entries, ~std::uint64_t(0));
+    std::vector<Addr> sb_addr(sb_entries, 0);
+    std::vector<std::uint32_t> sb_size(sb_entries, 0);
+    std::vector<std::uint64_t> sb_icount(sb_entries, 0);
+    unsigned sb_head = 0;
+    const bool sb_bitmap_ok = sb_entries <= 32; ///< bitmap fits a word
+
+    // Inverted index over the masked addresses: sb_index[m] is the
+    // bitmap of ring slots currently holding masked address m, kept
+    // incrementally by the store path.  It turns the per-load scan of
+    // all slots into one table read; the bit order is ring-slot order,
+    // so the first-match walk below is unchanged.  Only worth the
+    // table for the realistic alias-window sizes (<= 16 bits).
+    const bool sb_index_ok =
+        sb_bitmap_ok && alias_mask < (std::uint64_t(1) << 16);
+    std::vector<std::uint32_t> sb_index(
+        sb_index_ok ? std::size_t(alias_mask) + 1 : 0, 0);
+
+    // Exact transcription of StoreBuffer::loadAliases over the shadow
+    // arrays: the first live, unexpired, masked-matching entry in ring
+    // order decides (clean covering forwarding is free, anything else
+    // stalls), exactly as the reference scan does.
+    auto sb_aliases = [&](Addr addr, unsigned size)
+        __attribute__((noinline)) -> bool {
+        const std::uint64_t want = addr & alias_mask;
+        for (unsigned i = 0; i < sb_entries; ++i) {
+            if (sb_masked[i] != want ||
+                sb_icount[i] + sb_max_age < pipe.icount)
+                continue;
+            return !(sb_addr[i] == addr && sb_size[i] >= size);
+        }
+        return false;
+    };
+
+    auto set_reg = [&](isa::Reg rd, std::uint64_t v, Cycles ready)
+        __attribute__((always_inline)) {
+        if (rd != isa::reg::zero) {
+            regs[rd] = v;
+            pipe.regReady[rd] = ready;
+        }
+    };
+    auto wait_for = [&](isa::Reg r) __attribute__((always_inline)) {
+        const Cycles ready = pipe.regReady[r];
+        if (ready > pipe.now) {
+            const Cycles stall = ready - pipe.now;
+            const Cycles hidden = std::min<Cycles>(stall, ooo_window);
+            const Cycles exposed = stall - hidden;
+            if (exposed) {
+                pipe.now += exposed;
+                ctrs.inc(Counter::StallCycles, exposed);
+            }
+        }
+    };
+
+    // Sequential fetch mostly stays within the current line and page;
+    // the new-line / new-page work is kept out of line so only the
+    // cheap comparisons are replicated per dispatch site.
+    auto icache_touch = [&](Addr line) __attribute__((noinline)) {
+        if (!s_icache.access(line)) {
+            ctrs.inc(Counter::IcacheMisses);
+            pipe.now += i_miss_pen;
+            if (!s_l2.access(line)) {
+                ctrs.inc(Counter::L2Misses);
+                pipe.now += l2_miss_pen;
+            }
+        }
+    };
+    auto itlb_touch = [&](Addr pc, unsigned size) __attribute__((noinline)) {
+        const unsigned misses = s_itlb.accessVpns(
+            pc >> ipage_shift, (pc + size - 1) >> ipage_shift);
+        if (misses) {
+            ctrs.inc(Counter::ItlbMisses, misses);
+            pipe.now += misses * itlb_miss_pen;
+        }
+    };
+
+    // Transcription of fetchAccounting() over the hoisted locals; the
+    // ITLB page number reduces to a shift for power-of-two page sizes
+    // where the reference divides every instruction.
+    auto fetch = [&](Addr pc, unsigned size) __attribute__((always_inline)) {
+        const bool new_group = pipe.forceNewGroup || pipe.groupSlots == 0 ||
+                               (model_blocks && pc >= pipe.groupBlockEnd);
+        if (new_group) {
+            pipe.now += 1;
+            ctrs.inc(Counter::FetchGroups);
+            pipe.groupSlots = fetch_width;
+            pipe.groupBlockEnd =
+                model_blocks
+                    ? alignDown(pc, fetch_block_bytes) + fetch_block_bytes
+                    : ~Addr(0);
+            pipe.forceNewGroup = false;
+        }
+        pipe.groupSlots -= 1;
+        if (model_blocks && pc + size > pipe.groupBlockEnd)
+            pipe.groupSlots = 0;
+
+        if (caches_on) {
+            const Addr first = alignDown(pc, iline);
+            const Addr last = alignDown(pc + size - 1, iline);
+            for (Addr line = first; line <= last; line += iline) {
+                if (line == pipe.lastCodeLine)
+                    continue;
+                pipe.lastCodeLine = line;
+                icache_touch(line);
+            }
+        }
+        if (tlbs_on) {
+            const Addr page = pc >> ipage_shift;
+            if (page != pipe.lastCodePage) {
+                pipe.lastCodePage = page;
+                itlb_touch(pc, size);
+            }
+        }
+    };
+
+    // L1D miss path (L2, optional next-line prefetch), out of line.
+    auto dcache_miss = [&](Addr line) __attribute__((noinline)) -> Cycles {
+        Cycles lat = d_miss_pen;
+        if (!s_l2.access(line)) {
+            ctrs.inc(Counter::L2Misses);
+            lat += l2_miss_pen;
+        }
+        if (prefetch_on) {
+            // Background fill of the next line; no demand latency, but
+            // it can pollute (and be perturbed by) set placement.
+            ctrs.inc(Counter::PrefetchesIssued);
+            s_dcache.access(line + dline);
+            s_l2.access(line + dline);
+        }
+        return lat;
+    };
+
+    // Transcription of memoryAccess(): same component accesses in the
+    // same order, through the inline hot twins.  is_store is constant
+    // at every call site, so the branches fold away.
+    auto mem_access = [&](Addr addr, unsigned size, bool is_store)
+        __attribute__((always_inline)) -> Cycles {
+        Cycles lat = is_store ? 0 : d_hit_lat;
+
+        if (tlbs_on) {
+            const unsigned misses = s_dtlb.accessVpns(
+                addr >> dpage_shift, (addr + size - 1) >> dpage_shift);
+            if (misses) {
+                ctrs.inc(Counter::DtlbMisses, misses);
+                lat += misses * dtlb_miss_pen;
+            }
+        }
+
+        const Addr first = alignDown(addr, dline);
+        const Addr last = alignDown(addr + size - 1, dline);
+        if (caches_on) {
+            for (Addr line = first; line <= last; line += dline) {
+                if (!s_dcache.access(line)) {
+                    ctrs.inc(Counter::DcacheMisses);
+                    lat += dcache_miss(line);
+                }
+            }
+        }
+        if (last != first) {
+            ctrs.inc(Counter::LineSplits);
+            if (split_pen_on)
+                lat += split_pen;
+        }
+
+        if (is_store) {
+            // A line-crossing store occupies the store port for an
+            // extra cycle (a structural resource the OoO window cannot
+            // hide).
+            if (last != first && split_pen_on)
+                pipe.now += 1;
+            if (sb_index_ok) {
+                const std::uint64_t old = sb_masked[sb_head];
+                if (old != ~std::uint64_t(0))
+                    sb_index[old] &= ~(std::uint32_t(1) << sb_head);
+                sb_index[addr & alias_mask] |=
+                    std::uint32_t(1) << sb_head;
+            }
+            sb_masked[sb_head] = addr & alias_mask;
+            sb_addr[sb_head] = addr;
+            sb_size[sb_head] = size;
+            sb_icount[sb_head] = pipe.icount;
+            if (++sb_head == sb_entries)
+                sb_head = 0;
+            return 0; // the store buffer otherwise hides store latency
+        }
+        if (sb_alias_on) {
+            const std::uint64_t want = addr & alias_mask;
+            if (sb_bitmap_ok) {
+                // The masked-match bitmap comes straight from the
+                // inverted index (or one scan pass when the window is
+                // too wide for a table); the first unexpired match in
+                // ring order then decides, exactly like the reference
+                // scan (expired matches are skipped, the scan
+                // continues).
+                std::uint32_t match;
+                if (sb_index_ok) {
+                    match = sb_index[want];
+                } else {
+                    const std::uint64_t *sbm = sb_masked.data();
+                    match = 0;
+                    for (unsigned i = 0; i < sb_entries; ++i)
+                        match |= std::uint32_t(sbm[i] == want) << i;
+                }
+                while (match) {
+                    const unsigned i = unsigned(std::countr_zero(match));
+                    match &= match - 1;
+                    if (sb_icount[i] + sb_max_age >= pipe.icount) {
+                        if (!(sb_addr[i] == addr && sb_size[i] >= size)) {
+                            ctrs.inc(Counter::AliasStalls);
+                            lat += alias_pen;
+                        }
+                        break;
+                    }
+                }
+            } else if (sb_aliases(addr, size)) {
+                ctrs.inc(Counter::AliasStalls);
+                lat += alias_pen;
+            }
+        }
+        return lat;
+    };
+
+    // Functional memory through a small direct-mapped memo of page
+    // data pointers: the reference pays a hash lookup on every access;
+    // here only a page's first touch does (pointers stay valid until
+    // clear() — pages are never freed).  Values are assembled exactly
+    // like SparseMemory::read/write; cross-page accesses fall back.
+    constexpr Addr page_bytes = SparseMemory::page_bytes;
+    struct ReadMemo
+    {
+        Addr vpn = ~Addr(0);
+        const std::uint8_t *data = nullptr;
+    };
+    struct WriteMemo
+    {
+        Addr vpn = ~Addr(0);
+        std::uint8_t *data = nullptr;
+    };
+    std::array<ReadMemo, 8> rmemo{};
+    std::array<WriteMemo, 8> wmemo{};
+
+    auto mem_read = [&](Addr addr, unsigned size)
+        __attribute__((always_inline)) -> std::uint64_t {
+        const Addr off = addr & (page_bytes - 1);
+        if (off + size <= page_bytes) {
+            const Addr vpn = addr / page_bytes;
+            ReadMemo &m = rmemo[vpn & 7];
+            if (m.vpn != vpn) {
+                // Absent pages are read as zero and not memoized (a
+                // later store may allocate them).
+                const std::uint8_t *p = mem.pageDataIfPresent(addr);
+                if (!p)
+                    return 0;
+                m.vpn = vpn;
+                m.data = p;
+            }
+            const std::uint8_t *b = m.data + off;
+            switch (size) {
+              case 1:
+                return b[0];
+              case 2:
+                return std::uint64_t(b[0]) | std::uint64_t(b[1]) << 8;
+              case 4:
+                return std::uint64_t(b[0]) | std::uint64_t(b[1]) << 8 |
+                       std::uint64_t(b[2]) << 16 | std::uint64_t(b[3]) << 24;
+              default:
+                return std::uint64_t(b[0]) | std::uint64_t(b[1]) << 8 |
+                       std::uint64_t(b[2]) << 16 | std::uint64_t(b[3]) << 24 |
+                       std::uint64_t(b[4]) << 32 | std::uint64_t(b[5]) << 40 |
+                       std::uint64_t(b[6]) << 48 | std::uint64_t(b[7]) << 56;
+            }
+        }
+        return mem.read(addr, size);
+    };
+    auto mem_write = [&](Addr addr, unsigned size, std::uint64_t value)
+        __attribute__((always_inline)) {
+        const Addr off = addr & (page_bytes - 1);
+        if (off + size <= page_bytes) {
+            const Addr vpn = addr / page_bytes;
+            WriteMemo &m = wmemo[vpn & 7];
+            if (m.vpn != vpn) {
+                m.vpn = vpn;
+                m.data = mem.pageData(addr);
+            }
+            std::uint8_t *b = m.data + off;
+            switch (size) {
+              case 8:
+                b[7] = std::uint8_t(value >> 56);
+                b[6] = std::uint8_t(value >> 48);
+                b[5] = std::uint8_t(value >> 40);
+                b[4] = std::uint8_t(value >> 32);
+                [[fallthrough]];
+              case 4:
+                b[3] = std::uint8_t(value >> 24);
+                b[2] = std::uint8_t(value >> 16);
+                [[fallthrough]];
+              case 2:
+                b[1] = std::uint8_t(value >> 8);
+                [[fallthrough]];
+              default:
+                b[0] = std::uint8_t(value);
+            }
+            return;
+        }
+        mem.write(addr, size, value);
+    };
+
+    const DecodedOp *const ops = plan.ops.data();
+
+    std::uint64_t icount = 0;
+    std::uint32_t idx = image.entryIdx;
+    bool halted = false;
+    const DecodedOp *d = nullptr;
+
+    // Shared tail of every conditional branch (reference order:
+    // BranchesExecuted, predict+train, then the taken path).
+    auto do_branch = [&](const DecodedOp &b, bool taken)
+        __attribute__((always_inline)) {
+        ctrs.inc(Counter::BranchesExecuted);
+        if (bp_on) {
+            bool pred;
+            if (gshare) {
+                pred = gshare->predictHot(b.pc);
+                gshare->updateHot(b.pc, taken);
+            } else {
+                pred = bimodal->predictHot(b.pc);
+                bimodal->updateHot(b.pc, taken);
+            }
+            if (pred != taken) {
+                ctrs.inc(Counter::BranchMispredicts);
+                pipe.now += mispredict_pen;
+                pipe.forceNewGroup = true;
+            }
+        }
+        if (taken) {
+            ctrs.inc(Counter::TakenBranches);
+            const Addr target = ops[b.targetIdx].pc;
+            if (btb_on && !btb_.lookupAndUpdateHot(b.pc, target)) {
+                ctrs.inc(Counter::BtbMisses);
+                pipe.now += btb_miss_pen;
+            }
+            pipe.forceNewGroup = true;
+            idx = b.targetIdx;
+        } else {
+            ++idx;
+        }
+    };
+
+    // Handler addresses indexed by Opcode value; order must match the
+    // enum exactly (plan.cc validated every op at build time).
+    static const void *const kDispatch[] = {
+        &&op_add, &&op_sub, &&op_mul, &&op_divu, &&op_remu, &&op_and,
+        &&op_or, &&op_xor, &&op_sll, &&op_srl, &&op_sra, &&op_slt,
+        &&op_sltu, &&op_addi, &&op_andi, &&op_ori, &&op_xori, &&op_slli,
+        &&op_srli, &&op_srai, &&op_slti, &&op_li, &&op_la, &&op_ld,
+        &&op_ld, &&op_ld, &&op_ld, &&op_st, &&op_st, &&op_st, &&op_st,
+        &&op_beq, &&op_bne, &&op_blt, &&op_bge, &&op_bltu, &&op_bgeu,
+        &&op_jmp, &&op_call, &&op_ret, &&op_nop, &&op_halt,
+    };
+    static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                      std::size_t(Opcode::NumOpcodes),
+                  "dispatch table out of sync with the opcode enum");
+
+// One budget check + fetch + threaded jump between every pair of
+// instructions; each expansion gives its handler a private dispatch
+// branch.
+#define MBIAS_DISPATCH()                                                    \
+    do {                                                                    \
+        if (__builtin_expect(icount >= max_insts, 0))                       \
+            goto run_done;                                                  \
+        d = ops + idx;                                                      \
+        ++icount;                                                           \
+        fetch(d->pc, d->size);                                              \
+        goto *kDispatch[std::size_t(d->op)];                                \
+    } while (0)
+
+    MBIAS_DISPATCH();
+
+  op_add:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] + regs[d->rs2], pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_sub:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] - regs[d->rs2], pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_mul:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] * regs[d->rs2], pipe.now + mul_lat);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_divu: {
+      wait_for(d->rs1);
+      wait_for(d->rs2);
+      const std::uint64_t a = regs[d->rs1];
+      const std::uint64_t b = regs[d->rs2];
+      set_reg(d->rd, b == 0 ? ~std::uint64_t(0) : a / b, pipe.now + div_lat);
+      ++idx;
+      MBIAS_DISPATCH();
+  }
+
+  op_remu: {
+      wait_for(d->rs1);
+      wait_for(d->rs2);
+      const std::uint64_t a = regs[d->rs1];
+      const std::uint64_t b = regs[d->rs2];
+      set_reg(d->rd, b == 0 ? a : a % b, pipe.now + div_lat);
+      ++idx;
+      MBIAS_DISPATCH();
+  }
+
+  op_and:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] & regs[d->rs2], pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_or:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] | regs[d->rs2], pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_xor:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] ^ regs[d->rs2], pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_sll:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] << (regs[d->rs2] & 63), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_srl:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] >> (regs[d->rs2] & 63), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_sra:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd,
+            std::uint64_t(std::int64_t(regs[d->rs1]) >> (regs[d->rs2] & 63)),
+            pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_slt:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd,
+            std::int64_t(regs[d->rs1]) < std::int64_t(regs[d->rs2]) ? 1 : 0,
+            pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_sltu:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    set_reg(d->rd, regs[d->rs1] < regs[d->rs2] ? 1 : 0, pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_addi:
+    wait_for(d->rs1);
+    set_reg(d->rd, regs[d->rs1] + std::uint64_t(d->imm), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_andi:
+    wait_for(d->rs1);
+    set_reg(d->rd, regs[d->rs1] & std::uint64_t(d->imm), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_ori:
+    wait_for(d->rs1);
+    set_reg(d->rd, regs[d->rs1] | std::uint64_t(d->imm), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_xori:
+    wait_for(d->rs1);
+    set_reg(d->rd, regs[d->rs1] ^ std::uint64_t(d->imm), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_slli:
+    wait_for(d->rs1);
+    set_reg(d->rd, regs[d->rs1] << (std::uint64_t(d->imm) & 63),
+            pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_srli:
+    wait_for(d->rs1);
+    set_reg(d->rd, regs[d->rs1] >> (std::uint64_t(d->imm) & 63),
+            pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_srai:
+    wait_for(d->rs1);
+    set_reg(d->rd,
+            std::uint64_t(std::int64_t(regs[d->rs1]) >>
+                          (std::uint64_t(d->imm) & 63)),
+            pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_slti:
+    wait_for(d->rs1);
+    set_reg(d->rd, std::int64_t(regs[d->rs1]) < d->imm ? 1 : 0,
+            pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_li:
+    set_reg(d->rd, std::uint64_t(d->imm), pipe.now + 1);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_ld: {
+      wait_for(d->rs1);
+      const unsigned size = d->accessSize;
+      const Addr addr = regs[d->rs1] + std::uint64_t(d->imm);
+      ctrs.inc(Counter::Loads);
+      pipe.icount = icount; // only memory ops observe it
+      const Cycles lat = mem_access(addr, size, false);
+      set_reg(d->rd, mem_read(addr, size), pipe.now + lat);
+      ++idx;
+      MBIAS_DISPATCH();
+  }
+
+  op_st: {
+      wait_for(d->rs1);
+      wait_for(d->rd); // data register
+      const unsigned size = d->accessSize;
+      const Addr addr = regs[d->rs1] + std::uint64_t(d->imm);
+      ctrs.inc(Counter::Stores);
+      pipe.icount = icount;
+      mem_access(addr, size, true);
+      mem_write(addr, size, regs[d->rd]);
+      ++idx;
+      MBIAS_DISPATCH();
+  }
+
+  op_beq:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    do_branch(*d, regs[d->rs1] == regs[d->rs2]);
+    MBIAS_DISPATCH();
+
+  op_bne:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    do_branch(*d, regs[d->rs1] != regs[d->rs2]);
+    MBIAS_DISPATCH();
+
+  op_blt:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    do_branch(*d, std::int64_t(regs[d->rs1]) < std::int64_t(regs[d->rs2]));
+    MBIAS_DISPATCH();
+
+  op_bge:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    do_branch(*d, std::int64_t(regs[d->rs1]) >= std::int64_t(regs[d->rs2]));
+    MBIAS_DISPATCH();
+
+  op_bltu:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    do_branch(*d, regs[d->rs1] < regs[d->rs2]);
+    MBIAS_DISPATCH();
+
+  op_bgeu:
+    wait_for(d->rs1);
+    wait_for(d->rs2);
+    do_branch(*d, regs[d->rs1] >= regs[d->rs2]);
+    MBIAS_DISPATCH();
+
+  op_jmp: {
+      const Addr target = ops[d->targetIdx].pc;
+      if (btb_on && !btb_.lookupAndUpdateHot(d->pc, target)) {
+          ctrs.inc(Counter::BtbMisses);
+          pipe.now += btb_miss_pen;
+      }
+      pipe.forceNewGroup = true;
+      idx = d->targetIdx;
+      MBIAS_DISPATCH();
+  }
+
+  op_call: {
+      wait_for(isa::reg::sp);
+      ctrs.inc(Counter::Calls);
+      const Addr new_sp = regs[isa::reg::sp] - 8;
+      const Addr ret_addr = d->pc + d->size;
+      ctrs.inc(Counter::Stores);
+      pipe.icount = icount;
+      mem_access(new_sp, 8, true);
+      mem_write(new_sp, 8, ret_addr);
+      set_reg(isa::reg::sp, new_sp, pipe.now + 1);
+      const Addr target = ops[d->targetIdx].pc;
+      if (btb_on && !btb_.lookupAndUpdateHot(d->pc, target)) {
+          ctrs.inc(Counter::BtbMisses);
+          pipe.now += btb_miss_pen;
+      }
+      pipe.forceNewGroup = true;
+      idx = d->targetIdx;
+      MBIAS_DISPATCH();
+  }
+
+  op_ret: {
+      wait_for(isa::reg::sp);
+      const Addr sp = regs[isa::reg::sp];
+      ctrs.inc(Counter::Loads);
+      pipe.icount = icount;
+      // Return-address stack: the target is predicted perfectly, so
+      // the load latency is off the critical path, but the access
+      // still exercises the cache/TLB.
+      mem_access(sp, 8, false);
+      const Addr ret_addr = mem_read(sp, 8);
+      set_reg(isa::reg::sp, sp + 8, pipe.now + 1);
+      // O(1) return-address table, same domain as the reference's
+      // addrToIdx hash map.
+      const Addr off = ret_addr - plan.codeBase;
+      std::uint32_t t = ExecutionPlan::kNoIndex;
+      if (off < plan.idxByOffset.size())
+          t = plan.idxByOffset[std::size_t(off)];
+      mbias_assert(t != ExecutionPlan::kNoIndex,
+                   "corrupted return address 0x", std::hex, ret_addr);
+      pipe.forceNewGroup = true;
+      idx = t;
+      MBIAS_DISPATCH();
+  }
+
+  op_nop:
+    ctrs.inc(Counter::NopsExecuted);
+    ++idx;
+    MBIAS_DISPATCH();
+
+  op_halt:
+    halted = true;
+    goto run_done;
+
+  op_la:
+    mbias_panic("unresolved La reached the simulator");
+
+#undef MBIAS_DISPATCH
+
+  run_done:
     ctrs.set(Counter::Cycles, pipe.now);
     ctrs.set(Counter::Instructions, icount);
     rr.halted = halted;

@@ -19,12 +19,17 @@
 namespace mbias::sim
 {
 
+struct ExecutionPlan; // sim/plan.hh
+
 /** Outcome of one simulated program run. */
 struct RunResult
 {
     PerfCounters counters;
     bool halted = false;        ///< reached Halt (vs. hit maxInsts)
     std::uint64_t result = 0;   ///< value of a0 (x10) at Halt
+
+    /** Bitwise equality over every counter — the fast path's contract. */
+    bool operator==(const RunResult &) const = default;
 
     Cycles cycles() const { return counters.get(Counter::Cycles); }
     std::uint64_t instructions() const
@@ -49,6 +54,16 @@ struct RunResult
  *
  * Determinism: given the same ProcessImage and config, run() returns
  * bit-identical results.  All components start cold on each run().
+ *
+ * Two interpreters implement run().  The *reference* interpreter walks
+ * the linker's PlacedInst records directly; the *fast path* walks a
+ * cached ExecutionPlan (sim/plan.hh) — dense pre-decoded operands, a
+ * straight-line lane for simple runs, an O(1) return-address table —
+ * performing the identical component accesses in the identical order,
+ * so its RunResult is bitwise equal by construction.  The fast path is
+ * taken only for noise-free, unprofiled runs; it can be disabled per
+ * machine (setUseFastPath(false)), per process (MBIAS_SIM_REFERENCE=1
+ * in the environment), or at build time (-DMBIAS_SIM_FASTPATH=OFF).
  */
 class Machine
 {
@@ -65,8 +80,17 @@ class Machine
 
     const MachineConfig &config() const { return config_; }
 
+    /** Selects the plan-based fast interpreter (default on; results
+     *  are bitwise identical either way). */
+    void setUseFastPath(bool on) { useFastPath_ = on; }
+    bool useFastPath() const { return useFastPath_; }
+
   private:
     struct Pipeline; // per-run timing state
+
+    /** The plan-based interpreter behind run(); see class comment. */
+    RunResult runFast(const toolchain::ProcessImage &image,
+                      std::uint64_t max_insts, const ExecutionPlan &plan);
 
     /** Charges fetch/decode costs for the instruction at @p pc. */
     void fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
@@ -86,6 +110,8 @@ class Machine
     std::unique_ptr<uarch::BranchPredictor> predictor_;
     uarch::Btb btb_;
     uarch::StoreBuffer storeBuffer_;
+
+    bool useFastPath_ = true;
 };
 
 } // namespace mbias::sim

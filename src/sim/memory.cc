@@ -70,6 +70,19 @@ SparseMemory::writeBlock(Addr addr, const std::vector<std::uint8_t> &bytes)
         touchPage(addr + i)[(addr + i) % page_bytes] = bytes[i];
 }
 
+std::uint8_t *
+SparseMemory::pageData(Addr addr)
+{
+    return touchPage(addr).data();
+}
+
+const std::uint8_t *
+SparseMemory::pageDataIfPresent(Addr addr) const
+{
+    const Page *p = findPage(addr);
+    return p && !p->empty() ? p->data() : nullptr;
+}
+
 void
 SparseMemory::clear()
 {

@@ -31,6 +31,20 @@ class SparseMemory
     /** Bulk-copies @p bytes into memory starting at @p addr. */
     void writeBlock(Addr addr, const std::vector<std::uint8_t> &bytes);
 
+    /**
+     * Raw data of the page containing @p addr, allocated (zero-filled)
+     * if absent.  Fast-path accessor: the simulator's hot loop memoizes
+     * the returned pointer per page, skipping the hash lookup that
+     * read()/write() repeat on every access.  Pointers stay valid until
+     * clear() — pages are never freed and a rehash moves only the
+     * vector headers, not their heap buffers.
+     */
+    std::uint8_t *pageData(Addr addr);
+
+    /** Same, without allocating: nullptr if the page was never
+     *  touched (its bytes all read as zero). */
+    const std::uint8_t *pageDataIfPresent(Addr addr) const;
+
     /** Releases all pages. */
     void clear();
 

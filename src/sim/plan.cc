@@ -1,0 +1,232 @@
+#include "sim/plan.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mbias::sim
+{
+
+using isa::Opcode;
+
+namespace
+{
+
+/** Simple = no memory access, no control flow. */
+bool
+isSimple(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Divu:
+      case Opcode::Remu:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Slti:
+      case Opcode::Li:
+      case Opcode::Nop:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+hasTarget(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+      case Opcode::Jmp:
+      case Opcode::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+ExecutionPlan::approxBytes() const
+{
+    return sizeof(ExecutionPlan) + ops.size() * sizeof(DecodedOp) +
+           blockStarts.size() * sizeof(std::uint32_t) +
+           idxByOffset.size() * sizeof(std::uint32_t);
+}
+
+std::shared_ptr<const ExecutionPlan>
+ExecutionPlan::build(std::shared_ptr<const toolchain::LinkedProgram> program)
+{
+    mbias_assert(program, "cannot build a plan for a null program");
+    const toolchain::LinkedProgram &prog = *program;
+    const std::size_t n = prog.code.size();
+
+    auto plan = std::make_shared<ExecutionPlan>();
+    plan->codeBase = prog.codeBase;
+
+    plan->ops.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const toolchain::PlacedInst &pi = prog.code[i];
+        // The fast interpreter jumps through a handler table indexed
+        // by the opcode with no default case, so reject out-of-range
+        // ops here rather than there.
+        mbias_assert(std::size_t(pi.inst.op) <
+                         std::size_t(Opcode::NumOpcodes),
+                     "bad opcode in linked program");
+        DecodedOp &d = plan->ops[i];
+        d.pc = pi.pc;
+        d.imm = pi.inst.imm;
+        d.targetIdx = pi.targetIdx;
+        d.op = pi.inst.op;
+        d.rd = pi.inst.rd;
+        d.rs1 = pi.inst.rs1;
+        d.rs2 = pi.inst.rs2;
+        d.size = pi.size;
+        d.accessSize = std::uint8_t(isa::memAccessSize(pi.inst.op));
+    }
+
+    // Simple-run lengths, in one backward pass: a run ends at the
+    // first memory or control-flow instruction.
+    std::uint32_t run = 0;
+    for (std::size_t i = n; i-- > 0;) {
+        DecodedOp &d = plan->ops[i];
+        run = isSimple(d.op) ? std::min<std::uint32_t>(run + 1, 0xffff) : 0;
+        d.runLen = std::uint16_t(run);
+    }
+
+    // Basic-block leaders: entries, control-flow targets, fall-throughs.
+    std::vector<std::uint32_t> leaders;
+    leaders.reserve(prog.functions.size() * 4 + 1);
+    leaders.push_back(0);
+    for (const auto &fn : prog.functions)
+        leaders.push_back(fn.entryIdx);
+    for (std::size_t i = 0; i < n; ++i) {
+        const DecodedOp &d = plan->ops[i];
+        if (hasTarget(d.op))
+            leaders.push_back(d.targetIdx);
+        if (isControlFlow(d.op) && i + 1 < n)
+            leaders.push_back(std::uint32_t(i + 1));
+    }
+    std::sort(leaders.begin(), leaders.end());
+    leaders.erase(std::unique(leaders.begin(), leaders.end()),
+                  leaders.end());
+    plan->blockStarts = std::move(leaders);
+
+    // Return-address table over the code segment's byte range.
+    mbias_assert(prog.codeEnd >= prog.codeBase, "bad code extent");
+    plan->idxByOffset.assign(std::size_t(prog.codeEnd - prog.codeBase),
+                             kNoIndex);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr off = plan->ops[i].pc - prog.codeBase;
+        mbias_assert(off < plan->idxByOffset.size(),
+                     "instruction placed outside the code segment");
+        plan->idxByOffset[std::size_t(off)] = std::uint32_t(i);
+    }
+
+    plan->program = std::move(program);
+    return plan;
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity)
+{
+    mbias_assert(capacity > 0, "plan cache capacity must be nonzero");
+}
+
+PlanCache &
+PlanCache::global()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+std::shared_ptr<const ExecutionPlan>
+PlanCache::get(const std::shared_ptr<const toolchain::LinkedProgram> &program)
+{
+    mbias_assert(program, "plan lookup for a null program");
+    const void *key = program.get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++hits_;
+            return it->second->second;
+        }
+    }
+
+    // Build outside the lock; first insert wins on a racing miss.
+    auto plan = ExecutionPlan::build(program);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++misses_; // we did build one
+        return it->second->second;
+    }
+    lru_.emplace_front(key, std::move(plan));
+    map_.emplace(key, lru_.begin());
+    ++misses_;
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+    return lru_.front().second;
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Stats{hits_, misses_};
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+}
+
+} // namespace mbias::sim

@@ -1,0 +1,484 @@
+#include "toolchain/artifacts.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace mbias::toolchain
+{
+
+namespace
+{
+
+/** One FNV-1a stream; the 128-bit fingerprint runs two with different
+ *  offset bases so a collision must defeat both independently. */
+class Fnv
+{
+  public:
+    explicit Fnv(std::uint64_t offset) : h_(offset) {}
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_;
+};
+
+void
+hashInstruction(Fnv &f, const isa::Instruction &inst)
+{
+    f.u64(std::uint64_t(inst.op));
+    f.u64((std::uint64_t(inst.rd) << 16) | (std::uint64_t(inst.rs1) << 8) |
+          inst.rs2);
+    f.u64(std::uint64_t(inst.imm));
+    f.u64(std::uint64_t(std::int64_t(inst.target)));
+    f.str(inst.sym);
+}
+
+void
+hashModule(Fnv &f, const isa::Module &m)
+{
+    f.str(m.name());
+    f.u64(m.functions().size());
+    for (const auto &fn : m.functions()) {
+        f.str(fn.name());
+        f.u64(fn.alignment());
+        f.u64(fn.insts().size());
+        for (const auto &inst : fn.insts())
+            hashInstruction(f, inst);
+        f.u64(fn.numLabels());
+        for (std::size_t id = 0; id < fn.numLabels(); ++id)
+            f.u64(fn.labelTarget(std::int32_t(id)));
+    }
+    f.u64(m.globals().size());
+    for (const auto &g : m.globals()) {
+        f.str(g.name);
+        f.u64(g.size);
+        f.u64(g.alignment);
+        f.u64(g.init.size());
+        f.bytes(g.init.data(), g.init.size());
+    }
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+std::uint64_t
+linkerConfigFingerprint(const LinkerConfig &c)
+{
+    Fnv f(0xcbf29ce484222325ULL);
+    f.u64(c.codeBase);
+    f.u64(c.dataPageAlign);
+    f.u64(c.dataGap);
+    return f.value();
+}
+
+} // namespace
+
+std::pair<std::uint64_t, std::uint64_t>
+fingerprintModules(const std::vector<isa::Module> &modules)
+{
+    Fnv a(0xcbf29ce484222325ULL); // standard FNV-1a offset basis
+    Fnv b(0x9ae16a3b2f90404fULL); // an unrelated odd constant
+    a.u64(modules.size());
+    b.u64(modules.size());
+    for (const auto &m : modules) {
+        hashModule(a, m);
+        hashModule(b, m);
+    }
+    return {a.value(), b.value()};
+}
+
+std::uint64_t
+approxBytes(const std::vector<isa::Module> &modules)
+{
+    std::uint64_t n = 0;
+    for (const auto &m : modules) {
+        n += sizeof(isa::Module) + m.name().size();
+        for (const auto &fn : m.functions()) {
+            n += sizeof(isa::Function) + fn.name().size();
+            n += fn.numLabels() * (sizeof(std::uint32_t) +
+                                   sizeof(std::string));
+            for (const auto &inst : fn.insts())
+                n += sizeof(isa::Instruction) + inst.sym.capacity();
+        }
+        for (const auto &g : m.globals())
+            n += sizeof(isa::GlobalData) + g.name.size() + g.init.size();
+    }
+    return n;
+}
+
+std::uint64_t
+approxBytes(const LinkedProgram &prog)
+{
+    std::uint64_t n = sizeof(LinkedProgram);
+    for (const auto &pi : prog.code)
+        n += sizeof(PlacedInst) + pi.inst.sym.capacity();
+    for (const auto &fn : prog.functions)
+        n += sizeof(LinkedFunction) + fn.name.size();
+    for (const auto &g : prog.globals)
+        n += sizeof(LinkedGlobal) + g.name.size();
+    n += prog.dataInit.size();
+    // Hash maps: entry + bucket overhead per element, rounded up.
+    n += (prog.addrToIdx.size() + prog.functionByName.size() +
+          prog.globalByName.size()) *
+         48;
+    for (const auto &name : prog.moduleOrder)
+        n += sizeof(std::string) + name.size();
+    return n;
+}
+
+std::string
+ArtifactCacheStats::str() const
+{
+    std::ostringstream os;
+    os << "compile " << compileHits << "/" << compileHits + compileMisses
+       << " link " << linkHits << "/" << linkHits + linkMisses << " image "
+       << imageHits << "/" << imageHits + imageMisses << " evictions "
+       << evictions << " bytes " << bytes;
+    return os.str();
+}
+
+bool
+ArtifactCache::ImageKey::operator==(const ImageKey &o) const
+{
+    return prog == o.prog && entry == o.entry &&
+           config.envBytes == o.config.envBytes &&
+           config.spAlign == o.config.spAlign &&
+           config.stackTop == o.config.stackTop &&
+           config.argvReserve == o.config.argvReserve &&
+           config.heapGap == o.config.heapGap &&
+           config.aslrSeed == o.config.aslrSeed;
+}
+
+bool
+ArtifactCache::ImageKey::operator<(const ImageKey &o) const
+{
+    auto tie = [](const ImageKey &k) {
+        return std::tie(k.prog, k.config.envBytes, k.config.spAlign,
+                        k.config.stackTop, k.config.argvReserve,
+                        k.config.heapGap, k.config.aslrSeed, k.entry);
+    };
+    return tie(*this) < tie(o);
+}
+
+ArtifactCache::ArtifactCache(std::uint64_t byte_budget)
+    : byteBudget_(byte_budget)
+{
+    mbias_assert(byte_budget > 0, "artifact cache budget must be nonzero");
+}
+
+ArtifactCache &
+ArtifactCache::global()
+{
+    static ArtifactCache cache;
+    return cache;
+}
+
+void
+ArtifactCache::attachMetrics(obs::Registry *metrics)
+{
+    std::lock_guard<std::mutex> lock(metricsMutex_);
+    if (!metrics) {
+        cCompileHits_ = nullptr;
+        cCompileMisses_ = nullptr;
+        cLinkHits_ = nullptr;
+        cLinkMisses_ = nullptr;
+        cImageHits_ = nullptr;
+        cImageMisses_ = nullptr;
+        cEvictions_ = nullptr;
+        gBytes_ = nullptr;
+        return;
+    }
+    cCompileHits_ = &metrics->counter("artifacts.compile_hits");
+    cCompileMisses_ = &metrics->counter("artifacts.compile_misses");
+    cLinkHits_ = &metrics->counter("artifacts.link_hits");
+    cLinkMisses_ = &metrics->counter("artifacts.link_misses");
+    cImageHits_ = &metrics->counter("artifacts.image_hits");
+    cImageMisses_ = &metrics->counter("artifacts.image_misses");
+    cEvictions_ = &metrics->counter("artifacts.evictions");
+    obs::Gauge *g = &metrics->gauge("artifacts.bytes");
+    g->set(std::int64_t(bytes_.load(std::memory_order_relaxed)));
+    gBytes_ = g;
+}
+
+void
+ArtifactCache::count(std::atomic<std::uint64_t> &stat,
+                     const std::atomic<obs::Counter *> &c)
+{
+    stat.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter *counter = c.load(std::memory_order_relaxed))
+        counter->add();
+}
+
+void
+ArtifactCache::adjustBytes(std::int64_t delta)
+{
+    bytes_.fetch_add(std::uint64_t(delta), std::memory_order_relaxed);
+    if (obs::Gauge *g = gBytes_.load(std::memory_order_relaxed))
+        g->add(delta);
+}
+
+ArtifactCache::Shard &
+ArtifactCache::shardFor(std::uint64_t hash)
+{
+    return shards_[mix64(hash) & (kShards - 1)];
+}
+
+void
+ArtifactCache::touch(Shard &s, std::list<LruNode>::iterator it)
+{
+    s.lru.splice(s.lru.begin(), s.lru, it);
+}
+
+void
+ArtifactCache::insertNode(Shard &s, LruNode node,
+                          std::list<LruNode>::iterator &out)
+{
+    s.bytes += node.bytes;
+    adjustBytes(std::int64_t(node.bytes));
+    s.lru.push_front(std::move(node));
+    out = s.lru.begin();
+}
+
+void
+ArtifactCache::evictOver(Shard &s)
+{
+    const std::uint64_t shard_budget = byteBudget_ / kShards;
+    // Never evict the MRU entry: an artifact larger than the shard
+    // budget still gets cached (and replaced by the next insert)
+    // rather than thrashing on every lookup.
+    while (s.bytes > shard_budget && s.lru.size() > 1) {
+        const LruNode &victim = s.lru.back();
+        switch (victim.kind) {
+          case Kind::Compile:
+            s.compiles.erase(victim.compileKey);
+            break;
+          case Kind::Link:
+            s.links.erase(victim.linkKey);
+            break;
+          case Kind::Image:
+            s.images.erase(victim.imageKey);
+            break;
+        }
+        s.bytes -= victim.bytes;
+        adjustBytes(-std::int64_t(victim.bytes));
+        s.lru.pop_back();
+        count(evictions_, cEvictions_);
+    }
+}
+
+ModulesPtr
+ArtifactCache::compiled(const std::string &key,
+                        const std::function<std::vector<isa::Module>()>
+                            &produce)
+{
+    Shard &s = shardFor(std::hash<std::string>{}(key));
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.compiles.find(key);
+        if (it != s.compiles.end()) {
+            touch(s, it->second.lru);
+            count(compileHits_, cCompileHits_);
+            return it->second.value;
+        }
+    }
+
+    // Miss: compile outside the lock — compilation is deterministic,
+    // so a racing thread producing the same key yields an identical
+    // artifact and first-insert-wins below is sound.
+    auto built = std::make_shared<CompiledModules>();
+    built->modules = produce();
+    std::tie(built->fingerprintHi, built->fingerprintLo) =
+        fingerprintModules(built->modules);
+    built->bytes = approxBytes(built->modules) + sizeof(CompiledModules);
+    ModulesPtr value = std::move(built);
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.compiles.find(key);
+    if (it != s.compiles.end()) {
+        touch(s, it->second.lru);
+        count(compileMisses_, cCompileMisses_); // we did do the work
+        return it->second.value;
+    }
+    LruNode node;
+    node.kind = Kind::Compile;
+    node.compileKey = key;
+    node.bytes = value->bytes;
+    Entry<ModulesPtr> entry;
+    entry.value = value;
+    insertNode(s, std::move(node), entry.lru);
+    s.compiles.emplace(key, std::move(entry));
+    count(compileMisses_, cCompileMisses_);
+    evictOver(s);
+    return value;
+}
+
+ProgramPtr
+ArtifactCache::linked(const ModulesPtr &mods, const LinkOrder &order,
+                      const LinkerConfig &config)
+{
+    mbias_assert(mods, "linked(): null module set");
+    LinkKey key;
+    key.modHi = mods->fingerprintHi;
+    key.modLo = mods->fingerprintLo;
+    key.orderFp = order.fingerprint();
+    key.configFp = linkerConfigFingerprint(config);
+
+    Shard &s = shardFor(key.modHi ^ mix64(key.modLo) ^
+                        mix64(key.orderFp) ^ key.configFp);
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.links.find(key);
+        if (it != s.links.end()) {
+            touch(s, it->second.lru);
+            count(linkHits_, cLinkHits_);
+            return it->second.value;
+        }
+    }
+
+    Linker linker(config);
+    auto value = std::make_shared<const LinkedProgram>(
+        linker.link(mods->modules, order));
+    const std::uint64_t bytes = approxBytes(*value);
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.links.find(key);
+    if (it != s.links.end()) {
+        touch(s, it->second.lru);
+        count(linkMisses_, cLinkMisses_);
+        return it->second.value;
+    }
+    LruNode node;
+    node.kind = Kind::Link;
+    node.linkKey = key;
+    node.bytes = bytes;
+    Entry<ProgramPtr> entry;
+    entry.value = value;
+    insertNode(s, std::move(node), entry.lru);
+    s.links.emplace(key, std::move(entry));
+    count(linkMisses_, cLinkMisses_);
+    evictOver(s);
+    return value;
+}
+
+ProcessImage
+ArtifactCache::image(const ProgramPtr &prog, const LoaderConfig &config,
+                     const std::string &entry)
+{
+    mbias_assert(prog, "image(): null program");
+    ImageKey key;
+    key.prog = prog.get();
+    key.config = config;
+    key.entry = entry;
+
+    Shard &s = shardFor(
+        std::uint64_t(reinterpret_cast<std::uintptr_t>(prog.get())));
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.images.find(key);
+        if (it != s.images.end()) {
+            touch(s, it->second.lru);
+            count(imageHits_, cImageHits_);
+            const ImageLayout &l = it->second.value;
+            ProcessImage image;
+            image.program = prog;
+            image.loaderConfig = config;
+            image.initialSp = l.initialSp;
+            image.stackTop = l.stackTop;
+            image.heapBase = l.heapBase;
+            image.gp = l.gp;
+            image.entryIdx = l.entryIdx;
+            return image;
+        }
+    }
+
+    ProcessImage image = Loader::load(prog, config, entry);
+
+    ImageLayout layout;
+    layout.initialSp = image.initialSp;
+    layout.stackTop = image.stackTop;
+    layout.heapBase = image.heapBase;
+    layout.gp = image.gp;
+    layout.entryIdx = image.entryIdx;
+    layout.pin = prog;
+    const std::uint64_t bytes =
+        sizeof(ImageLayout) + sizeof(LruNode) + 2 * entry.size() + 64;
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.images.find(key) == s.images.end()) {
+        LruNode node;
+        node.kind = Kind::Image;
+        node.imageKey = key;
+        node.bytes = bytes;
+        Entry<ImageLayout> map_entry;
+        map_entry.value = std::move(layout);
+        insertNode(s, std::move(node), map_entry.lru);
+        s.images.emplace(std::move(key), std::move(map_entry));
+        evictOver(s);
+    }
+    count(imageMisses_, cImageMisses_);
+    return image;
+}
+
+ArtifactCacheStats
+ArtifactCache::stats() const
+{
+    ArtifactCacheStats st;
+    st.compileHits = compileHits_.load(std::memory_order_relaxed);
+    st.compileMisses = compileMisses_.load(std::memory_order_relaxed);
+    st.linkHits = linkHits_.load(std::memory_order_relaxed);
+    st.linkMisses = linkMisses_.load(std::memory_order_relaxed);
+    st.imageHits = imageHits_.load(std::memory_order_relaxed);
+    st.imageMisses = imageMisses_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.bytes = bytes_.load(std::memory_order_relaxed);
+    return st;
+}
+
+void
+ArtifactCache::clear()
+{
+    for (Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        adjustBytes(-std::int64_t(s.bytes));
+        s.bytes = 0;
+        s.compiles.clear();
+        s.links.clear();
+        s.images.clear();
+        s.lru.clear();
+    }
+}
+
+} // namespace mbias::toolchain

@@ -1,0 +1,254 @@
+#ifndef MBIAS_TOOLCHAIN_ARTIFACTS_HH
+#define MBIAS_TOOLCHAIN_ARTIFACTS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/module.hh"
+#include "obs/metrics.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/linkorder.hh"
+#include "toolchain/loader.hh"
+
+namespace mbias::toolchain
+{
+
+/**
+ * A compiled module set plus its identity: the immutable ".o files" of
+ * one (workload, config, vendor, opt level) compilation, annotated
+ * with a content fingerprint computed once at insertion time.  The
+ * fingerprint — not the compile key — is what downstream link
+ * artifacts are addressed by, so two compile keys that happen to
+ * produce identical modules share their links.
+ */
+struct CompiledModules
+{
+    std::vector<isa::Module> modules;
+
+    /** 128-bit content hash over every function, instruction, label,
+     *  and global of every module (two independent FNV-1a streams). */
+    std::uint64_t fingerprintHi = 0;
+    std::uint64_t fingerprintLo = 0;
+
+    /** Approximate heap footprint, for the cache's byte budget. */
+    std::uint64_t bytes = 0;
+};
+
+using ModulesPtr = std::shared_ptr<const CompiledModules>;
+using ProgramPtr = std::shared_ptr<const LinkedProgram>;
+
+/** Point-in-time accounting of one ArtifactCache. */
+struct ArtifactCacheStats
+{
+    std::uint64_t compileHits = 0;
+    std::uint64_t compileMisses = 0;
+    std::uint64_t linkHits = 0;
+    std::uint64_t linkMisses = 0;
+    std::uint64_t imageHits = 0;
+    std::uint64_t imageMisses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0; ///< current resident artifact bytes
+
+    std::string str() const;
+};
+
+/**
+ * A sharded, thread-safe, content-addressed cache for toolchain
+ * artifacts, shared by all workers of a campaign:
+ *
+ *  - **compiled module sets**, keyed by the caller's compile key
+ *    (workload + config + vendor + opt level — compilation is
+ *    deterministic, so the inputs identify the output);
+ *  - **linked programs**, keyed by (module content fingerprint, link
+ *    order fingerprint, linker config) — an env-size sweep whose 200
+ *    setups differ only in envBytes links each side once instead of
+ *    200 times;
+ *  - **loaded-image layout parameters**, keyed by (program identity,
+ *    LoaderConfig, entry) — repeated loads of one program under one
+ *    environment reduce to copying five precomputed addresses.
+ *
+ * Values are immutable and handed out as shared_ptr, so a cached
+ * linked program is *the same object* in every task that uses it
+ * (pointer-identical, hence trivially byte-identical) and doubles as
+ * a stable identity for the simulator's execution-plan cache.
+ *
+ * Eviction is LRU under a byte budget (per shard: budget / kShards).
+ * Each shard has its own mutex; the hot path is one lock, one map
+ * lookup, one list splice.  On a miss the producer runs *outside* the
+ * lock; if two threads race the same miss, the first insert wins and
+ * the loser adopts it — both outcomes are identical by determinism of
+ * the toolchain, so results never depend on the race.
+ *
+ * Metrics: with attachMetrics(), the cache maintains
+ * `artifacts.{compile,link,image}_{hits,misses}`,
+ * `artifacts.evictions` (counters) and `artifacts.bytes` (gauge).
+ * Stats are also available directly via stats() for harnesses that
+ * do not run a registry.
+ */
+class ArtifactCache
+{
+  public:
+    /** Default byte budget: plenty for every (vendor, level, order)
+     *  combination of the bundled suite, small next to the host. */
+    static constexpr std::uint64_t kDefaultByteBudget = 256ull << 20;
+
+    explicit ArtifactCache(std::uint64_t byte_budget = kDefaultByteBudget);
+
+    /** The process-wide cache campaign workers share. */
+    static ArtifactCache &global();
+
+    /**
+     * Attaches a metrics registry (nullptr detaches).  @p metrics must
+     * outlive the attachment; the campaign engine attaches its per-run
+     * registry for the duration of a run.
+     */
+    void attachMetrics(obs::Registry *metrics);
+
+    /**
+     * Returns the compiled modules for @p key, invoking @p produce on
+     * a miss.  @p key must capture every compile input (the runner
+     * uses "workload|scale|seed|vendor|level").
+     */
+    ModulesPtr compiled(const std::string &key,
+                        const std::function<std::vector<isa::Module>()>
+                            &produce);
+
+    /** Returns the linked program for (@p mods, @p order), linking on
+     *  a miss. */
+    ProgramPtr linked(const ModulesPtr &mods, const LinkOrder &order,
+                      const LinkerConfig &config = {});
+
+    /** Builds a ProcessImage over the shared @p prog, serving the
+     *  layout parameters from cache when this (program, config,
+     *  entry) was loaded before. */
+    ProcessImage image(const ProgramPtr &prog, const LoaderConfig &config,
+                       const std::string &entry = "main");
+
+    /** Current accounting (sums over shards; O(shards)). */
+    ArtifactCacheStats stats() const;
+
+    /** Drops every artifact (tests; not used on the hot path). */
+    void clear();
+
+    std::uint64_t byteBudget() const { return byteBudget_; }
+
+  private:
+    static constexpr unsigned kShards = 8;
+
+    /** Which artifact kind an LRU node refers to. */
+    enum class Kind
+    {
+        Compile,
+        Link,
+        Image,
+    };
+
+    struct LinkKey
+    {
+        std::uint64_t modHi = 0, modLo = 0;
+        std::uint64_t orderFp = 0;
+        std::uint64_t configFp = 0;
+        auto operator<=>(const LinkKey &) const = default;
+    };
+
+    struct ImageKey
+    {
+        const LinkedProgram *prog = nullptr;
+        LoaderConfig config;
+        std::string entry;
+        bool operator==(const ImageKey &o) const;
+        bool operator<(const ImageKey &o) const;
+    };
+
+    /** The cached layout parameters of one load. */
+    struct ImageLayout
+    {
+        Addr initialSp = 0, stackTop = 0, heapBase = 0, gp = 0;
+        std::uint32_t entryIdx = 0;
+        ProgramPtr pin; ///< keeps the keyed program pointer valid
+    };
+
+    struct LruNode
+    {
+        Kind kind;
+        std::string compileKey; ///< Kind::Compile
+        LinkKey linkKey;        ///< Kind::Link
+        ImageKey imageKey;      ///< Kind::Image
+        std::uint64_t bytes = 0;
+    };
+
+    template <typename V> struct Entry
+    {
+        V value;
+        std::list<LruNode>::iterator lru;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<LruNode> lru; ///< most-recently used at front
+        std::unordered_map<std::string, Entry<ModulesPtr>> compiles;
+        std::map<LinkKey, Entry<ProgramPtr>> links;
+        std::map<ImageKey, Entry<ImageLayout>> images;
+        std::uint64_t bytes = 0;
+    };
+
+    Shard &shardFor(std::uint64_t hash);
+    void touch(Shard &s, std::list<LruNode>::iterator it);
+    void insertNode(Shard &s, LruNode node,
+                    std::list<LruNode>::iterator &out);
+    void evictOver(Shard &s); ///< caller holds s.mutex
+    void count(std::atomic<std::uint64_t> &stat,
+               const std::atomic<obs::Counter *> &c);
+    void adjustBytes(std::int64_t delta);
+
+    std::uint64_t byteBudget_;
+    std::array<Shard, kShards> shards_;
+
+    std::atomic<std::uint64_t> compileHits_{0}, compileMisses_{0};
+    std::atomic<std::uint64_t> linkHits_{0}, linkMisses_{0};
+    std::atomic<std::uint64_t> imageHits_{0}, imageMisses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+
+    /**
+     * Metric handles, resolved once per attachMetrics() and read with
+     * relaxed atomics on the hot path (no lock).  attachMetrics() is
+     * expected not to race with cache use — the engine attaches before
+     * workers start and detaches after they join; a racing reader
+     * would only mis-route a handful of counts, never corrupt state.
+     */
+    std::mutex metricsMutex_; ///< serializes attachMetrics() calls
+    std::atomic<obs::Counter *> cCompileHits_{nullptr};
+    std::atomic<obs::Counter *> cCompileMisses_{nullptr};
+    std::atomic<obs::Counter *> cLinkHits_{nullptr};
+    std::atomic<obs::Counter *> cLinkMisses_{nullptr};
+    std::atomic<obs::Counter *> cImageHits_{nullptr};
+    std::atomic<obs::Counter *> cImageMisses_{nullptr};
+    std::atomic<obs::Counter *> cEvictions_{nullptr};
+    std::atomic<obs::Gauge *> gBytes_{nullptr};
+};
+
+/** Approximate heap footprint of a linked program (cache accounting). */
+std::uint64_t approxBytes(const LinkedProgram &prog);
+
+/** Approximate heap footprint of a module set (cache accounting). */
+std::uint64_t approxBytes(const std::vector<isa::Module> &modules);
+
+/** The 128-bit content fingerprint of a module set (see
+ *  CompiledModules; exposed for tests). */
+std::pair<std::uint64_t, std::uint64_t>
+fingerprintModules(const std::vector<isa::Module> &modules);
+
+} // namespace mbias::toolchain
+
+#endif // MBIAS_TOOLCHAIN_ARTIFACTS_HH

@@ -69,6 +69,24 @@ LinkOrder::permutation(const std::vector<std::string> &module_names) const
     return perm;
 }
 
+std::uint64_t
+LinkOrder::fingerprint() const
+{
+    // FNV-1a over the discriminating fields.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(std::uint64_t(kind_));
+    mix(seed_);
+    for (std::size_t p : perm_)
+        mix(p);
+    return h;
+}
+
 std::string
 LinkOrder::str() const
 {

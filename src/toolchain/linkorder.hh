@@ -51,6 +51,15 @@ class LinkOrder
     /** Short description, e.g. "shuffled(17)". */
     std::string str() const;
 
+    /**
+     * Stable 64-bit identity of this order (kind, seed, and — for
+     * Explicit orders — the full permutation).  Two orders with equal
+     * fingerprints place the same module list identically, which is
+     * what makes the fingerprint usable as an artifact-cache key
+     * component (see toolchain::ArtifactCache).
+     */
+    std::uint64_t fingerprint() const;
+
     bool operator==(const LinkOrder &) const = default;
 
   private:

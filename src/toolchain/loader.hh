@@ -2,6 +2,7 @@
 #define MBIAS_TOOLCHAIN_LOADER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,10 +56,16 @@ struct LoaderConfig
  * A process ready to run: the linked program plus the memory layout
  * decisions the loader made (stack placement, heap base, global
  * pointer).
+ *
+ * The program is held by shared_ptr and never copied per image: many
+ * images (one per environment size, say) can share one immutable
+ * linked program, which is what lets the artifact cache hand the same
+ * link result to every task of an env sweep — and what gives the
+ * simulator's execution-plan cache a stable identity to key on.
  */
 struct ProcessImage
 {
-    LinkedProgram program;
+    std::shared_ptr<const LinkedProgram> program;
     LoaderConfig loaderConfig;
 
     Addr initialSp = 0; ///< stack pointer at entry
@@ -68,6 +75,9 @@ struct ProcessImage
 
     /** Entry instruction index ("main"). */
     std::uint32_t entryIdx = 0;
+
+    /** The linked program (must be loaded). */
+    const LinkedProgram &prog() const { return *program; }
 
     /** Offset of the initial sp within a 4 KiB page. */
     std::uint64_t spPageOffset() const { return initialSp & 0xfff; }
@@ -83,6 +93,16 @@ class Loader
   public:
     /** Builds the image; @p entry names the entry function. */
     static ProcessImage load(LinkedProgram program,
+                             const LoaderConfig &config = {},
+                             const std::string &entry = "main");
+
+    /**
+     * Same, over an already-shared program: the image references
+     * @p program instead of copying it.  This is the overload the
+     * artifact cache uses — loading is then pure layout arithmetic,
+     * no O(code size) work.
+     */
+    static ProcessImage load(std::shared_ptr<const LinkedProgram> program,
                              const LoaderConfig &config = {},
                              const std::string &entry = "main");
 };

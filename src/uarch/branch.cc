@@ -21,25 +21,19 @@ BimodalPredictor::BimodalPredictor(unsigned table_bits)
 std::size_t
 BimodalPredictor::index(Addr pc) const
 {
-    // Variable-length ISA: no bits are guaranteed zero, use the low
-    // bits directly (as real fetch-address-indexed tables do).
-    return std::size_t(pc ^ (pc >> tableBits_)) & mask(tableBits_);
+    return indexHot(pc);
 }
 
 bool
 BimodalPredictor::predict(Addr pc) const
 {
-    return counters_[index(pc)] >= 2;
+    return predictHot(pc);
 }
 
 void
 BimodalPredictor::update(Addr pc, bool taken)
 {
-    std::uint8_t &c = counters_[index(pc)];
-    if (taken && c < 3)
-        ++c;
-    else if (!taken && c > 0)
-        --c;
+    updateHot(pc, taken);
 }
 
 void
@@ -65,25 +59,19 @@ GsharePredictor::GsharePredictor(unsigned table_bits, unsigned history_bits)
 std::size_t
 GsharePredictor::index(Addr pc) const
 {
-    const std::uint64_t h = history_ & mask(historyBits_);
-    return std::size_t((pc ^ (pc >> tableBits_) ^ h)) & mask(tableBits_);
+    return indexHot(pc);
 }
 
 bool
 GsharePredictor::predict(Addr pc) const
 {
-    return counters_[index(pc)] >= 2;
+    return predictHot(pc);
 }
 
 void
 GsharePredictor::update(Addr pc, bool taken)
 {
-    std::uint8_t &c = counters_[index(pc)];
-    if (taken && c < 3)
-        ++c;
-    else if (!taken && c > 0)
-        --c;
-    history_ = (history_ << 1) | (taken ? 1 : 0);
+    updateHot(pc, taken);
 }
 
 void
@@ -114,32 +102,7 @@ Btb::reset()
 bool
 Btb::lookupAndUpdate(Addr pc, Addr target)
 {
-    const std::size_t set = std::size_t(pc ^ (pc >> 16)) & (sets_ - 1);
-    const std::size_t base = set * ways_;
-    for (unsigned w = 0; w < ways_; ++w) {
-        Entry &e = entries_[base + w];
-        if (e.valid && e.pc == pc) {
-            const bool correct = e.target == target;
-            // Move to MRU and refresh the target.
-            Entry updated = e;
-            updated.target = target;
-            for (unsigned k = w; k > 0; --k)
-                entries_[base + k] = entries_[base + k - 1];
-            entries_[base] = updated;
-            if (correct) {
-                ++hits_;
-                return true;
-            }
-            ++misses_;
-            return false;
-        }
-    }
-    // Install at MRU.
-    for (unsigned k = ways_ - 1; k > 0; --k)
-        entries_[base + k] = entries_[base + k - 1];
-    entries_[base] = Entry{pc, target, true};
-    ++misses_;
-    return false;
+    return lookupAndUpdateHot(pc, target);
 }
 
 } // namespace mbias::uarch

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/bitutils.hh"
 #include "base/types.hh"
 
 namespace mbias::uarch
@@ -43,8 +44,31 @@ class BimodalPredictor : public BranchPredictor
     void update(Addr pc, bool taken) override;
     void reset() override;
 
+    /**
+     * Header-inline, non-virtual twins of predict()/update() for the
+     * simulator fast path (the virtual methods delegate here).  The
+     * fast path resolves the concrete predictor once per run and calls
+     * these directly, skipping the per-branch virtual dispatch.
+     */
+    bool predictHot(Addr pc) const { return counters_[indexHot(pc)] >= 2; }
+    void updateHot(Addr pc, bool taken)
+    {
+        std::uint8_t &c = counters_[indexHot(pc)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
   private:
     std::size_t index(Addr pc) const;
+
+    std::size_t indexHot(Addr pc) const
+    {
+        // Variable-length ISA: no bits are guaranteed zero, use the
+        // low bits directly (as real fetch-address-indexed tables do).
+        return std::size_t(pc ^ (pc >> tableBits_)) & mask(tableBits_);
+    }
 
     unsigned tableBits_;
     std::vector<std::uint8_t> counters_;
@@ -60,8 +84,26 @@ class GsharePredictor : public BranchPredictor
     void update(Addr pc, bool taken) override;
     void reset() override;
 
+    /** Non-virtual fast-path twins; see BimodalPredictor. */
+    bool predictHot(Addr pc) const { return counters_[indexHot(pc)] >= 2; }
+    void updateHot(Addr pc, bool taken)
+    {
+        std::uint8_t &c = counters_[indexHot(pc)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+    }
+
   private:
     std::size_t index(Addr pc) const;
+
+    std::size_t indexHot(Addr pc) const
+    {
+        const std::uint64_t h = history_ & mask(historyBits_);
+        return std::size_t((pc ^ (pc >> tableBits_) ^ h)) & mask(tableBits_);
+    }
 
     unsigned tableBits_;
     unsigned historyBits_;
@@ -81,6 +123,38 @@ class Btb
 
     /** True iff pc hits with the correct target; updates the entry. */
     bool lookupAndUpdate(Addr pc, Addr target);
+
+    /** Header-inline twin of lookupAndUpdate() for the simulator fast
+     *  path; the out-of-line method delegates here. */
+    bool lookupAndUpdateHot(Addr pc, Addr target)
+    {
+        const std::size_t set = std::size_t(pc ^ (pc >> 16)) & (sets_ - 1);
+        const std::size_t base = set * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = entries_[base + w];
+            if (e.valid && e.pc == pc) {
+                const bool correct = e.target == target;
+                // Move to MRU and refresh the target.
+                Entry updated = e;
+                updated.target = target;
+                for (unsigned k = w; k > 0; --k)
+                    entries_[base + k] = entries_[base + k - 1];
+                entries_[base] = updated;
+                if (correct) {
+                    ++hits_;
+                    return true;
+                }
+                ++misses_;
+                return false;
+            }
+        }
+        // Install at MRU.
+        for (unsigned k = ways_ - 1; k > 0; --k)
+            entries_[base + k] = entries_[base + k - 1];
+        entries_[base] = Entry{pc, target, true};
+        ++misses_;
+        return false;
+    }
 
     void reset();
 

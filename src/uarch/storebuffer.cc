@@ -25,23 +25,13 @@ StoreBuffer::reset()
 void
 StoreBuffer::recordStore(Addr addr, unsigned size, std::uint64_t icount)
 {
-    ring_[head_] = Entry{addr, size, icount, true};
-    head_ = (head_ + 1) % entries_;
+    recordStoreHot(addr, size, icount);
 }
 
 bool
 StoreBuffer::loadAliases(Addr addr, unsigned size, std::uint64_t icount) const
 {
-    for (const Entry &e : ring_) {
-        if (!e.valid || e.icount + maxAge_ < icount)
-            continue;
-        if ((e.addr & aliasMask_) != (addr & aliasMask_))
-            continue;
-        if (e.addr == addr && e.size >= size)
-            return false; // clean store-to-load forwarding
-        return true;      // false (or partial) alias: stall
-    }
-    return false;
+    return loadAliasesHot(addr, size, icount);
 }
 
 } // namespace mbias::uarch

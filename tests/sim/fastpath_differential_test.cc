@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The fast interpreter's contract, held the strong way: for every
+ * workload of the suite, across setups (environment sizes, link
+ * orders), machine presets, and every ablation switch, the plan-based
+ * fast path must produce a RunResult — cycles AND every performance
+ * counter — bitwise identical to the reference interpreter's.  Any
+ * divergence is a bug in the fast path, never acceptable noise: the
+ * whole point of the toolkit is that measurement infrastructure must
+ * not perturb measured numbers.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/setup.hh"
+#include "sim/machine.hh"
+#include "sim/plan.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mbias;
+
+toolchain::ProcessImage
+imageFor(const std::string &workload, const toolchain::LinkOrder &order,
+         std::uint64_t env_bytes)
+{
+    const auto &w = workloads::findWorkload(workload);
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    auto mods = cc.compile(w.build({}));
+    toolchain::Linker linker;
+    auto prog = linker.link(mods, order);
+    toolchain::LoaderConfig lc;
+    lc.envBytes = env_bytes;
+    return toolchain::Loader::load(std::move(prog), lc);
+}
+
+sim::RunResult
+runWith(const sim::MachineConfig &mc, const toolchain::ProcessImage &image,
+        bool fast, std::uint64_t max_insts = 500'000'000)
+{
+    sim::Machine machine(mc);
+    machine.setUseFastPath(fast);
+    return machine.run(image, max_insts);
+}
+
+void
+expectIdentical(const sim::MachineConfig &mc,
+                const toolchain::ProcessImage &image,
+                const std::string &what,
+                std::uint64_t max_insts = 500'000'000)
+{
+    const auto ref = runWith(mc, image, false, max_insts);
+    const auto fast = runWith(mc, image, true, max_insts);
+    EXPECT_EQ(fast, ref) << what << ": fast path diverged (cycles "
+                         << fast.cycles() << " vs " << ref.cycles()
+                         << ")";
+}
+
+TEST(FastPathDifferential, WholeSuiteAcrossSetups)
+{
+    // Every workload, each in its own setup (env size and link order
+    // rotate with the suite index, so the set of exercised layouts is
+    // diverse without running the full cross product every build).
+    const auto &suite = workloads::suite();
+    ASSERT_GE(suite.size(), 12u);
+    const auto mc = sim::MachineConfig::core2Like();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const std::string name = suite[i]->name();
+        const std::uint64_t env = (317 * i * i) % 4096;
+        const auto order =
+            i % 3 == 0 ? toolchain::LinkOrder::asGiven()
+                       : toolchain::LinkOrder::shuffled(0x9e37 + i);
+        expectIdentical(mc, imageFor(name, order, env),
+                        name + " env=" + std::to_string(env));
+    }
+}
+
+TEST(FastPathDifferential, AllMachinePresets)
+{
+    const auto image =
+        imageFor("perl", toolchain::LinkOrder::shuffled(7), 1234);
+    for (const auto &mc : sim::MachineConfig::allPresets())
+        expectIdentical(mc, image, "perl on " + mc.name);
+}
+
+TEST(FastPathDifferential, EveryAblationSwitch)
+{
+    // Flip each ablation flag off (and the prefetcher on) one at a
+    // time: each switch steers a different branch of the fast loop.
+    const auto image =
+        imageFor("sjeng", toolchain::LinkOrder::shuffled(3), 2048);
+    using Mutator = void (*)(sim::MachineConfig &);
+    const std::pair<const char *, Mutator> variants[] = {
+        {"noFetchBlocks",
+         [](sim::MachineConfig &m) { m.enableFetchBlockModel = false; }},
+        {"noBtb", [](sim::MachineConfig &m) { m.enableBtb = false; }},
+        {"noStoreBuffer",
+         [](sim::MachineConfig &m) {
+             m.enableStoreBufferAliasing = false;
+         }},
+        {"noLineSplit",
+         [](sim::MachineConfig &m) { m.enableLineSplitPenalty = false; }},
+        {"noCaches",
+         [](sim::MachineConfig &m) { m.enableCaches = false; }},
+        {"noTlbs", [](sim::MachineConfig &m) { m.enableTlbs = false; }},
+        {"noBranchPrediction",
+         [](sim::MachineConfig &m) {
+             m.enableBranchPrediction = false;
+         }},
+        {"withPrefetch",
+         [](sim::MachineConfig &m) {
+             m.enableNextLinePrefetch = true;
+         }},
+        {"bimodal",
+         [](sim::MachineConfig &m) {
+             m.predictor = sim::PredictorKind::Bimodal;
+         }},
+    };
+    for (const auto &[label, mutate] : variants) {
+        auto mc = sim::MachineConfig::core2Like();
+        mutate(mc);
+        expectIdentical(mc, image, std::string("sjeng ") + label);
+    }
+}
+
+TEST(FastPathDifferential, InstructionBudgetTruncation)
+{
+    // A run cut off by max_insts (halted = false) must truncate at
+    // the same instruction with the same partial counters.
+    const auto image =
+        imageFor("bzip", toolchain::LinkOrder::asGiven(), 512);
+    const auto mc = sim::MachineConfig::core2Like();
+    for (std::uint64_t budget : {1ull, 100ull, 7777ull, 50'000ull}) {
+        const auto ref = runWith(mc, image, false, budget);
+        const auto fast = runWith(mc, image, true, budget);
+        EXPECT_EQ(fast, ref)
+            << "bzip truncated at " << budget << " insts";
+    }
+    EXPECT_FALSE(runWith(mc, image, true, 100).halted);
+}
+
+TEST(FastPathDifferential, PlanStructureInvariants)
+{
+    // The plan is structural metadata for the fast loop: every block
+    // leader in range and sorted, the return-address table inverse to
+    // the placed pcs, and runLen consistent with op classes.
+    const auto image =
+        imageFor("hmmer", toolchain::LinkOrder::shuffled(11), 0);
+    const auto plan = sim::ExecutionPlan::build(image.program);
+    const auto &ops = plan->ops;
+    ASSERT_FALSE(ops.empty());
+    ASSERT_FALSE(plan->blockStarts.empty());
+    EXPECT_EQ(plan->blockStarts.front(), 0u);
+    for (std::size_t i = 1; i < plan->blockStarts.size(); ++i) {
+        EXPECT_LT(plan->blockStarts[i - 1], plan->blockStarts[i]);
+        EXPECT_LT(plan->blockStarts[i], ops.size());
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto &d = ops[i];
+        EXPECT_EQ(plan->idxByOffset.at(std::size_t(d.pc - plan->codeBase)),
+                  std::uint32_t(i));
+        if (d.runLen > 0 && i + 1 < ops.size())
+            EXPECT_EQ(std::uint32_t(d.runLen) - 1,
+                      std::uint32_t(ops[i + 1].runLen))
+                << "runLen must decrease by 1 inside a simple run";
+    }
+}
+
+} // namespace

@@ -14,6 +14,7 @@
  *                  [--setups N] [--jobs N] [--resume] [--out PATH]
  *                  [--seed S] [--aslr-reps K] [--no-store]
  *                  [--trace T.json] [--provenance]
+ *                  [--no-artifact-cache]
  *   mbias obs-summary [--store PATH]
  *   mbias causal   --workload perl [--factor env|link] [--setups N]
  *   mbias variance --workload perl [--env N] [--reps K]
@@ -229,6 +230,7 @@ cmdCampaign(const Args &args)
                        : args.get("out", "results/campaign.jsonl");
     opts.resume = args.options.count("resume") > 0;
     opts.tracePath = args.get("trace", "");
+    opts.artifactCache = args.options.count("no-artifact-cache") == 0;
     // The in-place progress line is for humans watching a terminal;
     // logs and pipes get clean output.
     opts.progress = loggingEnabled() && isatty(fileno(stderr));
@@ -411,7 +413,7 @@ usage()
         "  campaign --workload W [--factor env|link|both] [--setups N]\n"
         "           [--jobs N] [--resume] [--out PATH] [--seed S]\n"
         "           [--aslr-reps K] [--no-store] [--trace T.json]\n"
-        "           [--provenance]\n"
+        "           [--provenance] [--no-artifact-cache]\n"
         "  obs-summary [--store PATH]\n"
         "  causal   --workload W [--factor env|link] [--setups N]\n"
         "  variance --workload W [--env N] [--reps K]\n"
