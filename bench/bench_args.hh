@@ -23,6 +23,36 @@ jobsFromArgs(int argc, char **argv)
     return 1;
 }
 
+/**
+ * The shared flag set of the statistics-aware harnesses (fig7, fig8):
+ * `--jobs N`, `--resamples R`, and `--confidence C`.  Unknown
+ * arguments are ignored, like jobsFromArgs.  The defaults reproduce
+ * the harnesses' historical output byte for byte: resamples 0 keeps
+ * the Student-t interval, and 0.95 is the level every figure has
+ * always reported.
+ */
+struct BenchArgs
+{
+    unsigned jobs = 1;
+    int resamples = 0;
+    double confidence = 0.95;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::strcmp(argv[i], "--jobs") == 0)
+                a.jobs = unsigned(std::strtoul(argv[i + 1], nullptr, 10));
+            else if (std::strcmp(argv[i], "--resamples") == 0)
+                a.resamples = int(std::strtol(argv[i + 1], nullptr, 10));
+            else if (std::strcmp(argv[i], "--confidence") == 0)
+                a.confidence = std::strtod(argv[i + 1], nullptr);
+        }
+        return a;
+    }
+};
+
 } // namespace mbias::benchutil
 
 #endif // MBIAS_BENCH_BENCH_ARGS_HH

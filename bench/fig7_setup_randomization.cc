@@ -26,12 +26,16 @@ using namespace mbias;
 int
 main(int argc, char **argv)
 {
-    const unsigned jobs = benchutil::jobsFromArgs(argc, argv);
+    const auto args = benchutil::BenchArgs::parse(argc, argv);
+    const unsigned jobs = args.jobs;
     constexpr unsigned num_setups = 31;
     std::printf("Figure 7: randomized-setup estimation of the O3 effect "
                 "(core2like, gcc, %u setups)\n\n",
                 num_setups);
-    core::TextTable t({"workload", "speedup", "95% CI", "bias", "flips",
+    char ciLabel[24];
+    std::snprintf(ciLabel, sizeof(ciLabel), "%g%% CI",
+                  args.confidence * 100.0);
+    core::TextTable t({"workload", "speedup", ciLabel, "bias", "flips",
                        "verdict", "wrong data?"});
 
     core::ConclusionChecker checker;
@@ -48,6 +52,8 @@ main(int argc, char **argv)
             .withSeed(0xf19u);
         campaign::CampaignOptions opts;
         opts.jobs = jobs;
+        opts.confidence = args.confidence;
+        opts.resamples = args.resamples;
         auto cr = campaign::CampaignEngine(cspec, opts).run();
         wall += cr.stats.wallSeconds;
         metrics.merge(cr.metrics);

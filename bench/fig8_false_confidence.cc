@@ -8,6 +8,7 @@
  */
 #include <cstdio>
 
+#include "bench_args.hh"
 #include "core/setup.hh"
 #include "core/table.hh"
 #include "core/variance.hh"
@@ -16,14 +17,15 @@
 using namespace mbias;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = benchutil::BenchArgs::parse(argc, argv);
     std::printf("A2: within-setup noise vs between-setup bias "
                 "(core2like, gcc O2 vs O3)\n\n");
     core::TextTable t({"workload", "repetition CI (one setup)",
                        "cross-setup mean", "var ratio",
                        "false confidence"});
-    core::VarianceAnalyzer analyzer(15);
+    core::VarianceAnalyzer analyzer(15, 0xfeed, args.confidence);
     core::ExperimentSetup home;
     home.envBytes = 300;
     auto peers = core::SetupSpace().varyEnvSize().grid(16);

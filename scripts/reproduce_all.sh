@@ -57,6 +57,14 @@ for b in "$BUILD"/bench/*; do
         echo "sim throughput: results/BENCH_sim.json" \
             | tee -a results/bench_output.txt
         ;;
+      microbench_stats_throughput)
+        # Same shape for the stats engine: store-read and bootstrap
+        # throughput, serial reference vs fast arms, bitwise-checked.
+        "$b" --jobs "$JOBS" 2>&1 >results/BENCH_stats.json \
+            | tee -a results/bench_output.txt
+        echo "stats throughput: results/BENCH_stats.json" \
+            | tee -a results/bench_output.txt
+        ;;
       *)
         "$b" 2>&1 | tee -a results/bench_output.txt
         ;;

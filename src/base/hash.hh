@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+/**
+ * @file
+ * Shared content-addressing primitives: FNV-1a hashing and fixed-width
+ * hex rendering.  Every content address in the codebase (campaign task
+ * keys, toolchain module fingerprints, link-order fingerprints) is
+ * built on these, so the exact byte-for-byte hashing scheme lives in
+ * one place.  Changing any constant here invalidates every persisted
+ * store key — treat the values as part of the on-disk format.
+ */
+
+namespace mbias
+{
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/**
+ * One incremental FNV-1a stream.  Integers are hashed as their 8
+ * little-endian bytes and strings are length-prefixed, so the encoding
+ * of a field sequence is unambiguous (no "ab"+"c" vs "a"+"bc"
+ * collisions).  Dual-stream users (128-bit fingerprints) run two
+ * instances with different offset bases.
+ */
+class Fnv1a
+{
+  public:
+    explicit Fnv1a(std::uint64_t offset = kFnv1aOffsetBasis) : h_(offset) {}
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= kFnv1aPrime;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_;
+};
+
+/** Plain FNV-1a over a byte string (no length prefix — matches the
+ *  classic algorithm, and the historical store task-key hash). */
+inline std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = kFnv1aOffsetBasis;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+/** Renders v as exactly 16 lowercase hex digits (zero padded). */
+inline std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+    return buf;
+}
+
+} // namespace mbias

@@ -63,6 +63,22 @@ Rng::nextBounded(std::uint64_t bound)
     }
 }
 
+std::uint64_t
+Rng::nextIndex(std::uint64_t bound)
+{
+    mbias_assert(bound > 0 && bound <= 0x100000000ULL,
+                 "nextIndex requires 0 < bound <= 2^32");
+    // hi32(next()) * bound / 2^32 — one draw, no rejection loop.
+    return ((next() >> 32) * bound) >> 32;
+}
+
+std::uint64_t
+Rng::stateWord(unsigned i) const
+{
+    mbias_assert(i < 4, "xoshiro256 has 4 state words");
+    return s_[i];
+}
+
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {

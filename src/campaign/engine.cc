@@ -278,8 +278,12 @@ CampaignEngine::run()
     CampaignReport report;
     {
         obs::ScopedSpan span("aggregate", "campaign");
-        report.bias = core::BiasAnalyzer().aggregate(
-            spec_.experiment, std::move(results));
+        core::BiasAnalyzer analyzer(0.01, opts_.confidence);
+        if (opts_.resamples > 0)
+            analyzer.withBootstrap(opts_.resamples, spec_.seed,
+                                   opts_.jobs);
+        report.bias =
+            analyzer.aggregate(spec_.experiment, std::move(results));
     }
     report.stats.totalTasks = tasks.size();
     report.stats.executed = executed.load();

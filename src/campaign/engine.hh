@@ -51,6 +51,18 @@ struct CampaignOptions
      * which is the benchmark's pre-cache baseline.
      */
     bool artifactCache = true;
+
+    /** Confidence level of the report's speedup CI. */
+    double confidence = 0.95;
+
+    /**
+     * 0 (the default) keeps the Student-t speedup CI; > 0 switches
+     * the report to a percentile-bootstrap CI with this many
+     * resamples, computed by the stats engine on the campaign's
+     * worker budget (bitwise identical at any --jobs).  Resample
+     * streams derive from the campaign seed.
+     */
+    int resamples = 0;
 };
 
 /**

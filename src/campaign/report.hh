@@ -7,6 +7,7 @@
 #include "core/bias.hh"
 #include "obs/metrics.hh"
 #include "obs/provenance.hh"
+#include "stats/streaming.hh"
 
 namespace mbias::campaign
 {
@@ -53,6 +54,64 @@ struct CampaignReport
     /** bias.str() plus the accounting and latency lines. */
     std::string str() const;
 };
+
+/** How `mbias analyze` (and analyzeStore) re-analyzes a store. */
+struct AnalyzeOptions
+{
+    /** Stats-engine workers; results identical for any value. */
+    unsigned jobs = 1;
+
+    /** Bootstrap resamples for the speedup CI. */
+    int resamples = 1000;
+
+    /** Confidence level of both reported intervals. */
+    double confidence = 0.95;
+
+    /** Root of the bootstrap's per-resample streams. */
+    std::uint64_t seed = 42;
+
+    /** Optional registry for stats.* / store.* counters. */
+    obs::Registry *metrics = nullptr;
+};
+
+/**
+ * Offline analysis of a persisted campaign store: what a finished (or
+ * still-running) campaign's speedup distribution looks like, computed
+ * without re-running anything.  Unlike CampaignReport — which holds
+ * every RunOutcome — this aggregates the store's columnar view through
+ * streaming moments plus the stats engine, so its memory footprint is
+ * the store's speedup column, not the materialized outcome objects.
+ */
+struct StoreAnalysis
+{
+    std::string path;
+    std::size_t records = 0;
+    std::size_t tornLines = 0;
+
+    /** Single-pass moments + exact-until-overflow quantiles of the
+     *  speedup column. */
+    stats::StreamingSample speedups;
+
+    /** Percentile-bootstrap CI from the stats engine (AnalyzeOptions
+     *  resamples/seed; bitwise identical at any jobs). */
+    stats::ConfidenceInterval bootstrapCI;
+
+    /** Student-t CI from the streaming moments, for comparison. */
+    stats::ConfidenceInterval tCI;
+
+    /** Provenance JSON of the store header; empty when absent. */
+    std::string provenanceJson;
+
+    /** Multi-line human-readable rendering. */
+    std::string str() const;
+};
+
+/**
+ * Reads @p path once (columnar fast path) and analyzes the speedup
+ * column.  Requires at least two records.
+ */
+StoreAnalysis analyzeStore(const std::string &path,
+                           const AnalyzeOptions &opts = {});
 
 } // namespace mbias::campaign
 

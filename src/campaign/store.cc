@@ -1,12 +1,16 @@
 #include "campaign/store.hh"
 
+#include <algorithm>
 #include <bit>
-#include <cstdio>
+#include <charconv>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <sstream>
+#include <string_view>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 
 namespace mbias::campaign
@@ -14,25 +18,6 @@ namespace mbias::campaign
 
 namespace
 {
-
-std::uint64_t
-fnv1a(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-std::string
-hex16(std::uint64_t v)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
-    return buf;
-}
 
 void
 requireStorableOrder(const toolchain::LinkOrder &order)
@@ -59,45 +44,137 @@ orderFromKind(int kind, std::uint64_t seed)
     mbias_panic("unstorable link order kind ", kind);
 }
 
-/**
- * Finds `"name":` in a flat JSON object and returns the raw token
- * after it (digits, or the contents of a quoted string); empty on
- * absence.  The records are flat (no nesting), field names are never
- * substrings of values, and values contain no escapes, so plain
- * scanning is exact here.
- */
-std::string
-scanField(const std::string &line, const std::string &name)
-{
-    const std::string needle = "\"" + name + "\":";
-    const auto at = line.find(needle);
-    if (at == std::string::npos)
-        return "";
-    std::size_t i = at + needle.size();
-    if (i >= line.size())
-        return "";
-    if (line[i] == '"') {
-        const auto end = line.find('"', i + 1);
-        if (end == std::string::npos)
-            return "";
-        return line.substr(i + 1, end - i - 1);
-    }
-    std::size_t end = i;
-    while (end < line.size() && line[end] != ',' && line[end] != '}')
-        ++end;
-    return line.substr(i, end - i);
-}
-
+/** Parses an unsigned integer token in @p base; the whole token must
+ *  be consumed. */
 bool
-scanU64(const std::string &line, const std::string &name,
-        std::uint64_t &out, int base = 10)
+parseU64(std::string_view tok, std::uint64_t &out, int base)
 {
-    const std::string tok = scanField(line, name);
     if (tok.empty())
         return false;
-    char *end = nullptr;
-    out = std::strtoull(tok.c_str(), &end, base);
-    return end && *end == '\0';
+    const char *first = tok.data();
+    const char *last = tok.data() + tok.size();
+    const auto res = std::from_chars(first, last, out, base);
+    return res.ec == std::errc() && res.ptr == last;
+}
+
+/**
+ * Single-pass record parser.  Records keep the invariants that always
+ * made plain scanning exact — each line is one *flat* JSON object (no
+ * nesting), field names never occur as substrings of values, and
+ * values contain no escapes — but where the old reader rescanned the
+ * whole line once per field (sixteen passes of string::find), this
+ * walks the line left to right exactly once and dispatches each
+ * `"name":value` pair as it is encountered.  Field order is not
+ * assumed, unknown names are skipped (forward compatibility), and a
+ * record is valid only when every known field was seen.
+ */
+bool
+parseRecord(const std::string &line, TaskRecord &out)
+{
+    // A record is only valid if the line is complete — a run killed
+    // mid-append leaves a truncated last line with no closing brace.
+    if (line.size() < 2 || line.front() != '{' || line.back() != '}')
+        return false;
+    TaskRecord r;
+    unsigned seen = 0;
+    const char *p = line.data() + 1;
+    const char *end = line.data() + line.size() - 1; // the final '}'
+    while (p < end) {
+        if (*p == ',') {
+            ++p;
+            continue;
+        }
+        if (*p != '"')
+            return false;
+        const char *nameBeg = ++p;
+        while (p < end && *p != '"')
+            ++p;
+        if (p >= end)
+            return false;
+        const std::string_view name(nameBeg, std::size_t(p - nameBeg));
+        if (++p >= end || *p != ':')
+            return false;
+        ++p;
+        std::string_view value;
+        bool quoted = false;
+        if (p < end && *p == '"') {
+            quoted = true;
+            const char *valBeg = ++p;
+            while (p < end && *p != '"')
+                ++p;
+            if (p >= end)
+                return false;
+            value = std::string_view(valBeg, std::size_t(p - valBeg));
+            ++p;
+        } else {
+            const char *valBeg = p;
+            while (p < end && *p != ',')
+                ++p;
+            value = std::string_view(valBeg, std::size_t(p - valBeg));
+        }
+
+        bool ok = true;
+        std::uint64_t v = 0;
+        if (name == "key") {
+            ok = quoted && value.size() == 16;
+            r.key.assign(value);
+            seen |= 1u << 0;
+        } else if (name == "task") {
+            ok = parseU64(value, r.taskIndex, 10);
+            seen |= 1u << 1;
+        } else if (name == "env") {
+            ok = parseU64(value, r.envBytes, 10);
+            seen |= 1u << 2;
+        } else if (name == "link_kind") {
+            ok = parseU64(value, v, 10);
+            r.linkKind = int(v);
+            seen |= 1u << 3;
+        } else if (name == "link_seed") {
+            ok = parseU64(value, r.linkSeed, 10);
+            seen |= 1u << 4;
+        } else if (name == "plan") {
+            ok = parseU64(value, v, 10);
+            r.planKind = int(v);
+            seen |= 1u << 5;
+        } else if (name == "reps") {
+            ok = parseU64(value, v, 10);
+            r.reps = unsigned(v);
+            seen |= 1u << 6;
+        } else if (name == "base_cycles") {
+            ok = parseU64(value, r.baseCycles, 10);
+            seen |= 1u << 7;
+        } else if (name == "base_insts") {
+            ok = parseU64(value, r.baseInsts, 10);
+            seen |= 1u << 8;
+        } else if (name == "base_result") {
+            ok = parseU64(value, r.baseResult, 10);
+            seen |= 1u << 9;
+        } else if (name == "treat_cycles") {
+            ok = parseU64(value, r.treatCycles, 10);
+            seen |= 1u << 10;
+        } else if (name == "treat_insts") {
+            ok = parseU64(value, r.treatInsts, 10);
+            seen |= 1u << 11;
+        } else if (name == "treat_result") {
+            ok = parseU64(value, r.treatResult, 10);
+            seen |= 1u << 12;
+        } else if (name == "base_metric") {
+            ok = parseU64(value, r.baseMetricBits, 16);
+            seen |= 1u << 13;
+        } else if (name == "treat_metric") {
+            ok = parseU64(value, r.treatMetricBits, 16);
+            seen |= 1u << 14;
+        } else if (name == "speedup") {
+            ok = parseU64(value, r.speedupBits, 16);
+            seen |= 1u << 15;
+        }
+        if (!ok)
+            return false;
+    }
+    if (seen != 0xffffu)
+        return false;
+    out = std::move(r);
+    return true;
 }
 
 } // namespace
@@ -189,44 +266,7 @@ TaskRecord::toJson() const
 bool
 TaskRecord::fromJson(const std::string &line, TaskRecord &out)
 {
-    // A record is only valid if the line is complete — a run killed
-    // mid-append leaves a truncated last line with no closing brace.
-    if (line.empty() || line.back() != '}')
-        return false;
-    TaskRecord r;
-    r.key = scanField(line, "key");
-    if (r.key.size() != 16)
-        return false;
-    std::uint64_t v = 0;
-    if (!scanU64(line, "task", v))
-        return false;
-    r.taskIndex = v;
-    if (!scanU64(line, "env", r.envBytes))
-        return false;
-    if (!scanU64(line, "link_kind", v))
-        return false;
-    r.linkKind = int(v);
-    if (!scanU64(line, "link_seed", r.linkSeed))
-        return false;
-    if (!scanU64(line, "plan", v))
-        return false;
-    r.planKind = int(v);
-    if (!scanU64(line, "reps", v))
-        return false;
-    r.reps = unsigned(v);
-    if (!scanU64(line, "base_cycles", r.baseCycles) ||
-        !scanU64(line, "base_insts", r.baseInsts) ||
-        !scanU64(line, "base_result", r.baseResult) ||
-        !scanU64(line, "treat_cycles", r.treatCycles) ||
-        !scanU64(line, "treat_insts", r.treatInsts) ||
-        !scanU64(line, "treat_result", r.treatResult))
-        return false;
-    if (!scanU64(line, "base_metric", r.baseMetricBits, 16) ||
-        !scanU64(line, "treat_metric", r.treatMetricBits, 16) ||
-        !scanU64(line, "speedup", r.speedupBits, 16))
-        return false;
-    out = std::move(r);
-    return true;
+    return parseRecord(line, out);
 }
 
 ResultCache::ResultCache(obs::Registry *metrics)
@@ -513,6 +553,84 @@ StoreSummary::str() const
         os << "metrics         : (no snapshot trailer — campaign "
            << "still running, or killed)\n";
     return os.str();
+}
+
+StoreColumns
+readStoreColumns(const std::string &path, obs::Registry *metrics)
+{
+    StoreColumns cols;
+    obs::Counter *torn = nullptr;
+    obs::Counter *loaded = nullptr;
+    if (metrics) {
+        torn = &metrics->counter("store.torn_lines");
+        loaded = &metrics->counter("store.loaded");
+    }
+
+    // Pass 1 (the only file pass): parse every line once, dedup by
+    // content address with last-record-wins, matching what a resumed
+    // ResultStore::load would serve.
+    std::vector<TaskRecord> records;
+    std::unordered_map<std::string, std::size_t> slotByKey;
+    {
+        std::ifstream in(path);
+        if (!in)
+            return cols;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (isMetaLine(line)) {
+                if (line.back() != '}') {
+                    ++cols.tornLines;
+                    continue;
+                }
+                if (line.find(kHeaderTag) != std::string::npos)
+                    cols.provenanceJson = provenanceOfHeader(line);
+                continue;
+            }
+            TaskRecord rec;
+            if (!TaskRecord::fromJson(line, rec)) {
+                ++cols.tornLines;
+                continue;
+            }
+            const auto [it, fresh] =
+                slotByKey.try_emplace(rec.key, records.size());
+            if (fresh)
+                records.push_back(std::move(rec));
+            else
+                records[it->second] = std::move(rec);
+        }
+    }
+
+    // Order rows by task index so the columns are independent of the
+    // append order (resumed and work-stolen campaigns interleave).
+    std::vector<std::size_t> order(records.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (records[a].taskIndex != records[b].taskIndex)
+                      return records[a].taskIndex < records[b].taskIndex;
+                  return records[a].key < records[b].key;
+              });
+
+    cols.taskIndex.reserve(records.size());
+    cols.envBytes.reserve(records.size());
+    cols.baseMetric.reserve(records.size());
+    cols.treatMetric.reserve(records.size());
+    cols.speedup.reserve(records.size());
+    for (std::size_t i : order) {
+        const TaskRecord &r = records[i];
+        cols.taskIndex.push_back(r.taskIndex);
+        cols.envBytes.push_back(r.envBytes);
+        cols.baseMetric.push_back(
+            std::bit_cast<double>(r.baseMetricBits));
+        cols.treatMetric.push_back(
+            std::bit_cast<double>(r.treatMetricBits));
+        cols.speedup.push_back(std::bit_cast<double>(r.speedupBits));
+    }
+    if (loaded)
+        loaded->add(cols.rows());
+    if (torn && cols.tornLines)
+        torn->add(cols.tornLines);
+    return cols;
 }
 
 } // namespace mbias::campaign

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "campaign/spec.hh"
 #include "core/runner.hh"
@@ -202,6 +203,34 @@ struct StoreSummary
 
 /** Scans a store file without loading it into an engine. */
 StoreSummary summarizeStore(const std::string &path);
+
+/**
+ * Columnar in-memory view of a store: one array per analyzed field,
+ * rows deduplicated by content address (last record wins, matching
+ * ResultStore::load) and ordered by ascending task index so the view
+ * is independent of append order.  This is the shape the stats engine
+ * consumes — analysis passes stream over a contiguous `speedup`
+ * column instead of hopping across TaskRecord objects.
+ */
+struct StoreColumns
+{
+    std::vector<std::uint64_t> taskIndex;
+    std::vector<std::uint64_t> envBytes;
+    std::vector<double> baseMetric;
+    std::vector<double> treatMetric;
+    std::vector<double> speedup;
+    std::size_t tornLines = 0;  ///< dropped unparseable lines
+    std::string provenanceJson; ///< empty when the store has no header
+
+    std::size_t rows() const { return speedup.size(); }
+};
+
+/**
+ * Single-pass columnar read of a store file.  With @p metrics, counts
+ * `store.loaded` and `store.torn_lines` like ResultStore::load.
+ */
+StoreColumns readStoreColumns(const std::string &path,
+                              obs::Registry *metrics = nullptr);
 
 } // namespace mbias::campaign
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "stats/engine.hh"
 
 namespace mbias::core
 {
@@ -50,6 +51,17 @@ BiasAnalyzer::BiasAnalyzer(double threshold, double confidence)
     mbias_assert(confidence > 0.0 && confidence < 1.0, "bad confidence");
 }
 
+BiasAnalyzer &
+BiasAnalyzer::withBootstrap(int resamples, std::uint64_t seed,
+                            unsigned jobs)
+{
+    mbias_assert(resamples >= 10, "too few bootstrap resamples");
+    bootstrapResamples_ = resamples;
+    bootstrapSeed_ = seed;
+    jobs_ = jobs;
+    return *this;
+}
+
 BiasReport
 BiasAnalyzer::analyze(const ExperimentSpec &spec,
                       const std::vector<ExperimentSetup> &setups) const
@@ -71,7 +83,15 @@ BiasAnalyzer::aggregate(const ExperimentSpec &spec,
 
     for (const auto &o : r.outcomes)
         r.speedups.add(o.speedup);
-    r.speedupCI = stats::tInterval(r.speedups, confidence_);
+    if (bootstrapResamples_ > 0) {
+        stats::EngineOptions eo;
+        eo.jobs = jobs_;
+        r.speedupCI = stats::Engine(eo).bootstrapInterval(
+            r.speedups.values(), bootstrapSeed_, bootstrapResamples_,
+            confidence_);
+    } else {
+        r.speedupCI = stats::tInterval(r.speedups, confidence_);
+    }
     r.biasMagnitude = r.speedups.range();
     r.effectSize = std::fabs(r.speedups.mean() - 1.0);
 

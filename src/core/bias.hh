@@ -1,6 +1,7 @@
 #ifndef MBIAS_CORE_BIAS_HH
 #define MBIAS_CORE_BIAS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,17 @@ class BiasAnalyzer
     explicit BiasAnalyzer(double threshold = 0.01,
                           double confidence = 0.95);
 
+    /**
+     * Opts in to percentile-bootstrap confidence intervals: aggregate
+     * reports then carry a bootstrap CI (@p resamples resamples, seed
+     * streams derived from @p seed, computed by the stats engine at
+     * @p jobs workers) instead of the Student-t interval.  The engine
+     * result is bitwise identical at any jobs value; the default
+     * (t interval) is unchanged so existing figures keep their bytes.
+     */
+    BiasAnalyzer &withBootstrap(int resamples, std::uint64_t seed,
+                                unsigned jobs = 1);
+
     /** Analyzes explicitly provided setups. */
     BiasReport analyze(const ExperimentSpec &spec,
                        const std::vector<ExperimentSetup> &setups) const;
@@ -108,6 +120,9 @@ class BiasAnalyzer
   private:
     double threshold_;
     double confidence_;
+    int bootstrapResamples_ = 0; ///< 0: Student-t (the default)
+    std::uint64_t bootstrapSeed_ = 0;
+    unsigned jobs_ = 1;
 };
 
 } // namespace mbias::core

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "stats/streaming.hh"
 
 namespace mbias::core
 {
@@ -25,10 +26,12 @@ VarianceReport::str() const
     return os.str();
 }
 
-VarianceAnalyzer::VarianceAnalyzer(unsigned reps, std::uint64_t noise_seed)
-    : reps_(reps), noiseSeed_(noise_seed)
+VarianceAnalyzer::VarianceAnalyzer(unsigned reps, std::uint64_t noise_seed,
+                                   double confidence)
+    : reps_(reps), noiseSeed_(noise_seed), confidence_(confidence)
 {
     mbias_assert(reps >= 2, "variance needs >= 2 repetitions");
+    mbias_assert(confidence > 0.0 && confidence < 1.0, "bad confidence");
 }
 
 VarianceReport
@@ -42,27 +45,37 @@ VarianceAnalyzer::analyze(const ExperimentSpec &spec,
     VarianceReport r;
     r.specDescription = spec.str();
 
-    // Within: repeat base and treatment at the home setup.
+    // Within: repeat base and treatment at the home setup.  The
+    // streaming twins track single-pass Welford moments alongside the
+    // retained samples; the variance ratio reads those, so it never
+    // needs the raw vectors (and exercises the streaming path the
+    // report aggregation uses at campaign scale).
+    stats::StreamingSample withinStream, betweenStream;
     auto base = runner.repeatedMetric(spec.baseline, home, reps_,
                                       noiseSeed_);
     auto treat = runner.repeatedMetric(spec.treatment, home, reps_,
                                        noiseSeed_ + 7919);
-    for (unsigned i = 0; i < reps_; ++i)
-        r.withinSetup.add(base.values()[i] / treat.values()[i]);
-    r.withinCI = stats::tInterval(r.withinSetup);
+    for (unsigned i = 0; i < reps_; ++i) {
+        const double v = base.values()[i] / treat.values()[i];
+        r.withinSetup.add(v);
+        withinStream.add(v);
+    }
+    r.withinCI = stats::tInterval(r.withinSetup, confidence_);
 
     // Between: one noisy repetition per setup.
     std::uint64_t seed = noiseSeed_ + 104729;
     for (const auto &s : setups) {
         auto b = runner.repeatedMetric(spec.baseline, s, 1, seed);
         auto t = runner.repeatedMetric(spec.treatment, s, 1, seed + 1);
-        r.betweenSetups.add(b.values()[0] / t.values()[0]);
+        const double v = b.values()[0] / t.values()[0];
+        r.betweenSetups.add(v);
+        betweenStream.add(v);
         seed += 2;
     }
-    r.betweenCI = stats::tInterval(r.betweenSetups);
+    r.betweenCI = stats::tInterval(r.betweenSetups, confidence_);
 
-    const double wv = r.withinSetup.variance();
-    r.varianceRatio = wv > 0.0 ? r.betweenSetups.variance() / wv
+    const double wv = withinStream.variance();
+    r.varianceRatio = wv > 0.0 ? betweenStream.variance() / wv
                                : std::numeric_limits<double>::infinity();
     r.falseConfidence = !r.withinCI.contains(r.betweenSetups.mean());
     return r;

@@ -49,8 +49,10 @@ struct VarianceReport
 class VarianceAnalyzer
 {
   public:
+    /** @p confidence is the level of both reported intervals. */
     explicit VarianceAnalyzer(unsigned reps = 15,
-                              std::uint64_t noise_seed = 0xfeed);
+                              std::uint64_t noise_seed = 0xfeed,
+                              double confidence = 0.95);
 
     /**
      * @p home is the setup the hypothetical experimenter happens to
@@ -63,6 +65,7 @@ class VarianceAnalyzer
   private:
     unsigned reps_;
     std::uint64_t noiseSeed_;
+    double confidence_;
 };
 
 } // namespace mbias::core

@@ -1,4 +1,4 @@
-#include "campaign/threadpool.hh"
+#include "parallel/pool.hh"
 
 #include <algorithm>
 #include <chrono>
@@ -9,7 +9,7 @@
 
 #include "obs/trace.hh"
 
-namespace mbias::campaign
+namespace mbias::parallel
 {
 
 ThreadPool::ThreadPool(unsigned jobs, obs::Registry *metrics)
@@ -131,4 +131,4 @@ ThreadPool::parallelFor(
     obs::setThreadShard(0);
 }
 
-} // namespace mbias::campaign
+} // namespace mbias::parallel

@@ -21,12 +21,19 @@ ConfidenceInterval::str() const
 ConfidenceInterval
 tInterval(const Sample &s, double level)
 {
-    mbias_assert(s.count() >= 2, "t interval needs n >= 2");
-    const double df = double(s.count() - 1);
+    return tIntervalMoments(s.mean(), s.stderror(), s.count(), level);
+}
+
+ConfidenceInterval
+tIntervalMoments(double mean, double stderror, std::size_t n,
+                 double level)
+{
+    mbias_assert(n >= 2, "t interval needs n >= 2");
+    const double df = double(n - 1);
     const double tcrit = studentTCritical(level, df);
-    const double half = tcrit * s.stderror();
+    const double half = tcrit * stderror;
     ConfidenceInterval ci;
-    ci.estimate = s.mean();
+    ci.estimate = mean;
     ci.lower = ci.estimate - half;
     ci.upper = ci.estimate + half;
     ci.level = level;

@@ -40,6 +40,15 @@ struct ConfidenceInterval
 ConfidenceInterval tInterval(const Sample &s, double level = 0.95);
 
 /**
+ * Student-t confidence interval from precomputed moments — the same
+ * arithmetic as tInterval(Sample), callable from streaming paths that
+ * never materialize the observations (see stats::StreamingSample).
+ * @p n is the observation count; needs n >= 2.
+ */
+ConfidenceInterval tIntervalMoments(double mean, double stderror,
+                                    std::size_t n, double level = 0.95);
+
+/**
  * Percentile-bootstrap confidence interval for the mean of @p s.
  * Deterministic given @p rng; @p resamples draws with replacement.
  */

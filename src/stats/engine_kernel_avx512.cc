@@ -1,0 +1,153 @@
+/**
+ * @file
+ * AVX-512 block kernel for the bootstrap engine: 8 resample lanes per
+ * vector × 4 interleaved groups = 32 resamples per pass over the
+ * sample.  This TU is always part of the build; on x86-64 it is
+ * compiled with -mavx512f -mavx512dq (see src/stats/CMakeLists.txt)
+ * and dispatched at runtime via cpuid, elsewhere it degrades to a
+ * stub that reports the kernel unavailable.
+ *
+ * Bitwise equivalence with the scalar path rests on three facts:
+ *
+ *  - each lane runs the exact xoshiro256** step sequence of the
+ *    scalar Rng (the x5 and x9 multiplies are shift+add, the state
+ *    xors are fused with vpternlogq — different instructions,
+ *    identical 64-bit integer results);
+ *  - the index draw is `((next() >> 32) * n) >> 32`, integer exact in
+ *    both forms (Rng::nextIndex documents the contract);
+ *  - the Neumaier update needs "the larger-magnitude addend first",
+ *    computed here with vrangepd (abs-max/abs-min selection), which
+ *    agrees with the scalar `abs(sum) >= abs(x)` branch for every
+ *    input including ties and signed zeros — double addition is
+ *    commutative, so picking either operand of an equal-magnitude
+ *    pair yields the same sum and the same residual.
+ *
+ * There is no FMA contraction hazard: the loop performs only add,
+ * subtract, gather, and one final divide.
+ */
+#include "stats/engine.hh"
+
+#include "base/seeding.hh"
+
+#if defined(__x86_64__) && defined(__AVX512F__) && defined(__AVX512DQ__)
+#define MBIAS_AVX512_KERNEL 1
+#include <immintrin.h>
+#else
+#define MBIAS_AVX512_KERNEL 0
+#endif
+
+#include "base/logging.hh"
+
+namespace mbias::stats::detail
+{
+
+#if MBIAS_AVX512_KERNEL
+
+namespace
+{
+
+/** Interleaved lane groups: 4 × 8 lanes hides the gather latency
+ *  behind independent RNG/sum chains (measured best of G ∈ {2,3,4}). */
+constexpr int kGroups = 4;
+constexpr int kBlock = 8 * kGroups;
+
+} // namespace
+
+bool
+avx512BootstrapSupported()
+{
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq");
+}
+
+void
+avx512BootstrapMeans(const double *data, std::size_t n,
+                     std::uint64_t seed, int r0, int r1, double *means)
+{
+    const __m512i vn = _mm512_set1_epi64((long long)n);
+    int r = r0;
+    for (; r + kBlock <= r1; r += kBlock) {
+        // Transpose 32 freshly seeded scalar generators into lanes.
+        alignas(64) std::uint64_t st[kGroups][4][8];
+        for (int k = 0; k < kBlock; ++k) {
+            const Rng rng = streamRng(seed, std::uint64_t(r + k));
+            for (unsigned w = 0; w < 4; ++w)
+                st[k / 8][w][k % 8] = rng.stateWord(w);
+        }
+        __m512i s0[kGroups], s1[kGroups], s2[kGroups], s3[kGroups];
+        __m512d sum[kGroups], comp[kGroups];
+        for (int g = 0; g < kGroups; ++g) {
+            s0[g] = _mm512_load_si512(st[g][0]);
+            s1[g] = _mm512_load_si512(st[g][1]);
+            s2[g] = _mm512_load_si512(st[g][2]);
+            s3[g] = _mm512_load_si512(st[g][3]);
+            sum[g] = _mm512_setzero_pd();
+            comp[g] = _mm512_setzero_pd();
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            __m512d x[kGroups];
+            for (int g = 0; g < kGroups; ++g) {
+                // xoshiro256** next: result = rotl(s1 * 5, 7) * 9.
+                __m512i r5 =
+                    _mm512_add_epi64(s1[g], _mm512_slli_epi64(s1[g], 2));
+                __m512i rr = _mm512_rol_epi64(r5, 7);
+                __m512i res =
+                    _mm512_add_epi64(rr, _mm512_slli_epi64(rr, 3));
+                __m512i t = _mm512_slli_epi64(s1[g], 17);
+                // State update; 0x96 = three-way XOR.
+                __m512i ns1 = _mm512_ternarylogic_epi64(s1[g], s2[g],
+                                                        s0[g], 0x96);
+                __m512i ns0 = _mm512_ternarylogic_epi64(s0[g], s3[g],
+                                                        s1[g], 0x96);
+                __m512i ns3 = _mm512_rol_epi64(
+                    _mm512_xor_si512(s3[g], s1[g]), 45);
+                s2[g] = _mm512_ternarylogic_epi64(s2[g], s0[g], t, 0x96);
+                s1[g] = ns1;
+                s0[g] = ns0;
+                s3[g] = ns3;
+                // idx = (hi32(res) * n) >> 32  — Rng::nextIndex.
+                __m512i idx = _mm512_srli_epi64(
+                    _mm512_mul_epu32(_mm512_srli_epi64(res, 32), vn), 32);
+                x[g] = _mm512_i64gather_pd(idx, data, 8);
+            }
+            for (int g = 0; g < kGroups; ++g) {
+                // Neumaier: vrangepd imm 0x7/0x6 select the
+                // larger/smaller-magnitude operand.
+                __m512d tt = _mm512_add_pd(sum[g], x[g]);
+                __m512d big = _mm512_range_pd(sum[g], x[g], 0x7);
+                __m512d small = _mm512_range_pd(sum[g], x[g], 0x6);
+                comp[g] = _mm512_add_pd(
+                    comp[g],
+                    _mm512_add_pd(_mm512_sub_pd(big, tt), small));
+                sum[g] = tt;
+            }
+        }
+        const __m512d vcount = _mm512_set1_pd(double(n));
+        for (int g = 0; g < kGroups; ++g)
+            _mm512_storeu_pd(
+                &means[(r - r0) + 8 * g],
+                _mm512_div_pd(_mm512_add_pd(sum[g], comp[g]), vcount));
+    }
+    // Partial block: the scalar kernel computes the same bits.
+    if (r < r1)
+        scalarBootstrapMeans(data, n, seed, r, r1, means + (r - r0));
+}
+
+#else // !MBIAS_AVX512_KERNEL
+
+bool
+avx512BootstrapSupported()
+{
+    return false;
+}
+
+void
+avx512BootstrapMeans(const double *, std::size_t, std::uint64_t, int,
+                     int, double *)
+{
+    mbias_panic("AVX-512 bootstrap kernel not compiled in");
+}
+
+#endif // MBIAS_AVX512_KERNEL
+
+} // namespace mbias::stats::detail

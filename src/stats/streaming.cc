@@ -1,0 +1,213 @@
+#include "stats/streaming.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mbias::stats
+{
+
+namespace
+{
+
+/** Fixed-seed SplitMix64 step: the reservoir's only randomness source,
+ *  so reservoir contents are a pure function of the value stream. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+StreamingSample::StreamingSample(std::size_t quantile_capacity)
+    : capacity_(quantile_capacity),
+      reservoirState_(0x5eed5eed5eed5eedULL)
+{
+    reservoir_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+StreamingSample::add(double x)
+{
+    ++count_;
+    // Welford's online moments.
+    const double delta = x - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (x - mean_);
+    // Neumaier-compensated total.
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x))
+        sumComp_ += (sum_ - t) + x;
+    else
+        sumComp_ += (x - t) + sum_;
+    sum_ = t;
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    if (capacity_ == 0)
+        return;
+    scratchValid_ = false;
+    if (reservoir_.size() < capacity_) {
+        reservoir_.push_back(x);
+    } else {
+        // Algorithm R: keep each seen value with probability K/count.
+        const std::uint64_t r = splitMix64(reservoirState_);
+        const std::size_t j = std::size_t(
+            (double(r >> 11) * 0x1.0p-53) * double(count_));
+        if (j < capacity_)
+            reservoir_[j] = x;
+    }
+}
+
+void
+StreamingSample::merge(const StreamingSample &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan's pairwise combination of (count, mean, M2).
+    const double na = double(count_), nb = double(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * (nb / n);
+    m2_ += other.m2_ + delta * delta * (na * nb / n);
+    count_ += other.count_;
+    // Totals: fold other's compensated sum in as one addend.
+    const double x = other.sum_ + other.sumComp_;
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x))
+        sumComp_ += (sum_ - t) + x;
+    else
+        sumComp_ += (x - t) + sum_;
+    sum_ = t;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    if (capacity_ == 0)
+        return;
+    scratchValid_ = false;
+    // Retained values: exact concatenation while it fits, otherwise a
+    // deterministic downsample of the pooled retained values.
+    reservoir_.insert(reservoir_.end(), other.reservoir_.begin(),
+                      other.reservoir_.end());
+    if (reservoir_.size() > capacity_) {
+        for (std::size_t i = 0; i < capacity_; ++i) {
+            const std::size_t span = reservoir_.size() - i;
+            const std::uint64_t r = splitMix64(reservoirState_);
+            const std::size_t j =
+                i + std::size_t((double(r >> 11) * 0x1.0p-53) *
+                                double(span));
+            std::swap(reservoir_[i], reservoir_[j]);
+        }
+        reservoir_.resize(capacity_);
+    }
+}
+
+double
+StreamingSample::mean() const
+{
+    mbias_assert(count_ > 0, "mean of empty streaming sample");
+    return mean_;
+}
+
+double
+StreamingSample::sum() const
+{
+    return sum_ + sumComp_;
+}
+
+double
+StreamingSample::variance() const
+{
+    mbias_assert(count_ >= 2, "variance needs n >= 2");
+    return m2_ / double(count_ - 1);
+}
+
+double
+StreamingSample::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StreamingSample::stderror() const
+{
+    return stddev() / std::sqrt(double(count_));
+}
+
+double
+StreamingSample::min() const
+{
+    mbias_assert(count_ > 0, "min of empty streaming sample");
+    return min_;
+}
+
+double
+StreamingSample::max() const
+{
+    mbias_assert(count_ > 0, "max of empty streaming sample");
+    return max_;
+}
+
+bool
+StreamingSample::quantilesExact() const
+{
+    return capacity_ > 0 && count_ <= capacity_ &&
+           reservoir_.size() == count_;
+}
+
+double
+StreamingSample::quantile(double q) const
+{
+    mbias_assert(capacity_ > 0,
+                 "quantile needs a StreamingSample with a reservoir");
+    mbias_assert(!reservoir_.empty(), "quantile of empty sample");
+    mbias_assert(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+    if (!scratchValid_) {
+        scratch_ = reservoir_;
+        std::sort(scratch_.begin(), scratch_.end());
+        scratchValid_ = true;
+    }
+    const auto &s = scratch_;
+    if (s.size() == 1)
+        return s.front();
+    const double pos = q * double(s.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - double(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double
+StreamingSample::median() const
+{
+    return quantile(0.5);
+}
+
+std::string
+StreamingSample::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << count_;
+    if (count_ > 0) {
+        os << " mean=" << mean() << " min=" << min() << " max=" << max();
+        if (count_ >= 2)
+            os << " sd=" << stddev();
+        if (capacity_ > 0 && !quantilesExact())
+            os << " (quantiles approximate)";
+    }
+    return os.str();
+}
+
+} // namespace mbias::stats

@@ -1,0 +1,104 @@
+#ifndef MBIAS_STATS_STREAMING_HH
+#define MBIAS_STATS_STREAMING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbias::stats
+{
+
+/**
+ * Single-pass summary statistics: Welford moments, a Neumaier
+ * compensated total, min/max, and (optionally) quantile support via a
+ * bounded deterministic reservoir.
+ *
+ * Sample keeps every observation because bootstrap resampling and
+ * density estimation need the raw data; aggregation paths that only
+ * report moments and the odd quantile do not, and on campaign-scale
+ * stores the difference is materializing hundreds of thousands of
+ * doubles versus O(1) state.  StreamingSample is the O(1)-state
+ * counterpart: numerically stable (Welford's update never forms the
+ * catastrophic sum-of-squares difference), mergeable across chunks
+ * (Chan's parallel update), and deterministic — the reservoir is
+ * driven by a fixed-seed generator keyed only by how many values have
+ * been seen, never by wall clock or address.
+ *
+ * With quantile_capacity = 0 (the default) only moments are tracked.
+ * With a capacity K, quantiles are *exact* while count() <= K and an
+ * unbiased reservoir approximation afterwards; quantilesExact() says
+ * which one a caller is getting.
+ */
+class StreamingSample
+{
+  public:
+    explicit StreamingSample(std::size_t quantile_capacity = 0);
+
+    /** Adds one observation. */
+    void add(double x);
+
+    /** Folds @p other in as if its values had been added here (Chan's
+     *  pairwise moment combination; moments match the sequential
+     *  result to rounding, not bitwise). */
+    void merge(const StreamingSample &other);
+
+    std::size_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Arithmetic mean; requires at least one observation. */
+    double mean() const;
+
+    /** Neumaier-compensated sum of all observations. */
+    double sum() const;
+
+    /** Unbiased sample variance (n-1 denominator); needs n >= 2. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation; needs n >= 2. */
+    double stddev() const;
+
+    /** Standard error of the mean; needs n >= 2. */
+    double stderror() const;
+
+    /** Smallest observation. */
+    double min() const;
+
+    /** Largest observation. */
+    double max() const;
+
+    /** True while quantile() is computed from every observation (count
+     *  has not outgrown the reservoir). */
+    bool quantilesExact() const;
+
+    /**
+     * Linear-interpolated quantile over the retained values (type-7,
+     * matching Sample::quantile); requires a nonzero capacity and at
+     * least one observation.  Exact iff quantilesExact().
+     */
+    double quantile(double q) const;
+
+    /** Median (0.5 quantile); same retention caveats as quantile(). */
+    double median() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    std::size_t capacity_;
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double sumComp_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t reservoirState_; ///< SplitMix64 state for Algorithm R
+    std::vector<double> reservoir_;
+    mutable std::vector<double> scratch_; ///< sorted copy for quantiles
+    mutable bool scratchValid_ = false;
+};
+
+} // namespace mbias::stats
+
+#endif // MBIAS_STATS_STREAMING_HH

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 
 namespace mbias::toolchain
@@ -11,41 +12,10 @@ namespace mbias::toolchain
 namespace
 {
 
-/** One FNV-1a stream; the 128-bit fingerprint runs two with different
- *  offset bases so a collision must defeat both independently. */
-class Fnv
-{
-  public:
-    explicit Fnv(std::uint64_t offset) : h_(offset) {}
-
-    void
-    bytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const std::uint8_t *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h_ ^= p[i];
-            h_ *= 0x100000001b3ULL;
-        }
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        bytes(&v, sizeof(v));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u64(s.size());
-        bytes(s.data(), s.size());
-    }
-
-    std::uint64_t value() const { return h_; }
-
-  private:
-    std::uint64_t h_;
-};
+/** The shared FNV-1a stream; the 128-bit fingerprint runs two with
+ *  different offset bases so a collision must defeat both
+ *  independently. */
+using Fnv = Fnv1a;
 
 void
 hashInstruction(Fnv &f, const isa::Instruction &inst)
@@ -97,7 +67,7 @@ mix64(std::uint64_t x)
 std::uint64_t
 linkerConfigFingerprint(const LinkerConfig &c)
 {
-    Fnv f(0xcbf29ce484222325ULL);
+    Fnv f(kFnv1aOffsetBasis);
     f.u64(c.codeBase);
     f.u64(c.dataPageAlign);
     f.u64(c.dataGap);
@@ -109,7 +79,7 @@ linkerConfigFingerprint(const LinkerConfig &c)
 std::pair<std::uint64_t, std::uint64_t>
 fingerprintModules(const std::vector<isa::Module> &modules)
 {
-    Fnv a(0xcbf29ce484222325ULL); // standard FNV-1a offset basis
+    Fnv a(kFnv1aOffsetBasis);     // standard FNV-1a offset basis
     Fnv b(0x9ae16a3b2f90404fULL); // an unrelated odd constant
     a.u64(modules.size());
     b.u64(modules.size());

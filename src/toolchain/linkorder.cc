@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/random.hh"
 
@@ -72,19 +73,14 @@ LinkOrder::permutation(const std::vector<std::string> &module_names) const
 std::uint64_t
 LinkOrder::fingerprint() const
 {
-    // FNV-1a over the discriminating fields.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](std::uint64_t v) {
-        for (unsigned i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 0x100000001b3ULL;
-        }
-    };
-    mix(std::uint64_t(kind_));
-    mix(seed_);
+    // FNV-1a over the discriminating fields (same byte stream as the
+    // old hand-rolled loop: each value hashed as 8 LE bytes).
+    Fnv1a f;
+    f.u64(std::uint64_t(kind_));
+    f.u64(seed_);
     for (std::size_t p : perm_)
-        mix(p);
-    return h;
+        f.u64(p);
+    return f.value();
 }
 
 std::string

@@ -1,0 +1,63 @@
+/** @file Tests for the shared FNV-1a hashing helpers. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/hash.hh"
+
+namespace
+{
+
+using namespace mbias;
+
+TEST(Fnv1aHash, EmptyIsOffsetBasis)
+{
+    EXPECT_EQ(fnv1a(""), kFnv1aOffsetBasis);
+    EXPECT_EQ(Fnv1a().value(), kFnv1aOffsetBasis);
+}
+
+TEST(Fnv1aHash, KnownVectors)
+{
+    // Reference vectors from the FNV specification (64-bit FNV-1a).
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aHash, StreamingBytesMatchOneShot)
+{
+    Fnv1a f;
+    f.bytes("foo", 3);
+    f.bytes("bar", 3);
+    EXPECT_EQ(f.value(), fnv1a("foobar"));
+}
+
+TEST(Fnv1aHash, U64FeedsLittleEndianBytes)
+{
+    Fnv1a a, b;
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    a.u64(v);
+    b.bytes(&v, sizeof(v));
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fnv1aHash, StrIsLengthPrefixed)
+{
+    // The length prefix keeps field boundaries in the stream: the
+    // concatenation ("ab", "") must not collide with ("a", "b").
+    Fnv1a split, joined;
+    split.str("a");
+    split.str("b");
+    joined.str("ab");
+    joined.str("");
+    EXPECT_NE(split.value(), joined.value());
+}
+
+TEST(Fnv1aHash, Hex16PadsTo16Digits)
+{
+    EXPECT_EQ(hex16(0), "0000000000000000");
+    EXPECT_EQ(hex16(0xdeadbeefULL), "00000000deadbeef");
+    EXPECT_EQ(hex16(~0ULL), "ffffffffffffffff");
+    EXPECT_EQ(hex16(fnv1a("perl")).size(), 16u);
+}
+
+} // namespace

@@ -58,6 +58,44 @@ TEST(Rng, RangeInclusive)
     EXPECT_TRUE(saw_hi);
 }
 
+TEST(Rng, NextIndexFormulaAndRange)
+{
+    // nextIndex is the stats engine's draw primitive: exactly one
+    // generator step, fixed-point scaling of the top 32 bits.  The
+    // formula is part of the bitwise contract, so pin it.
+    Rng a(41), b(41);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t idx = a.nextIndex(527);
+        EXPECT_LT(idx, 527u);
+        EXPECT_EQ(idx, ((b.next() >> 32) * 527) >> 32);
+    }
+}
+
+TEST(Rng, NextIndexDegenerateAndFullRange)
+{
+    Rng rng(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextIndex(1), 0u);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextIndex(4));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, StateWordsExposeGeneratorState)
+{
+    Rng a(47), b(47);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(a.stateWord(w), b.stateWord(w));
+    a.next();
+    bool changed = false;
+    for (unsigned w = 0; w < 4; ++w)
+        changed |= a.stateWord(w) != b.stateWord(w);
+    EXPECT_TRUE(changed);
+    // Reading state never advances it.
+    EXPECT_EQ(b.next(), Rng(47).next());
+}
+
 TEST(Rng, DoubleInUnitInterval)
 {
     Rng rng(11);

@@ -8,6 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "campaign/engine.hh"
 #include "campaign/store.hh"
@@ -112,6 +116,107 @@ TEST(TaskRecord, RejectsTornLines)
         EXPECT_FALSE(TaskRecord::fromJson(line.substr(0, cut), back))
             << "accepted torn prefix of length " << cut;
     EXPECT_FALSE(TaskRecord::fromJson("not json at all", back));
+}
+
+/** Rotates the record's first JSON field to the end of the line (the
+ *  store's values never contain commas, so a flat split is safe). */
+std::string
+rotateFields(const std::string &line)
+{
+    const std::string body = line.substr(1, line.size() - 2);
+    const auto comma = body.find(',');
+    return "{" + body.substr(comma + 1) + "," + body.substr(0, comma) +
+           "}";
+}
+
+// The single-pass parser dispatches on field names as it walks the
+// line, so a record written with another field order (a hand-edited
+// store, or a future writer) still parses to the same bits.
+TEST(TaskRecord, ParserIsFieldOrderTolerant)
+{
+    core::RunOutcome o;
+    o.setup.envBytes = 300;
+    o.baseline.halted = o.treatment.halted = true;
+    o.speedup = 1.0625;
+    CampaignTask t = task(300);
+    t.index = 7;
+    const auto rec =
+        TaskRecord::make("0123456789abcdef", t, o, 4.25, 4.0);
+    std::string line = rec.toJson();
+    TaskRecord expect;
+    ASSERT_TRUE(TaskRecord::fromJson(line, expect));
+    // Every rotation keeps all 16 fields; parse must be identical.
+    for (int i = 0; i < 16; ++i) {
+        line = rotateFields(line);
+        TaskRecord back;
+        ASSERT_TRUE(TaskRecord::fromJson(line, back)) << line;
+        EXPECT_EQ(back.key, expect.key);
+        EXPECT_EQ(back.taskIndex, expect.taskIndex);
+        EXPECT_EQ(back.envBytes, expect.envBytes);
+        EXPECT_EQ(back.speedupBits, expect.speedupBits);
+        EXPECT_EQ(back.baseMetricBits, expect.baseMetricBits);
+    }
+}
+
+TEST(TaskRecord, RejectsMissingAndDuplicateDamage)
+{
+    core::RunOutcome o;
+    o.speedup = 2.0;
+    const auto rec = TaskRecord::make("0123456789abcdef", task(52), o,
+                                      2.0, 1.0);
+    const std::string line = rec.toJson();
+    TaskRecord back;
+    // Deleting any one field leaves an incomplete record.
+    const auto comma = line.find(',');
+    const std::string missing =
+        "{" + line.substr(comma + 1); // drops the first field
+    EXPECT_FALSE(TaskRecord::fromJson(missing, back));
+    // Unknown fields are skipped, not fatal (forward compatibility).
+    std::string extended = line;
+    extended.insert(extended.size() - 1, ",\"future_field\":123");
+    EXPECT_TRUE(TaskRecord::fromJson(extended, back));
+    EXPECT_EQ(back.key, rec.key);
+}
+
+TEST(StoreColumns, DedupsOrdersAndCountsTorn)
+{
+    const std::string path =
+        testing::TempDir() + "/mbias_columns_test.jsonl";
+    std::filesystem::remove(path);
+
+    auto record = [](const std::string &key, std::uint64_t index,
+                     double speedup) {
+        core::RunOutcome o;
+        o.baseline.halted = o.treatment.halted = true;
+        o.speedup = speedup;
+        CampaignTask t = task(index * 100);
+        t.index = index;
+        return TaskRecord::make(key, t, o, speedup, 1.0);
+    };
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"mbias_store\":1,\"provenance\":{\"host\":\"x\"}}\n";
+        // Appended out of task order, with one duplicate key (the
+        // later record wins, as in ResultStore::load) and one torn
+        // line.
+        out << record("00000000000000bb", 2, 1.50).toJson() << "\n";
+        out << record("00000000000000aa", 1, 1.10).toJson() << "\n";
+        out << "{\"key\":\"torn" << "\n";
+        out << record("00000000000000bb", 2, 1.75).toJson() << "\n";
+        out << record("00000000000000cc", 3, 0.90).toJson() << "\n";
+        out << "{\"mbias_metrics\":1,\"counters\":{}}\n";
+    }
+
+    const auto cols = campaign::readStoreColumns(path);
+    ASSERT_EQ(cols.rows(), 3u);
+    EXPECT_EQ(cols.tornLines, 1u);
+    EXPECT_EQ(cols.provenanceJson, "{\"host\":\"x\"}");
+    // Rows come back in ascending task order regardless of append
+    // order, and the duplicate key kept its last speedup.
+    EXPECT_EQ(cols.taskIndex, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(cols.speedup, (std::vector<double>{1.10, 1.75, 0.90}));
+    EXPECT_EQ(cols.envBytes, (std::vector<std::uint64_t>{100, 200, 300}));
+    std::filesystem::remove(path);
 }
 
 TEST(ResultCache, AccountsHits)

@@ -10,14 +10,19 @@
  *                  [--counters]
  *   mbias bias     --workload perl [--factor env|link|both]
  *                  [--setups N] [--machine M] [--vendor V]
+ *                  [--resamples R] [--confidence C]
  *   mbias campaign --workload perl [--factor env|link|both]
  *                  [--setups N] [--jobs N] [--resume] [--out PATH]
  *                  [--seed S] [--aslr-reps K] [--no-store]
  *                  [--trace T.json] [--provenance]
- *                  [--no-artifact-cache]
+ *                  [--no-artifact-cache] [--resamples R]
+ *                  [--confidence C]
+ *   mbias analyze  [--store PATH] [--jobs N] [--resamples R]
+ *                  [--confidence C] [--seed S]
  *   mbias obs-summary [--store PATH]
  *   mbias causal   --workload perl [--factor env|link] [--setups N]
  *   mbias variance --workload perl [--env N] [--reps K]
+ *                  [--confidence C]
  *   mbias survey
  *
  * Global flags: --quiet silences warn/inform (and the campaign
@@ -70,6 +75,13 @@ struct Args
     {
         auto it = options.find(key);
         return it == options.end() ? dflt : std::stoull(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double dflt) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? dflt : std::stod(it->second);
     }
 };
 
@@ -204,7 +216,12 @@ cmdBias(const Args &args)
     auto space = spaceByFactor(args.get("factor", "both"));
     core::SetupRandomizer randomizer(space, args.getInt("seed", 42));
     const unsigned n = unsigned(args.getInt("setups", 31));
-    auto report = core::BiasAnalyzer().analyze(spec, randomizer, n);
+    core::BiasAnalyzer analyzer(0.01,
+                                args.getDouble("confidence", 0.95));
+    if (const int resamples = int(args.getInt("resamples", 0)))
+        analyzer.withBootstrap(resamples, args.getInt("seed", 42),
+                               unsigned(args.getInt("jobs", 1)));
+    auto report = analyzer.analyze(spec, randomizer, n);
     std::printf("%s\n", report.str().c_str());
     auto check = core::ConclusionChecker().check(report);
     std::printf("%s", check.str().c_str());
@@ -231,6 +248,8 @@ cmdCampaign(const Args &args)
     opts.resume = args.options.count("resume") > 0;
     opts.tracePath = args.get("trace", "");
     opts.artifactCache = args.options.count("no-artifact-cache") == 0;
+    opts.confidence = args.getDouble("confidence", 0.95);
+    opts.resamples = int(args.getInt("resamples", 0));
     // The in-place progress line is for humans watching a terminal;
     // logs and pipes get clean output.
     opts.progress = loggingEnabled() && isatty(fileno(stderr));
@@ -254,6 +273,32 @@ cmdCampaign(const Args &args)
     } else if (args.options.count("provenance")) {
         std::printf("provenance:\n%s", report.provenance.str().c_str());
     }
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const std::string path =
+        args.get("store", args.get("out", "results/campaign.jsonl"));
+    if (FILE *f = std::fopen(path.c_str(), "rb"))
+        std::fclose(f);
+    else
+        mbias_fatal("no result store at '", path,
+                    "' (run `mbias campaign --out ", path,
+                    "` first, or pass --store)");
+    campaign::AnalyzeOptions opts;
+    opts.jobs = unsigned(args.getInt("jobs", 1));
+    opts.resamples = int(args.getInt("resamples", 1000));
+    opts.confidence = args.getDouble("confidence", 0.95);
+    opts.seed = args.getInt("seed", 42);
+    obs::Registry metrics;
+    if (args.options.count("verbose"))
+        opts.metrics = &metrics;
+    const auto analysis = campaign::analyzeStore(path, opts);
+    std::printf("%s", analysis.str().c_str());
+    if (args.options.count("verbose"))
+        std::printf("metrics:\n%s", metrics.snapshot().str().c_str());
     return 0;
 }
 
@@ -290,7 +335,9 @@ cmdVariance(const Args &args)
     home.envBytes = args.getInt("env", 300);
     auto peers = core::SetupSpace().varyEnvSize().grid(
         unsigned(args.getInt("setups", 16)));
-    core::VarianceAnalyzer analyzer(unsigned(args.getInt("reps", 15)));
+    core::VarianceAnalyzer analyzer(unsigned(args.getInt("reps", 15)),
+                                    0xfeed,
+                                    args.getDouble("confidence", 0.95));
     auto report = analyzer.analyze(spec, home, peers);
     std::printf("%s", report.str().c_str());
     return 0;
@@ -410,13 +457,18 @@ usage()
         "           [--machine M] [--vendor V] [--counters]\n"
         "           [--manifest]\n"
         "  bias     --workload W [--factor env|link|both] [--setups N]\n"
+        "           [--resamples R] [--confidence C]\n"
         "  campaign --workload W [--factor env|link|both] [--setups N]\n"
         "           [--jobs N] [--resume] [--out PATH] [--seed S]\n"
         "           [--aslr-reps K] [--no-store] [--trace T.json]\n"
         "           [--provenance] [--no-artifact-cache]\n"
+        "           [--resamples R] [--confidence C]\n"
+        "  analyze  [--store PATH] [--jobs N] [--resamples R]\n"
+        "           [--confidence C] [--seed S]\n"
         "  obs-summary [--store PATH]\n"
         "  causal   --workload W [--factor env|link] [--setups N]\n"
         "  variance --workload W [--env N] [--reps K]\n"
+        "           [--confidence C]\n"
         "  profile  --workload W [--opt O] [--env N] [--top K]\n"
         "  disasm   --workload W [--opt O] [--link-seed S]\n"
         "           [--function F]\n"
@@ -445,6 +497,8 @@ main(int argc, char **argv)
         return cmdBias(args);
     if (args.command == "campaign")
         return cmdCampaign(args);
+    if (args.command == "analyze")
+        return cmdAnalyze(args);
     if (args.command == "obs-summary")
         return cmdObsSummary(args);
     if (args.command == "causal")
