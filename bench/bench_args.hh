@@ -1,35 +1,28 @@
 #ifndef MBIAS_BENCH_BENCH_ARGS_HH
 #define MBIAS_BENCH_BENCH_ARGS_HH
 
-#include <cstdlib>
-#include <cstring>
+#include "pipeline/options.hh"
 
 namespace mbias::benchutil
 {
 
 /**
- * Parses the one flag the campaign-engine-backed figure harnesses
- * share: `--jobs N` (worker threads; default 1).  Any other argument
- * is ignored so wrapper scripts can pass harness-wide flag sets.
- * Results are identical for every value of N — the engine's
- * determinism guarantee — only the wall-clock changes.
+ * Thin compatibility shims over the shared pipeline parser
+ * (pipeline::parsePipelineArgs) for the microbenchmarks, which are
+ * not registered figures but take the same flags.  The figure/table
+ * harnesses themselves no longer use these — their wrapper binaries
+ * parse through pipeline::figureMain directly.
  */
 inline unsigned
 jobsFromArgs(int argc, char **argv)
 {
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::strcmp(argv[i], "--jobs") == 0)
-            return unsigned(std::strtoul(argv[i + 1], nullptr, 10));
-    return 1;
+    return pipeline::parsePipelineArgs(argc, argv).options.jobs;
 }
 
 /**
- * The shared flag set of the statistics-aware harnesses (fig7, fig8):
- * `--jobs N`, `--resamples R`, and `--confidence C`.  Unknown
- * arguments are ignored, like jobsFromArgs.  The defaults reproduce
- * the harnesses' historical output byte for byte: resamples 0 keeps
- * the Student-t interval, and 0.95 is the level every figure has
- * always reported.
+ * The historical bench flag set with its historical defaults:
+ * resamples 0 keeps the Student-t interval, and 0.95 is the level
+ * every harness has always reported.
  */
 struct BenchArgs
 {
@@ -40,15 +33,11 @@ struct BenchArgs
     static BenchArgs
     parse(int argc, char **argv)
     {
+        const auto parsed = pipeline::parsePipelineArgs(argc, argv);
         BenchArgs a;
-        for (int i = 1; i + 1 < argc; ++i) {
-            if (std::strcmp(argv[i], "--jobs") == 0)
-                a.jobs = unsigned(std::strtoul(argv[i + 1], nullptr, 10));
-            else if (std::strcmp(argv[i], "--resamples") == 0)
-                a.resamples = int(std::strtol(argv[i + 1], nullptr, 10));
-            else if (std::strcmp(argv[i], "--confidence") == 0)
-                a.confidence = std::strtod(argv[i + 1], nullptr);
-        }
+        a.jobs = parsed.options.jobs;
+        a.resamples = parsed.options.resamplesOr(0);
+        a.confidence = parsed.options.confidenceOr(0.95);
         return a;
     }
 };

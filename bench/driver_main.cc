@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The one main() behind every figure/table wrapper binary.  Each
+ * binary keeps its historical name (fig3_env_size_core2, ...) but is
+ * this same translation unit compiled with -DMBIAS_FIGURE_ID="figN":
+ * register the figure definitions, then hand off to the pipeline
+ * driver, which parses the shared flags and renders the one figure.
+ */
+#include "figures/figures.hh"
+#include "pipeline/driver.hh"
+
+#ifndef MBIAS_FIGURE_ID
+#error "wrapper binaries must be compiled with -DMBIAS_FIGURE_ID"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    mbias::figures::registerAll();
+    return mbias::pipeline::figureMain(MBIAS_FIGURE_ID, argc, argv);
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Extension harness A2: variance decomposition for the whole suite.
+ * For each workload: the within-setup CI from 15 noisy repetitions at
+ * an arbitrary home setup, vs the between-setup distribution.  A
+ * variance ratio >> 1 with a disjoint CI is the "tight interval around
+ * the wrong value" failure mode the paper warns about.
+ *
+ * Lowered onto the campaign engine as NoisePaired tasks: the home
+ * setup is one 15-rep task, the peer setups one single-rep task each,
+ * all with the pinned noise seeds the serial analyzer used.  The
+ * per-rep ratios feed VarianceAnalyzer::aggregate — the same math,
+ * campaign-measured data.
+ */
+#include <cstdio>
+
+#include "core/setup.hh"
+#include "core/table.hh"
+#include "core/variance.hh"
+#include "figures.hh"
+#include "pipeline/context.hh"
+#include "workloads/registry.hh"
+
+using namespace mbias;
+
+namespace
+{
+
+constexpr unsigned reps = 15;
+constexpr std::uint64_t noise_seed = 0xfeed;
+
+core::VarianceReport
+decompose(pipeline::FigureContext &ctx, const core::ExperimentSpec &spec,
+          const core::ExperimentSetup &home,
+          const std::vector<core::ExperimentSetup> &peers,
+          const core::VarianceAnalyzer &analyzer)
+{
+    using Kind = campaign::RepetitionPlan::Kind;
+
+    // Within: repeat base and treatment at the home setup (treatment
+    // noise seeds offset by 7919, as always).
+    const auto wr = ctx.run(
+        pipeline::Sweep(spec)
+            .seededSetups({{home, noise_seed}})
+            .plan({Kind::NoisePaired, reps, /*treatSeedOffset=*/7919}));
+    const auto &wo = wr.bias.outcomes.at(0);
+    std::vector<double> within;
+    for (unsigned i = 0; i < reps; ++i)
+        within.push_back(wo.repBaseline[i] / wo.repTreatment[i]);
+
+    // Between: one noisy repetition per peer setup, seeds walking
+    // noise_seed + 104729, +2 per setup (+1 for the treatment side).
+    std::vector<campaign::SeededSetup> seeded;
+    std::uint64_t seed = noise_seed + 104729;
+    for (const auto &s : peers) {
+        seeded.push_back({s, seed});
+        seed += 2;
+    }
+    const auto br = ctx.run(
+        pipeline::Sweep(spec)
+            .seededSetups(std::move(seeded))
+            .plan({Kind::NoisePaired, 1, /*treatSeedOffset=*/1}));
+    std::vector<double> between;
+    for (const auto &o : br.bias.outcomes)
+        between.push_back(o.repBaseline[0] / o.repTreatment[0]);
+
+    return analyzer.aggregate(spec, within, between);
+}
+
+void
+render(pipeline::FigureContext &ctx)
+{
+    std::printf("A2: within-setup noise vs between-setup bias "
+                "(core2like, gcc O2 vs O3)\n\n");
+    core::TextTable t({"workload", "repetition CI (one setup)",
+                       "cross-setup mean", "var ratio",
+                       "false confidence"});
+    core::VarianceAnalyzer analyzer(reps, noise_seed, ctx.confidence());
+    core::ExperimentSetup home;
+    home.envBytes = 300;
+    auto peers = core::SetupSpace().varyEnvSize().grid(16);
+
+    unsigned fooled = 0;
+    for (const auto *w : workloads::suite()) {
+        core::ExperimentSpec spec;
+        spec.withWorkload(w->name());
+        auto r = decompose(ctx, spec, home, peers, analyzer);
+        fooled += r.falseConfidence;
+        t.addRow({w->name(),
+                  "[" + core::fmt(r.withinCI.lower) + ", " +
+                      core::fmt(r.withinCI.upper) + "]",
+                  core::fmt(r.betweenSetups.mean()),
+                  core::fmt(r.varianceRatio, 1),
+                  r.falseConfidence ? "YES" : "no"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("%u of %zu workloads yield a tight repetition CI that "
+                "excludes the cross-setup mean:\n"
+                "repetition controls noise, not bias.\n",
+                fooled, workloads::suite().size());
+}
+
+} // namespace
+
+namespace mbias::figures
+{
+
+pipeline::FigureSpec
+fig8()
+{
+    return {"fig8", pipeline::FigureSpec::Kind::Figure,
+            "fig8_false_confidence",
+            "within-setup noise vs between-setup bias (false confidence)",
+            render};
+}
+
+} // namespace mbias::figures

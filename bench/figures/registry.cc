@@ -1,0 +1,31 @@
+#include "figures.hh"
+
+namespace mbias::figures
+{
+
+void
+registerAll()
+{
+    static const bool once = [] {
+        auto &reg = pipeline::FigureRegistry::instance();
+        reg.add(fig1());
+        reg.add(fig2());
+        reg.add(fig3());
+        reg.add(fig4());
+        reg.add(fig5());
+        reg.add(fig6());
+        reg.add(fig7());
+        reg.add(fig8());
+        reg.add(fig9());
+        reg.add(fig10());
+        reg.add(fig11());
+        reg.add(table1());
+        reg.add(table2());
+        reg.add(table3());
+        reg.add(ablation());
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace mbias::figures

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Benchmarks the pipeline driver: `mbias all` at --jobs 1 vs --jobs N
+# must produce identical bytes (volatile [campaign:]/[metrics]
+# accounting lines aside) while the parallel run finishes faster.
+# Writes wall times and the speedup to results/BENCH_pipeline.json.
+#
+# Usage: scripts/bench_pipeline.sh [build-dir] [jobs]
+set -e
+
+BUILD="${1:-build}"
+JOBS="${2:-8}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+MBIAS="$BUILD/tools/mbias"
+[ -x "$MBIAS" ] || {
+    echo "no mbias binary at $MBIAS (build first)" >&2
+    exit 1
+}
+
+mkdir -p results
+tmp_serial="$(mktemp)"
+tmp_parallel="$(mktemp)"
+trap 'rm -f "$tmp_serial" "$tmp_parallel"' EXIT
+
+run() { # jobs outfile -> wall seconds on stdout
+    start="$(date +%s.%N)"
+    "$MBIAS" all --jobs "$1" --quiet \
+        | sed -e '/^\[campaign:/d' -e '/^\[metrics\]/d' > "$2"
+    end="$(date +%s.%N)"
+    echo "$end $start" | awk '{print $1-$2}'
+}
+
+echo "== mbias all --jobs 1 =="
+SERIAL_SECONDS="$(run 1 "$tmp_serial")"
+echo "   $SERIAL_SECONDS s"
+
+echo "== mbias all --jobs $JOBS =="
+PARALLEL_SECONDS="$(run "$JOBS" "$tmp_parallel")"
+echo "   $PARALLEL_SECONDS s"
+
+if ! diff -u "$tmp_serial" "$tmp_parallel"; then
+    echo "FAIL: --jobs $JOBS output diverges from --jobs 1" >&2
+    exit 1
+fi
+echo "outputs identical at --jobs 1 and --jobs $JOBS"
+
+# Wall-clock speedup is bounded by the host's core count; record it so
+# a 1-core container's ~1.0x reads as "saturated", not "broken".
+CORES="$(nproc 2>/dev/null || echo 1)"
+awk -v jobs="$JOBS" -v serial="$SERIAL_SECONDS" \
+    -v parallel="$PARALLEL_SECONDS" -v cores="$CORES" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"mbias all (every figure and table)\",\n"
+    printf "  \"identical_output\": true,\n"
+    printf "  \"host_cores\": %s,\n", cores
+    printf "  \"serial_seconds\": %.3f,\n", serial
+    printf "  \"parallel_jobs\": %s,\n", jobs
+    printf "  \"parallel_seconds\": %.3f,\n", parallel
+    printf "  \"speedup\": %.2f\n", serial / parallel
+    printf "}\n"
+}' > results/BENCH_pipeline.json
+
+cat results/BENCH_pipeline.json
+echo "pipeline timings: results/BENCH_pipeline.json"

@@ -21,57 +21,51 @@ ctest --test-dir "$BUILD" 2>&1 | tee results/test_output.txt
 JOBS="$(nproc 2>/dev/null || echo 1)"
 
 echo "== tables & figures =="
-: > results/bench_output.txt
-: > results/BENCH_campaign.json
-printf '{\n  "jobs": %s,\n  "figures": [\n' "$JOBS" \
-    >> results/BENCH_campaign.json
-first=1
-for b in "$BUILD"/bench/*; do
-    [ -f "$b" ] && [ -x "$b" ] || continue
-    name="$(basename "$b")"
-    echo "---- $name ----" | tee -a results/bench_output.txt
-    # Campaign-engine harnesses take --jobs; results are bitwise
-    # independent of the job count, so parallelism is free here.
-    case "$name" in
-      fig3_env_size_core2|fig7_setup_randomization|fig11_layout_randomization)
-        start="$(date +%s.%N)"
-        "$b" --jobs "$JOBS" 2>&1 | tee -a results/bench_output.txt
-        end="$(date +%s.%N)"
-        # The harness prints its merged execution metrics (cache hits,
-        # queue waits, task latencies) as one `[metrics] {...}` line;
-        # embed that object next to the wall time.
-        metrics="$(grep '^\[metrics\] ' results/bench_output.txt \
-            | tail -n 1 | sed 's/^\[metrics\] //')"
-        [ -n "$metrics" ] || metrics='{}'
-        [ "$first" = 1 ] || printf ',\n' >> results/BENCH_campaign.json
-        first=0
-        printf '    {"figure": "%s", "jobs": %s, "wall_seconds": %s, "metrics": %s}' \
-            "$name" "$JOBS" "$(echo "$end $start" | awk '{print $1-$2}')" \
-            "$metrics" >> results/BENCH_campaign.json
-        ;;
-      microbench_sim_throughput)
-        # Prints progress on stderr and one JSON document on stdout:
-        # the artifact-cache x interpreter throughput matrix.
-        "$b" --jobs "$JOBS" 2>&1 >results/BENCH_sim.json \
-            | tee -a results/bench_output.txt
-        echo "sim throughput: results/BENCH_sim.json" \
-            | tee -a results/bench_output.txt
-        ;;
-      microbench_stats_throughput)
-        # Same shape for the stats engine: store-read and bootstrap
-        # throughput, serial reference vs fast arms, bitwise-checked.
-        "$b" --jobs "$JOBS" 2>&1 >results/BENCH_stats.json \
-            | tee -a results/bench_output.txt
-        echo "stats throughput: results/BENCH_stats.json" \
-            | tee -a results/bench_output.txt
-        ;;
-      *)
-        "$b" 2>&1 | tee -a results/bench_output.txt
-        ;;
-    esac
-done
-printf '\n  ]\n}\n' >> results/BENCH_campaign.json
+# Every figure/table renders through the one registry-driven pipeline
+# entry point; results are bitwise independent of the job count, so
+# parallelism is free here.  The per-figure wrapper binaries in
+# $BUILD/bench/ still exist (same bytes, one figure each) for anyone
+# chasing a single figure.
+start="$(date +%s.%N)"
+"$BUILD"/tools/mbias all --jobs "$JOBS" 2>&1 \
+    | tee results/bench_output.txt
+end="$(date +%s.%N)"
+ALL_SECONDS="$(echo "$end $start" | awk '{print $1-$2}')"
+
+# The campaign-heavy figures print their merged execution metrics
+# (cache hits, queue waits, task latencies) as one `[metrics] {...}`
+# line each; lift those out of the transcript, keyed by the section
+# headers `mbias all` prints between figures.
+awk -v jobs="$JOBS" -v wall="$ALL_SECONDS" '
+    /^---- .* ----$/ { section = $2; next }
+    /^\[metrics\] /  { sub(/^\[metrics\] /, "");
+                       metrics[section] = $0;
+                       if (!(section in seen)) { order[++n] = section;
+                                                 seen[section] = 1 } }
+    END {
+        printf "{\n  \"jobs\": %s,\n  \"all_wall_seconds\": %s,\n", \
+               jobs, wall
+        printf "  \"figures\": [\n"
+        for (i = 1; i <= n; i++)
+            printf "    {\"figure\": \"%s\", \"metrics\": %s}%s\n", \
+                   order[i], metrics[order[i]], i < n ? "," : ""
+        printf "  ]\n}\n"
+    }' results/bench_output.txt > results/BENCH_campaign.json
 echo "campaign harness timings: results/BENCH_campaign.json"
+
+echo "== microbenchmarks =="
+# Prints progress on stderr and one JSON document on stdout: the
+# artifact-cache x interpreter throughput matrix.
+"$BUILD"/bench/microbench_sim_throughput --jobs "$JOBS" \
+    2>&1 >results/BENCH_sim.json | tee -a results/bench_output.txt
+echo "sim throughput: results/BENCH_sim.json" \
+    | tee -a results/bench_output.txt
+# Same shape for the stats engine: store-read and bootstrap
+# throughput, serial reference vs fast arms, bitwise-checked.
+"$BUILD"/bench/microbench_stats_throughput --jobs "$JOBS" \
+    2>&1 >results/BENCH_stats.json | tee -a results/bench_output.txt
+echo "stats throughput: results/BENCH_stats.json" \
+    | tee -a results/bench_output.txt
 
 echo "== examples =="
 : > results/examples_output.txt

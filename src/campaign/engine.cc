@@ -37,26 +37,76 @@ executeTask(core::ExperimentRunner &runner, const CampaignTask &task)
 {
     const core::ExperimentSpec &spec = runner.spec();
     TaskResult r;
-    if (task.plan.kind == RepetitionPlan::Kind::Single) {
+    switch (task.plan.kind) {
+      case RepetitionPlan::Kind::Single:
         r.outcome = runner.run(task.setup);
         r.baseMetric = runner.metricOf(r.outcome.baseline);
         r.treatMetric = runner.metricOf(r.outcome.treatment);
         return r;
+
+      case RepetitionPlan::Kind::AslrRandomized: {
+        // Each side draws its per-run layout seeds from a stream
+        // derived from the task seed, so the task is a pure function
+        // of (campaign seed, index) like every other.
+        auto base = runner.aslrRandomizedMetric(spec.baseline, task.setup,
+                                                task.plan.reps,
+                                                mixSeed(task.taskSeed, 0));
+        auto treat = runner.aslrRandomizedMetric(
+            spec.treatment, task.setup, task.plan.reps,
+            mixSeed(task.taskSeed, 1));
+        r.outcome.setup = task.setup;
+        r.outcome.baseline.halted = r.outcome.treatment.halted = true;
+        r.baseMetric = base.mean();
+        r.treatMetric = treat.mean();
+        mbias_assert(r.treatMetric > 0.0, "degenerate metric");
+        r.outcome.speedup = r.baseMetric / r.treatMetric;
+        return r;
+      }
+
+      case RepetitionPlan::Kind::BaselineOnly:
+        // One observed side, full RunResult kept (the causal sweep
+        // reads every counter, not just the metric).
+        r.outcome.setup = task.setup;
+        r.outcome.baseline = runner.runSide(spec.baseline, task.setup);
+        r.outcome.treatment.halted = true;
+        r.baseMetric = r.treatMetric =
+            runner.metricOf(r.outcome.baseline);
+        r.outcome.speedup = 1.0;
+        return r;
+
+      case RepetitionPlan::Kind::NoiseRepeated: {
+        // The conventional repeat-k-times methodology on the baseline
+        // side: noise seeds taskSeed, taskSeed+1, ... — the same
+        // derivation the serial drivers used, now owned by the
+        // campaign lowering.
+        auto base = runner.repeatedMetric(spec.baseline, task.setup,
+                                          task.plan.reps, task.taskSeed);
+        r.outcome.setup = task.setup;
+        r.outcome.baseline.halted = r.outcome.treatment.halted = true;
+        r.outcome.repBaseline = base.values();
+        r.baseMetric = r.treatMetric = base.mean();
+        r.outcome.speedup = 1.0;
+        return r;
+      }
+
+      case RepetitionPlan::Kind::NoisePaired: {
+        auto base = runner.repeatedMetric(spec.baseline, task.setup,
+                                          task.plan.reps, task.taskSeed);
+        auto treat = runner.repeatedMetric(
+            spec.treatment, task.setup, task.plan.reps,
+            task.taskSeed + task.plan.treatSeedOffset);
+        r.outcome.setup = task.setup;
+        r.outcome.baseline.halted = r.outcome.treatment.halted = true;
+        r.outcome.repBaseline = base.values();
+        r.outcome.repTreatment = treat.values();
+        r.baseMetric = base.mean();
+        r.treatMetric = treat.mean();
+        mbias_assert(r.treatMetric > 0.0, "degenerate metric");
+        r.outcome.speedup = r.baseMetric / r.treatMetric;
+        return r;
+      }
     }
-    // AslrRandomized: each side draws its per-run layout seeds from a
-    // stream derived from the task seed, so the task is a pure
-    // function of (campaign seed, index) like every other.
-    auto base = runner.aslrRandomizedMetric(
-        spec.baseline, task.setup, task.plan.reps, mixSeed(task.taskSeed, 0));
-    auto treat = runner.aslrRandomizedMetric(
-        spec.treatment, task.setup, task.plan.reps, mixSeed(task.taskSeed, 1));
-    r.outcome.setup = task.setup;
-    r.outcome.baseline.halted = r.outcome.treatment.halted = true;
-    r.baseMetric = base.mean();
-    r.treatMetric = treat.mean();
-    mbias_assert(r.treatMetric > 0.0, "degenerate metric");
-    r.outcome.speedup = r.baseMetric / r.treatMetric;
-    return r;
+    mbias_panic("unknown repetition plan kind ", int(task.plan.kind));
 }
 
 /**
@@ -147,6 +197,16 @@ CampaignEngine::CampaignEngine(CampaignSpec spec, CampaignOptions opts)
     mbias_assert(opts_.jobs >= 1, "campaign needs at least one job");
     mbias_assert(!opts_.resume || !opts_.outPath.empty(),
                  "--resume needs a result store path");
+    // The JSONL record is a fixed flat schema with no per-rep arrays,
+    // and the content address does not cover the loader's sp-align
+    // override; campaigns using either must run storeless until the
+    // store format grows those fields.
+    mbias_assert(opts_.outPath.empty() ||
+                     (!spec_.plan.samplesReps() &&
+                      spec_.plan.kind != RepetitionPlan::Kind::BaselineOnly &&
+                      spec_.spAlign == 0),
+                 "rep-sampling / baseline-only / sp-aligned campaigns "
+                 "do not persist result stores");
 }
 
 CampaignReport
@@ -257,6 +317,8 @@ CampaignEngine::run()
             runners[w]->setMetrics(&metrics);
             runners[w]->setArtifactCache(
                 opts_.artifactCache ? &artifacts : nullptr);
+            if (spec_.spAlign != 0)
+                runners[w]->setSpAlignOverride(spec_.spAlign);
         }
         const auto execStart = std::chrono::steady_clock::now();
         const TaskResult r = executeTask(*runners[w], task);
@@ -278,12 +340,22 @@ CampaignEngine::run()
     CampaignReport report;
     {
         obs::ScopedSpan span("aggregate", "campaign");
-        core::BiasAnalyzer analyzer(0.01, opts_.confidence);
-        if (opts_.resamples > 0)
-            analyzer.withBootstrap(opts_.resamples, spec_.seed,
-                                   opts_.jobs);
-        report.bias =
-            analyzer.aggregate(spec_.experiment, std::move(results));
+        if (results.size() >= 2) {
+            core::BiasAnalyzer analyzer(0.01, opts_.confidence);
+            if (opts_.resamples > 0)
+                analyzer.withBootstrap(opts_.resamples, spec_.seed,
+                                       opts_.jobs);
+            report.bias =
+                analyzer.aggregate(spec_.experiment, std::move(results));
+        } else {
+            // A bias report needs >= 2 setups for a spread/CI; a
+            // one-task campaign (e.g. a single-cell sweep lowered by
+            // the pipeline) just carries its outcome through.
+            report.bias.specDescription = spec_.experiment.str();
+            for (const auto &o : results)
+                report.bias.speedups.add(o.speedup);
+            report.bias.outcomes = std::move(results);
+        }
     }
     report.stats.totalTasks = tasks.size();
     report.stats.executed = executed.load();

@@ -41,10 +41,29 @@ CampaignSpec::withSeed(std::uint64_t s)
 }
 
 CampaignSpec &
+CampaignSpec::withSpAlign(std::uint64_t align)
+{
+    spAlign = align;
+    return *this;
+}
+
+CampaignSpec &
 CampaignSpec::withSetups(std::vector<core::ExperimentSetup> setups)
 {
     mbias_assert(!setups.empty(), "campaign needs at least one setup");
     explicitSetups_ = std::move(setups);
+    seededSetups_.clear();
+    space_.reset();
+    sampled_ = 0;
+    return *this;
+}
+
+CampaignSpec &
+CampaignSpec::withSeededSetups(std::vector<SeededSetup> setups)
+{
+    mbias_assert(!setups.empty(), "campaign needs at least one setup");
+    seededSetups_ = std::move(setups);
+    explicitSetups_.clear();
     space_.reset();
     sampled_ = 0;
     return *this;
@@ -57,13 +76,18 @@ CampaignSpec::withSpace(core::SetupSpace space, unsigned n)
     space_ = space;
     sampled_ = n;
     explicitSetups_.clear();
+    seededSetups_.clear();
     return *this;
 }
 
 std::size_t
 CampaignSpec::taskCount() const
 {
-    return space_ ? sampled_ : explicitSetups_.size();
+    if (space_)
+        return sampled_;
+    if (!seededSetups_.empty())
+        return seededSetups_.size();
+    return explicitSetups_.size();
 }
 
 std::vector<CampaignTask>
@@ -82,10 +106,17 @@ CampaignSpec::expand() const
             // tasks exist or which ones expanded first.
             Rng rng = streamRng(mixSeed(seed, setup_domain), i);
             t.setup = space_->sample(rng);
+        } else if (!seededSetups_.empty()) {
+            t.setup = seededSetups_[i].setup;
         } else {
             t.setup = explicitSetups_[i];
         }
-        t.taskSeed = mixSeed(mixSeed(seed, seed_domain), i);
+        // Seeded setups pin the task seed exactly (figures whose
+        // historical noise seeds follow a grid formula); everything
+        // else derives it from the campaign seed and the index.
+        t.taskSeed = seededSetups_.empty()
+                         ? mixSeed(mixSeed(seed, seed_domain), i)
+                         : seededSetups_[i].taskSeed;
         t.plan = plan;
         tasks.push_back(std::move(t));
     }
@@ -97,8 +128,22 @@ CampaignSpec::str() const
 {
     std::ostringstream os;
     os << experiment.str() << ", " << taskCount() << " setups";
-    if (plan.kind == RepetitionPlan::Kind::AslrRandomized)
+    switch (plan.kind) {
+      case RepetitionPlan::Kind::Single:
+        break;
+      case RepetitionPlan::Kind::AslrRandomized:
         os << " x " << plan.reps << " ASLR runs/side";
+        break;
+      case RepetitionPlan::Kind::BaselineOnly:
+        os << ", baseline side only";
+        break;
+      case RepetitionPlan::Kind::NoiseRepeated:
+        os << " x " << plan.reps << " noise reps (baseline)";
+        break;
+      case RepetitionPlan::Kind::NoisePaired:
+        os << " x " << plan.reps << " noise reps/side";
+        break;
+    }
     os << " (seed " << seed << ")";
     return os.str();
 }

@@ -28,12 +28,62 @@ struct RepetitionPlan
         /** @c reps stack-ASLR-randomized runs per side; the task's
          *  speedup is the ratio of the two metric means. */
         AslrRandomized,
+        /**
+         * One baseline-side run per setup, no treatment (the causal
+         * analyses and the mechanism ablation sweep only observe one
+         * side).  The outcome carries the full baseline RunResult;
+         * speedup is fixed at 1.
+         */
+        BaselineOnly,
+        /**
+         * @c reps noise-seeded baseline runs per setup (seeds
+         * taskSeed, taskSeed+1, ...) — the conventional "repeat the
+         * run k times" methodology.  Per-rep metric values land in
+         * RunOutcome::repBaseline; no treatment side.
+         */
+        NoiseRepeated,
+        /**
+         * @c reps noise-seeded runs per *side*: baseline at seeds
+         * taskSeed+r, treatment at taskSeed+treatSeedOffset+r.  Both
+         * per-rep samples land in the outcome; the task speedup is
+         * the ratio of the two means.  Backs the variance analysis
+         * (within-/between-setup decomposition).
+         */
+        NoisePaired,
     };
 
     Kind kind = Kind::Single;
     unsigned reps = 1;
 
+    /** NoisePaired only: offset of the treatment side's noise-seed
+     *  base from the task seed (keeps the two sides' noise streams
+     *  disjoint, and historical figures byte-compatible). */
+    std::uint64_t treatSeedOffset = 0;
+
     bool operator==(const RepetitionPlan &) const = default;
+
+    /** True for kinds whose outcome depends on the task seed. */
+    bool consumesSeed() const
+    {
+        return kind == Kind::AslrRandomized ||
+               kind == Kind::NoiseRepeated || kind == Kind::NoisePaired;
+    }
+
+    /** True for kinds that fill per-rep sample vectors (which the
+     *  JSONL store does not persist — such campaigns run storeless). */
+    bool samplesReps() const
+    {
+        return kind == Kind::NoiseRepeated || kind == Kind::NoisePaired;
+    }
+};
+
+/** An explicit setup paired with a pinned task seed — for figures
+ *  whose historical per-cell noise seeds follow a formula of the
+ *  grid indices rather than the campaign-seed stream. */
+struct SeededSetup
+{
+    core::ExperimentSetup setup;
+    std::uint64_t taskSeed = 0;
 };
 
 /**
@@ -72,13 +122,25 @@ class CampaignSpec
     /** Root seed: determines every sampled setup and task seed. */
     std::uint64_t seed = 42;
 
+    /**
+     * Loader override: force this initial stack-pointer alignment in
+     * every task (the "align the stack" causal intervention).  0 = no
+     * override.  Campaigns with an override run storeless — the
+     * alignment is not part of the record's content address.
+     */
+    std::uint64_t spAlign = 0;
+
     /** @name Fluent setters @{ */
     CampaignSpec &withExperiment(core::ExperimentSpec spec);
     CampaignSpec &withPlan(RepetitionPlan plan);
     CampaignSpec &withSeed(std::uint64_t seed);
+    CampaignSpec &withSpAlign(std::uint64_t align);
 
     /** Measures exactly these setups, in this order. */
     CampaignSpec &withSetups(std::vector<core::ExperimentSetup> setups);
+
+    /** Measures exactly these setups with their pinned task seeds. */
+    CampaignSpec &withSeededSetups(std::vector<SeededSetup> setups);
 
     /** Samples @p n setups from @p space (streams keyed by task
      *  index, so the sample is independent of execution order). */
@@ -96,6 +158,7 @@ class CampaignSpec
 
   private:
     std::vector<core::ExperimentSetup> explicitSetups_;
+    std::vector<SeededSetup> seededSetups_;
     std::optional<core::SetupSpace> space_;
     unsigned sampled_ = 0;
 };

@@ -194,8 +194,13 @@ taskKey(const core::ExperimentSpec &e, const CampaignTask &task)
     // The task seed only influences the outcome when the plan draws
     // per-run randomness from it; keying it unconditionally would
     // needlessly split addresses of identical Single-mode tasks.
-    if (task.plan.kind == RepetitionPlan::Kind::AslrRandomized)
+    // (Single/AslrRandomized keys are byte-stable across this rule's
+    // extension to the newer seed-consuming kinds — existing stores
+    // stay resumable.)
+    if (task.plan.consumesSeed())
         os << ";tseed=" << task.taskSeed;
+    if (task.plan.kind == RepetitionPlan::Kind::NoisePaired)
+        os << ";toff=" << task.plan.treatSeedOffset;
     return hex16(fnv1a(os.str()));
 }
 

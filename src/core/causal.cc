@@ -34,6 +34,30 @@ CausalReport::str() const
     return os.str();
 }
 
+CausalAnalyzer &
+CausalAnalyzer::withSweep(SweepFn sweep)
+{
+    sweep_ = std::move(sweep);
+    return *this;
+}
+
+std::vector<sim::RunResult>
+CausalAnalyzer::runSweep(const ExperimentSpec &spec,
+                         const std::vector<ExperimentSetup> &setups,
+                         std::uint64_t sp_align) const
+{
+    if (sweep_)
+        return sweep_(spec, setups, sp_align);
+    ExperimentRunner runner(spec);
+    if (sp_align)
+        runner.setSpAlignOverride(sp_align);
+    std::vector<sim::RunResult> out;
+    out.reserve(setups.size());
+    for (const auto &s : setups)
+        out.push_back(runner.runSide(spec.baseline, s));
+    return out;
+}
+
 InterventionResult
 CausalAnalyzer::tryIntervention(const ExperimentSpec &spec,
                                 const std::vector<ExperimentSetup> &setups,
@@ -44,12 +68,9 @@ CausalAnalyzer::tryIntervention(const ExperimentSpec &spec,
 {
     ExperimentSpec modified = spec;
     modified.machine = std::move(machine);
-    ExperimentRunner runner(modified);
-    if (sp_align)
-        runner.setSpAlignOverride(sp_align);
     stats::Sample metric;
-    for (const auto &s : setups)
-        metric.add(runner.metricOf(runner.runSide(spec.baseline, s)));
+    for (const auto &rr : runSweep(modified, setups, sp_align))
+        metric.add(metricValue(modified.metric, rr));
 
     InterventionResult iv;
     iv.name = name;
@@ -68,12 +89,10 @@ CausalAnalyzer::analyze(const ExperimentSpec &spec,
     report.specDescription = spec.str();
 
     // Step 1: measure the baseline across setups and collect counters.
-    ExperimentRunner runner(spec);
     std::vector<double> metric;
     std::vector<std::vector<double>> counter_series(sim::num_counters);
-    for (const auto &s : setups) {
-        const auto rr = runner.runSide(spec.baseline, s);
-        metric.push_back(runner.metricOf(rr));
+    for (const auto &rr : runSweep(spec, setups, 0)) {
+        metric.push_back(metricValue(spec.metric, rr));
         for (unsigned c = 0; c < sim::num_counters; ++c)
             counter_series[c].push_back(
                 double(rr.counters.get(sim::Counter(c))));

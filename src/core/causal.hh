@@ -1,6 +1,8 @@
 #ifndef MBIAS_CORE_CAUSAL_HH
 #define MBIAS_CORE_CAUSAL_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,7 +68,28 @@ struct CausalReport
 class CausalAnalyzer
 {
   public:
+    /**
+     * Executes one baseline-side sweep: run @p spec's baseline
+     * toolchain across @p setups (with the loader's stack alignment
+     * forced to @p sp_align when nonzero) and return the full
+     * RunResults in setup order.  Interventions pass a *modified*
+     * spec (ablated machine); implementations must honor it.
+     */
+    using SweepFn = std::function<std::vector<sim::RunResult>(
+        const ExperimentSpec &spec,
+        const std::vector<ExperimentSetup> &setups,
+        std::uint64_t sp_align)>;
+
     CausalAnalyzer() = default;
+
+    /**
+     * Replaces the sweep executor.  The default runs a private serial
+     * ExperimentRunner; the pipeline layer installs a campaign-backed
+     * sweep so causal figures gain --jobs and caching.  Any conforming
+     * executor yields bitwise-identical reports: the analysis consumes
+     * only the returned RunResults, in setup order.
+     */
+    CausalAnalyzer &withSweep(SweepFn sweep);
 
     /**
      * Runs the spec's *baseline* toolchain across @p setups, ranks
@@ -78,11 +101,18 @@ class CausalAnalyzer
                          const std::vector<ExperimentSetup> &setups) const;
 
   private:
+    std::vector<sim::RunResult>
+    runSweep(const ExperimentSpec &spec,
+             const std::vector<ExperimentSetup> &setups,
+             std::uint64_t sp_align) const;
+
     InterventionResult
     tryIntervention(const ExperimentSpec &spec,
                     const std::vector<ExperimentSetup> &setups,
                     const std::string &name, std::uint64_t sp_align,
                     sim::MachineConfig machine, double spread_before) const;
+
+    SweepFn sweep_; ///< empty = the default serial runner
 };
 
 } // namespace mbias::core

@@ -176,9 +176,9 @@ ExperimentRunner::aslrRandomizedMetric(const toolchain::ToolchainSpec &tc,
 }
 
 double
-ExperimentRunner::metricOf(const sim::RunResult &rr) const
+metricValue(Metric metric, const sim::RunResult &rr)
 {
-    switch (spec_.metric) {
+    switch (metric) {
       case Metric::Cycles:
         return double(rr.cycles());
       case Metric::Cpi:
@@ -187,6 +187,12 @@ ExperimentRunner::metricOf(const sim::RunResult &rr) const
         return double(rr.instructions());
     }
     mbias_panic("bad metric");
+}
+
+double
+ExperimentRunner::metricOf(const sim::RunResult &rr) const
+{
+    return metricValue(spec_.metric, rr);
 }
 
 RunOutcome

@@ -26,7 +26,23 @@ struct RunOutcome
      * (ratio of baseline to treatment, so > 1 means treatment wins).
      */
     double speedup = 0.0;
+
+    /**
+     * Per-repetition metric values of each side, in rep order.  Only
+     * the sample-collecting campaign repetition plans (NoiseRepeated,
+     * NoisePaired) fill these; paired single runs leave them empty.
+     */
+    std::vector<double> repBaseline;
+    std::vector<double> repTreatment;
 };
+
+/**
+ * Extracts @p metric from a run result — the spec-independent core of
+ * ExperimentRunner::metricOf, usable by render/aggregate code that has
+ * outcomes but no runner (e.g. pipeline figures reading campaign
+ * results).
+ */
+double metricValue(Metric metric, const sim::RunResult &rr);
 
 /**
  * Executes an ExperimentSpec under chosen setups: materializes each

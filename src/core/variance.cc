@@ -42,35 +42,53 @@ VarianceAnalyzer::analyze(const ExperimentSpec &spec,
     mbias_assert(setups.size() >= 2, "need >= 2 setups");
     ExperimentRunner runner(spec);
 
-    VarianceReport r;
-    r.specDescription = spec.str();
-
-    // Within: repeat base and treatment at the home setup.  The
-    // streaming twins track single-pass Welford moments alongside the
-    // retained samples; the variance ratio reads those, so it never
-    // needs the raw vectors (and exercises the streaming path the
-    // report aggregation uses at campaign scale).
-    stats::StreamingSample withinStream, betweenStream;
+    // Within: repeat base and treatment at the home setup.
+    std::vector<double> within;
     auto base = runner.repeatedMetric(spec.baseline, home, reps_,
                                       noiseSeed_);
     auto treat = runner.repeatedMetric(spec.treatment, home, reps_,
                                        noiseSeed_ + 7919);
-    for (unsigned i = 0; i < reps_; ++i) {
-        const double v = base.values()[i] / treat.values()[i];
+    for (unsigned i = 0; i < reps_; ++i)
+        within.push_back(base.values()[i] / treat.values()[i]);
+
+    // Between: one noisy repetition per setup.
+    std::vector<double> between;
+    std::uint64_t seed = noiseSeed_ + 104729;
+    for (const auto &s : setups) {
+        auto b = runner.repeatedMetric(spec.baseline, s, 1, seed);
+        auto t = runner.repeatedMetric(spec.treatment, s, 1, seed + 1);
+        between.push_back(b.values()[0] / t.values()[0]);
+        seed += 2;
+    }
+
+    return aggregate(spec, within, between);
+}
+
+VarianceReport
+VarianceAnalyzer::aggregate(const ExperimentSpec &spec,
+                            const std::vector<double> &within,
+                            const std::vector<double> &between) const
+{
+    mbias_assert(within.size() >= 2, "need >= 2 within-setup ratios");
+    mbias_assert(between.size() >= 2, "need >= 2 between-setup ratios");
+
+    VarianceReport r;
+    r.specDescription = spec.str();
+
+    // The streaming twins track single-pass Welford moments alongside
+    // the retained samples; the variance ratio reads those, so it
+    // never needs the raw vectors (and exercises the streaming path
+    // the report aggregation uses at campaign scale).
+    stats::StreamingSample withinStream, betweenStream;
+    for (const double v : within) {
         r.withinSetup.add(v);
         withinStream.add(v);
     }
     r.withinCI = stats::tInterval(r.withinSetup, confidence_);
 
-    // Between: one noisy repetition per setup.
-    std::uint64_t seed = noiseSeed_ + 104729;
-    for (const auto &s : setups) {
-        auto b = runner.repeatedMetric(spec.baseline, s, 1, seed);
-        auto t = runner.repeatedMetric(spec.treatment, s, 1, seed + 1);
-        const double v = b.values()[0] / t.values()[0];
+    for (const double v : between) {
         r.betweenSetups.add(v);
         betweenStream.add(v);
-        seed += 2;
     }
     r.betweenCI = stats::tInterval(r.betweenSetups, confidence_);
 

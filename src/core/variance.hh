@@ -62,6 +62,17 @@ class VarianceAnalyzer
                            const ExperimentSetup &home,
                            const std::vector<ExperimentSetup> &setups) const;
 
+    /**
+     * Builds the report from ratio samples measured elsewhere (e.g.
+     * by a NoisePaired campaign): @p within holds the per-repetition
+     * base/treat ratios at the home setup, @p between one ratio per
+     * peer setup.  analyze() is exactly "measure, then aggregate" —
+     * both entry points share this math.
+     */
+    VarianceReport aggregate(const ExperimentSpec &spec,
+                             const std::vector<double> &within,
+                             const std::vector<double> &between) const;
+
   private:
     unsigned reps_;
     std::uint64_t noiseSeed_;

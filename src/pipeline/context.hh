@@ -1,0 +1,74 @@
+#ifndef MBIAS_PIPELINE_CONTEXT_HH
+#define MBIAS_PIPELINE_CONTEXT_HH
+
+#include <cstdint>
+
+#include "campaign/report.hh"
+#include "core/causal.hh"
+#include "pipeline/options.hh"
+#include "pipeline/sweep.hh"
+
+namespace mbias::pipeline
+{
+
+/**
+ * What a figure's render stage runs against: the shared options plus
+ * the lowering from declarative sweeps onto the campaign engine.
+ * One context lives for the duration of one figure render; figures
+ * may run any number of sweeps through it.
+ */
+class FigureContext
+{
+  public:
+    explicit FigureContext(PipelineOptions opts)
+        : opts_(std::move(opts))
+    {
+    }
+
+    const PipelineOptions &options() const { return opts_; }
+
+    unsigned jobs() const { return opts_.jobs; }
+
+    /** The shared flags with this figure's historical defaults. */
+    double confidence(double dflt = 0.95) const
+    {
+        return opts_.confidenceOr(dflt);
+    }
+    int resamples(int dflt = 0) const
+    {
+        return opts_.resamplesOr(dflt);
+    }
+    std::uint64_t seed(std::uint64_t dflt) const
+    {
+        return opts_.seedOr(dflt);
+    }
+
+    /**
+     * Lowers @p sweep onto the campaign engine and runs it on the
+     * context's worker budget.  Outcomes come back in setup order;
+     * the report is bitwise-identical at any --jobs.  Campaigns run
+     * storeless here (figures are cheap to recompute and their own
+     * output files are the durable artifact); metrics/spans land in
+     * the per-campaign report and any active trace session.
+     */
+    campaign::CampaignReport run(const Sweep &sweep);
+
+    /**
+     * A campaign-backed sweep executor for CausalAnalyzer: each
+     * requested baseline sweep becomes a BaselineOnly campaign (with
+     * the intervention's sp-align forwarded), so causal figures get
+     * --jobs and caching while the analysis math is untouched.
+     */
+    core::CausalAnalyzer::SweepFn causalSweep();
+
+    /** Campaign wall seconds accumulated across every run() so far. */
+    double campaignWallSeconds() const { return wallSeconds_; }
+
+  private:
+    PipelineOptions opts_;
+    double wallSeconds_ = 0.0;
+};
+
+} // namespace mbias::pipeline
+
+#endif // MBIAS_PIPELINE_CONTEXT_HH

@@ -1,0 +1,66 @@
+#include "pipeline/driver.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "obs/trace.hh"
+#include "pipeline/context.hh"
+
+namespace mbias::pipeline
+{
+
+ScopedTraceSession::ScopedTraceSession(std::string path)
+    : path_(std::move(path))
+{
+    if (!path_.empty())
+        obs::Tracer::global().start();
+}
+
+ScopedTraceSession::~ScopedTraceSession()
+{
+    if (path_.empty())
+        return;
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.stop();
+    if (!tracer.writeTo(path_))
+        mbias_warn("cannot write trace to ", path_);
+    else
+        inform("trace written to " + path_ +
+               " (open in Perfetto: https://ui.perfetto.dev)");
+}
+
+int
+runFigure(const FigureSpec &spec, const PipelineOptions &opts)
+{
+    FigureContext ctx(opts);
+    spec.render(ctx);
+    return 0;
+}
+
+int
+runAll(const PipelineOptions &opts)
+{
+    for (const FigureSpec &spec : FigureRegistry::instance().all()) {
+        std::printf("---- %s ----\n", spec.binaryName.c_str());
+        std::fflush(stdout);
+        if (const int rc = runFigure(spec, opts))
+            return rc;
+    }
+    return 0;
+}
+
+int
+figureMain(const std::string &id, int argc, char **argv)
+{
+    const ParsedArgs parsed = parsePipelineArgs(argc, argv);
+    applyLogging(parsed.options);
+    const FigureSpec *spec = FigureRegistry::instance().find(id);
+    if (!spec) {
+        std::fprintf(stderr, "unknown figure id '%s'\n", id.c_str());
+        return 2;
+    }
+    ScopedTraceSession trace(parsed.options.tracePath);
+    return runFigure(*spec, parsed.options);
+}
+
+} // namespace mbias::pipeline

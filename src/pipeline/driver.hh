@@ -1,0 +1,53 @@
+#ifndef MBIAS_PIPELINE_DRIVER_HH
+#define MBIAS_PIPELINE_DRIVER_HH
+
+#include <string>
+
+#include "pipeline/figure.hh"
+#include "pipeline/options.hh"
+
+namespace mbias::pipeline
+{
+
+/**
+ * One process-wide Chrome-trace session: starts the global tracer on
+ * construction (when @p path is nonempty) and stops + writes the file
+ * on destruction.  Campaign/runner spans from every sweep executed in
+ * between land in the one file — `--trace` behaves identically for a
+ * single figure and for `mbias all`.
+ */
+class ScopedTraceSession
+{
+  public:
+    explicit ScopedTraceSession(std::string path);
+    ~ScopedTraceSession();
+
+    ScopedTraceSession(const ScopedTraceSession &) = delete;
+    ScopedTraceSession &operator=(const ScopedTraceSession &) = delete;
+
+  private:
+    std::string path_;
+};
+
+/** Renders one registered figure with @p opts.  Returns the process
+ *  exit code (0 on success). */
+int runFigure(const FigureSpec &spec, const PipelineOptions &opts);
+
+/**
+ * Renders every registered figure in registry order, printing the
+ * `---- <binary name> ----` section header reproduce_all.sh has
+ * always used between drivers.  Stops at the first failure.
+ */
+int runAll(const PipelineOptions &opts);
+
+/**
+ * Entry point of the thin per-figure wrapper binaries: parses the
+ * shared flags (ignoring anything else, like the historical bench
+ * scanners), applies logging, opens a trace session when requested,
+ * and renders the figure registered under @p id.
+ */
+int figureMain(const std::string &id, int argc, char **argv);
+
+} // namespace mbias::pipeline
+
+#endif // MBIAS_PIPELINE_DRIVER_HH

@@ -1,0 +1,79 @@
+#ifndef MBIAS_PIPELINE_OPTIONS_HH
+#define MBIAS_PIPELINE_OPTIONS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbias::pipeline
+{
+
+/**
+ * The flag set every experiment entry point shares — the `mbias`
+ * subcommands and each figure/table wrapper binary parse these with
+ * the *same* code, so `--jobs/--seed/--resamples/--confidence/--trace/
+ * --quiet/--verbose/--no-artifact-cache` behave identically
+ * everywhere.
+ *
+ * Value flags are optionals: a figure (or subcommand) supplies its own
+ * historical default when the user did not pass the flag, so the
+ * defaults that differ by entry point (e.g. `mbias analyze` defaults
+ * --resamples to 1000, figures to 0) keep their bytes while the
+ * parsing stays shared.
+ */
+struct PipelineOptions
+{
+    /** Campaign worker threads; results are identical for any value. */
+    unsigned jobs = 1;
+
+    std::optional<std::uint64_t> seed;
+    std::optional<int> resamples;
+    std::optional<double> confidence;
+
+    /** Chrome-trace JSON output path; empty disables tracing. */
+    std::string tracePath;
+
+    bool quiet = false;
+    bool verbose = false;
+
+    /** Off via --no-artifact-cache (the pre-cache benchmark mode). */
+    bool artifactCache = true;
+
+    std::uint64_t seedOr(std::uint64_t dflt) const
+    {
+        return seed.value_or(dflt);
+    }
+    int resamplesOr(int dflt) const { return resamples.value_or(dflt); }
+    double confidenceOr(double dflt = 0.95) const
+    {
+        return confidence.value_or(dflt);
+    }
+};
+
+/** parsePipelineArgs result: the shared flags plus everything else. */
+struct ParsedArgs
+{
+    PipelineOptions options;
+
+    /** Non-pipeline arguments in their original order (subcommand
+     *  names, positional ids, caller-specific flags). */
+    std::vector<std::string> rest;
+};
+
+/**
+ * Extracts the shared pipeline flags from @p argv (excluding argv[0])
+ * and returns them with the remaining arguments.  Flags take their
+ * value as the next token (`--jobs 8`); a value flag at the end of the
+ * line, or one followed by another `--flag`, is ignored — wrapper
+ * scripts can pass harness-wide flag sets, matching the historical
+ * leniency of the bench arg scanner.  Malformed values are fatal.
+ */
+ParsedArgs parsePipelineArgs(int argc, char **argv);
+
+/** Applies --quiet/--verbose to the global logging switch. */
+void applyLogging(const PipelineOptions &opts);
+
+} // namespace mbias::pipeline
+
+#endif // MBIAS_PIPELINE_OPTIONS_HH

@@ -1,0 +1,126 @@
+#include "pipeline/sweep.hh"
+
+#include "base/logging.hh"
+
+namespace mbias::pipeline
+{
+
+Sweep &
+Sweep::linkOrderGrid(unsigned orders)
+{
+    return setups(linkOrderSetups(orders));
+}
+
+Sweep &
+Sweep::envGrid(std::uint64_t max, std::uint64_t step, std::uint64_t min)
+{
+    return setups(envGridSetups(max, step, min));
+}
+
+Sweep &
+Sweep::setups(std::vector<core::ExperimentSetup> s)
+{
+    explicit_ = std::move(s);
+    seeded_.clear();
+    space_.reset();
+    sampled_ = 0;
+    return *this;
+}
+
+Sweep &
+Sweep::seededSetups(std::vector<campaign::SeededSetup> s)
+{
+    seeded_ = std::move(s);
+    explicit_.clear();
+    space_.reset();
+    sampled_ = 0;
+    return *this;
+}
+
+Sweep &
+Sweep::randomized(core::SetupSpace space, unsigned n)
+{
+    space_ = space;
+    sampled_ = n;
+    explicit_.clear();
+    seeded_.clear();
+    return *this;
+}
+
+Sweep &
+Sweep::seed(std::uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+Sweep &
+Sweep::plan(campaign::RepetitionPlan p)
+{
+    plan_ = p;
+    return *this;
+}
+
+Sweep &
+Sweep::spAlign(std::uint64_t align)
+{
+    spAlign_ = align;
+    return *this;
+}
+
+campaign::CampaignSpec
+Sweep::toCampaignSpec() const
+{
+    campaign::CampaignSpec cspec;
+    cspec.withExperiment(experiment_).withPlan(plan_).withSeed(seed_);
+    if (spAlign_ != 0)
+        cspec.withSpAlign(spAlign_);
+    if (space_)
+        cspec.withSpace(*space_, sampled_);
+    else if (!seeded_.empty())
+        cspec.withSeededSetups(seeded_);
+    else if (!explicit_.empty())
+        cspec.withSetups(explicit_);
+    else
+        mbias_fatal("sweep has no setups: call linkOrderGrid/envGrid/"
+                    "setups/seededSetups/randomized");
+    return cspec;
+}
+
+std::vector<core::ExperimentSetup>
+sequentialSetups(const core::SetupSpace &space, unsigned n,
+                 std::uint64_t seed)
+{
+    core::SetupRandomizer randomizer(space, seed);
+    return randomizer.sample(n);
+}
+
+std::vector<core::ExperimentSetup>
+linkOrderSetups(unsigned orders)
+{
+    mbias_assert(orders >= 1, "need at least one link order");
+    std::vector<core::ExperimentSetup> out;
+    out.reserve(orders);
+    for (unsigned s = 0; s < orders; ++s) {
+        core::ExperimentSetup setup;
+        setup.linkOrder = s == 0 ? toolchain::LinkOrder::asGiven()
+                                 : toolchain::LinkOrder::shuffled(s);
+        out.push_back(setup);
+    }
+    return out;
+}
+
+std::vector<core::ExperimentSetup>
+envGridSetups(std::uint64_t max, std::uint64_t step, std::uint64_t min)
+{
+    mbias_assert(step > 0, "env grid needs a positive step");
+    std::vector<core::ExperimentSetup> out;
+    for (std::uint64_t env = min; env <= max; env += step) {
+        core::ExperimentSetup setup;
+        setup.envBytes = env;
+        out.push_back(setup);
+    }
+    return out;
+}
+
+} // namespace mbias::pipeline

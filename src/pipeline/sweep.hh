@@ -1,0 +1,104 @@
+#ifndef MBIAS_PIPELINE_SWEEP_HH
+#define MBIAS_PIPELINE_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/spec.hh"
+#include "core/experiment.hh"
+#include "core/setup.hh"
+
+namespace mbias::pipeline
+{
+
+/**
+ * One declarative factor sweep of a figure: an experiment plus the
+ * setups to measure it in (a grid, an explicit list, or a randomized
+ * sample) and the repetition plan per setup.  FigureContext::run()
+ * lowers a Sweep onto a campaign::CampaignSpec and executes it.
+ *
+ * This class is the single home of the per-task seed derivations the
+ * drivers used to hand-roll: link-order grids (as-given then
+ * shuffled(1..n-1)), env grids, randomized samples (per-task streams
+ * or the legacy sequential draw), and pinned per-cell noise seeds.
+ * A figure's seeds are therefore identical no matter which entry
+ * point runs it — the wrapper binary, `mbias fig`, or `mbias all`.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(core::ExperimentSpec experiment)
+        : experiment_(std::move(experiment))
+    {
+    }
+
+    /** @name Setup sources (exactly one per sweep) @{ */
+
+    /** The canonical link-order grid: setup 0 links as given, setup
+     *  s >= 1 links shuffled with seed s. */
+    Sweep &linkOrderGrid(unsigned orders);
+
+    /** The canonical env grid: envBytes = min, min+step, ... <= max. */
+    Sweep &envGrid(std::uint64_t max, std::uint64_t step,
+                   std::uint64_t min = 0);
+
+    /** Exactly these setups, in this order. */
+    Sweep &setups(std::vector<core::ExperimentSetup> s);
+
+    /** Explicit setups with pinned per-task seeds (figures whose
+     *  noise seeds follow a formula of the grid indices). */
+    Sweep &seededSetups(std::vector<campaign::SeededSetup> s);
+
+    /** @p n setups sampled from @p space via per-task RNG streams
+     *  keyed by (campaign seed, task index) — the campaign-native
+     *  randomization (fig7 style). */
+    Sweep &randomized(core::SetupSpace space, unsigned n);
+
+    /** @} */
+
+    /** Campaign root seed (sampled setups, derived task seeds). */
+    Sweep &seed(std::uint64_t s);
+
+    /** Per-setup repetition plan (default: one paired run). */
+    Sweep &plan(campaign::RepetitionPlan p);
+
+    /** Force the loader's initial stack alignment (interventions). */
+    Sweep &spAlign(std::uint64_t align);
+
+    /** The campaign this sweep lowers to. */
+    campaign::CampaignSpec toCampaignSpec() const;
+
+  private:
+    core::ExperimentSpec experiment_;
+    std::vector<core::ExperimentSetup> explicit_;
+    std::vector<campaign::SeededSetup> seeded_;
+    std::optional<core::SetupSpace> space_;
+    unsigned sampled_ = 0;
+    std::uint64_t seed_ = 42;
+    campaign::RepetitionPlan plan_;
+    std::uint64_t spAlign_ = 0;
+};
+
+/**
+ * The legacy sequential sample: SetupRandomizer(space, seed) drawing
+ * @p n setups from one RNG in order.  Kept as a named derivation so
+ * the figures that historically sampled this way (fig10, table3) stay
+ * byte-identical; new figures should prefer Sweep::randomized, whose
+ * per-task streams are schedule-independent by construction.
+ */
+std::vector<core::ExperimentSetup>
+sequentialSetups(const core::SetupSpace &space, unsigned n,
+                 std::uint64_t seed);
+
+/** The canonical link-order grid as a setup list (see
+ *  Sweep::linkOrderGrid). */
+std::vector<core::ExperimentSetup> linkOrderSetups(unsigned orders);
+
+/** The canonical env grid as a setup list (see Sweep::envGrid). */
+std::vector<core::ExperimentSetup>
+envGridSetups(std::uint64_t max, std::uint64_t step,
+              std::uint64_t min = 0);
+
+} // namespace mbias::pipeline
+
+#endif // MBIAS_PIPELINE_SWEEP_HH

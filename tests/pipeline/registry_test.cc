@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The figure registry: id/binary-name lookup and registration order.
+ */
+#include <gtest/gtest.h>
+
+#include "pipeline/figure.hh"
+
+namespace
+{
+
+using namespace mbias;
+
+pipeline::FigureSpec
+spec(const std::string &id, const std::string &binary)
+{
+    pipeline::FigureSpec s;
+    s.id = id;
+    s.binaryName = binary;
+    s.title = "test spec " + id;
+    s.render = [](pipeline::FigureContext &) {};
+    return s;
+}
+
+// One process-wide registry; this test owns it (nothing else in this
+// binary registers figures).
+TEST(FigureRegistry, LookupByIdAndBinaryName)
+{
+    auto &reg = pipeline::FigureRegistry::instance();
+    reg.add(spec("figA", "figA_first_driver"));
+    reg.add(spec("tableB", "tableB_second_driver"));
+
+    ASSERT_NE(reg.find("figA"), nullptr);
+    EXPECT_EQ(reg.find("figA")->binaryName, "figA_first_driver");
+    ASSERT_NE(reg.find("tableB_second_driver"), nullptr);
+    EXPECT_EQ(reg.find("tableB_second_driver")->id, "tableB");
+    EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(FigureRegistry, AllPreservesRegistrationOrder)
+{
+    auto &reg = pipeline::FigureRegistry::instance();
+    reg.add(spec("figC", "figC_third_driver"));
+
+    const auto &all = reg.all();
+    ASSERT_GE(all.size(), 3u);
+    EXPECT_EQ(all[0].id, "figA");
+    EXPECT_EQ(all[1].id, "tableB");
+    EXPECT_EQ(all[2].id, "figC");
+}
+
+} // namespace

@@ -5,29 +5,30 @@
  *
  * Usage:
  *   mbias list
+ *   mbias fig <id>      render one registered figure (fig3, or 3, or
+ *                       the legacy binary name)
+ *   mbias table <id>    render one registered table (table2, or 2)
+ *   mbias all           render every registered figure/table in order
  *   mbias run      --workload perl [--vendor gcc] [--opt O2]
  *                  [--machine core2like] [--env N] [--link-seed S]
  *                  [--counters]
  *   mbias bias     --workload perl [--factor env|link|both]
  *                  [--setups N] [--machine M] [--vendor V]
- *                  [--resamples R] [--confidence C]
  *   mbias campaign --workload perl [--factor env|link|both]
- *                  [--setups N] [--jobs N] [--resume] [--out PATH]
- *                  [--seed S] [--aslr-reps K] [--no-store]
- *                  [--trace T.json] [--provenance]
- *                  [--no-artifact-cache] [--resamples R]
- *                  [--confidence C]
- *   mbias analyze  [--store PATH] [--jobs N] [--resamples R]
- *                  [--confidence C] [--seed S]
+ *                  [--setups N] [--resume] [--out PATH]
+ *                  [--aslr-reps K] [--no-store] [--provenance]
+ *   mbias analyze  [--store PATH]
  *   mbias obs-summary [--store PATH]
  *   mbias causal   --workload perl [--factor env|link] [--setups N]
  *   mbias variance --workload perl [--env N] [--reps K]
- *                  [--confidence C]
  *   mbias survey
  *
- * Global flags: --quiet silences warn/inform (and the campaign
- * progress line); --verbose forces logging on and prints extra
- * detail (campaign metrics and provenance).
+ * The shared pipeline flags --jobs/--seed/--resamples/--confidence/
+ * --trace/--quiet/--verbose/--no-artifact-cache are parsed once, by
+ * the same pipeline::parsePipelineArgs the figure wrapper binaries
+ * use, and mean the same thing for every subcommand that consumes
+ * them (per-command defaults match the historical ones, e.g. analyze
+ * still defaults --resamples to 1000).
  */
 #include <cstdio>
 #include <cstring>
@@ -50,6 +51,9 @@
 #include "toolchain/loader.hh"
 #include "core/manifest.hh"
 #include "core/variance.hh"
+#include "figures.hh"
+#include "pipeline/driver.hh"
+#include "pipeline/options.hh"
 #include "survey/analyzer.hh"
 #include "workloads/registry.hh"
 
@@ -61,7 +65,16 @@ namespace
 struct Args
 {
     std::string command;
+
+    /** Positional arguments after the command (figure/table ids). */
+    std::vector<std::string> positionals;
+
+    /** Command-specific --key [value] options. */
     std::map<std::string, std::string> options;
+
+    /** The shared pipeline flags, parsed by the same code as the
+     *  figure wrapper binaries. */
+    pipeline::PipelineOptions shared;
 
     std::string
     get(const std::string &key, const std::string &dflt) const
@@ -76,29 +89,31 @@ struct Args
         auto it = options.find(key);
         return it == options.end() ? dflt : std::stoull(it->second);
     }
-
-    double
-    getDouble(const std::string &key, double dflt) const
-    {
-        auto it = options.find(key);
-        return it == options.end() ? dflt : std::stod(it->second);
-    }
 };
 
 Args
 parseArgs(int argc, char **argv)
 {
+    // One pass of the shared grammar first; whatever it does not
+    // recognize (the subcommand, ids, command-specific flags) comes
+    // back in order and is interpreted here.
+    auto parsed = pipeline::parsePipelineArgs(argc, argv);
     Args args;
-    if (argc >= 2)
-        args.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
-        std::string a = argv[i];
+    args.shared = std::move(parsed.options);
+    const auto &rest = parsed.rest;
+    std::size_t i = 0;
+    if (i < rest.size() && rest[i].rfind("--", 0) != 0)
+        args.command = rest[i++];
+    for (; i < rest.size(); ++i) {
+        const std::string &a = rest[i];
         if (a.rfind("--", 0) == 0) {
             const std::string key = a.substr(2);
-            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
-                args.options[key] = argv[++i];
+            if (i + 1 < rest.size() && rest[i + 1].rfind("--", 0) != 0)
+                args.options[key] = rest[++i];
             else
                 args.options[key] = "1"; // boolean flag
+        } else if (args.options.empty()) {
+            args.positionals.push_back(a);
         } else {
             mbias_fatal("unexpected argument: ", a);
         }
@@ -166,6 +181,20 @@ specFromArgs(const Args &args)
     return spec;
 }
 
+const char *
+kindName(pipeline::FigureSpec::Kind kind)
+{
+    switch (kind) {
+      case pipeline::FigureSpec::Kind::Figure:
+        return "figure";
+      case pipeline::FigureSpec::Kind::Table:
+        return "table";
+      case pipeline::FigureSpec::Kind::Ablation:
+        return "ablation";
+    }
+    return "?";
+}
+
 int
 cmdList()
 {
@@ -173,9 +202,56 @@ cmdList()
     for (const auto *w : workloads::suite())
         t.addRow({w->name(), w->archetype(), w->description()});
     std::printf("%s\n", t.str().c_str());
+
+    core::TextTable figs({"id", "kind", "binary", "description"});
+    for (const auto &spec : pipeline::FigureRegistry::instance().all())
+        figs.addRow({spec.id, kindName(spec.kind), spec.binaryName,
+                     spec.title});
+    std::printf("%s\n", figs.str().c_str());
+    std::printf("render with `mbias fig <id>`, `mbias table <id>`, or "
+                "`mbias all [--jobs N]`\n\n");
     std::printf("machines: core2like, p4like, o3like\n");
     std::printf("vendors : gcc, icc   opt levels: O0..O3\n");
     return 0;
+}
+
+/**
+ * `mbias fig 3` / `mbias fig fig3` / `mbias table 1` /
+ * `mbias fig fig3_env_size_core2` all name the same spec: bare
+ * numbers get the command's prefix, everything else is looked up
+ * as an id or legacy binary name.
+ */
+std::string
+normalizeFigureId(const std::string &prefix, const std::string &id)
+{
+    if (!id.empty() && id.find_first_not_of("0123456789") ==
+                           std::string::npos)
+        return prefix + id;
+    return id;
+}
+
+int
+cmdFigure(const Args &args, const std::string &prefix)
+{
+    if (args.positionals.empty())
+        mbias_fatal("usage: mbias ", prefix,
+                    " <id> (see `mbias list`)");
+    const std::string id =
+        normalizeFigureId(prefix, args.positionals.front());
+    const pipeline::FigureSpec *spec =
+        pipeline::FigureRegistry::instance().find(id);
+    if (!spec)
+        mbias_fatal("unknown figure/table '", id,
+                    "' (see `mbias list`)");
+    pipeline::ScopedTraceSession trace(args.shared.tracePath);
+    return pipeline::runFigure(*spec, args.shared);
+}
+
+int
+cmdAll(const Args &args)
+{
+    pipeline::ScopedTraceSession trace(args.shared.tracePath);
+    return pipeline::runAll(args.shared);
 }
 
 int
@@ -214,13 +290,12 @@ cmdBias(const Args &args)
 {
     core::ExperimentSpec spec = specFromArgs(args);
     auto space = spaceByFactor(args.get("factor", "both"));
-    core::SetupRandomizer randomizer(space, args.getInt("seed", 42));
+    core::SetupRandomizer randomizer(space, args.shared.seedOr(42));
     const unsigned n = unsigned(args.getInt("setups", 31));
-    core::BiasAnalyzer analyzer(0.01,
-                                args.getDouble("confidence", 0.95));
-    if (const int resamples = int(args.getInt("resamples", 0)))
-        analyzer.withBootstrap(resamples, args.getInt("seed", 42),
-                               unsigned(args.getInt("jobs", 1)));
+    core::BiasAnalyzer analyzer(0.01, args.shared.confidenceOr(0.95));
+    if (const int resamples = args.shared.resamplesOr(0))
+        analyzer.withBootstrap(resamples, args.shared.seedOr(42),
+                               args.shared.jobs);
     auto report = analyzer.analyze(spec, randomizer, n);
     std::printf("%s\n", report.str().c_str());
     auto check = core::ConclusionChecker().check(report);
@@ -235,21 +310,21 @@ cmdCampaign(const Args &args)
     cspec.withExperiment(specFromArgs(args))
         .withSpace(spaceByFactor(args.get("factor", "both")),
                    unsigned(args.getInt("setups", 31)))
-        .withSeed(args.getInt("seed", 42));
+        .withSeed(args.shared.seedOr(42));
     if (args.options.count("aslr-reps"))
         cspec.withPlan({campaign::RepetitionPlan::Kind::AslrRandomized,
                         unsigned(args.getInt("aslr-reps", 7))});
 
     campaign::CampaignOptions opts;
-    opts.jobs = unsigned(args.getInt("jobs", 1));
+    opts.jobs = args.shared.jobs;
     opts.outPath = args.options.count("no-store")
                        ? std::string()
                        : args.get("out", "results/campaign.jsonl");
     opts.resume = args.options.count("resume") > 0;
-    opts.tracePath = args.get("trace", "");
-    opts.artifactCache = args.options.count("no-artifact-cache") == 0;
-    opts.confidence = args.getDouble("confidence", 0.95);
-    opts.resamples = int(args.getInt("resamples", 0));
+    opts.tracePath = args.shared.tracePath;
+    opts.artifactCache = args.shared.artifactCache;
+    opts.confidence = args.shared.confidenceOr(0.95);
+    opts.resamples = args.shared.resamplesOr(0);
     // The in-place progress line is for humans watching a terminal;
     // logs and pipes get clean output.
     opts.progress = loggingEnabled() && isatty(fileno(stderr));
@@ -267,7 +342,7 @@ cmdCampaign(const Args &args)
         std::printf("trace           : %s (open in Perfetto: "
                     "https://ui.perfetto.dev)\n",
                     opts.tracePath.c_str());
-    if (args.options.count("verbose")) {
+    if (args.shared.verbose) {
         std::printf("metrics:\n%s", report.metrics.str().c_str());
         std::printf("provenance:\n%s", report.provenance.str().c_str());
     } else if (args.options.count("provenance")) {
@@ -288,16 +363,16 @@ cmdAnalyze(const Args &args)
                     "' (run `mbias campaign --out ", path,
                     "` first, or pass --store)");
     campaign::AnalyzeOptions opts;
-    opts.jobs = unsigned(args.getInt("jobs", 1));
-    opts.resamples = int(args.getInt("resamples", 1000));
-    opts.confidence = args.getDouble("confidence", 0.95);
-    opts.seed = args.getInt("seed", 42);
+    opts.jobs = args.shared.jobs;
+    opts.resamples = args.shared.resamplesOr(1000);
+    opts.confidence = args.shared.confidenceOr(0.95);
+    opts.seed = args.shared.seedOr(42);
     obs::Registry metrics;
-    if (args.options.count("verbose"))
+    if (args.shared.verbose)
         opts.metrics = &metrics;
     const auto analysis = campaign::analyzeStore(path, opts);
     std::printf("%s", analysis.str().c_str());
-    if (args.options.count("verbose"))
+    if (args.shared.verbose)
         std::printf("metrics:\n%s", metrics.snapshot().str().c_str());
     return 0;
 }
@@ -337,7 +412,7 @@ cmdVariance(const Args &args)
         unsigned(args.getInt("setups", 16)));
     core::VarianceAnalyzer analyzer(unsigned(args.getInt("reps", 15)),
                                     0xfeed,
-                                    args.getDouble("confidence", 0.95));
+                                    args.shared.confidenceOr(0.95));
     auto report = analyzer.analyze(spec, home, peers);
     std::printf("%s", report.str().c_str());
     return 0;
@@ -452,28 +527,30 @@ usage()
     std::fprintf(
         stderr,
         "usage: mbias <command> [options]\n"
-        "  list                           the workload suite\n"
+        "  list                           workloads, figures, tables\n"
+        "  fig      <id>                  render one figure (fig3, 3,\n"
+        "           or a legacy binary name)\n"
+        "  table    <id>                  render one table\n"
+        "  all                            render every figure/table\n"
         "  run      --workload W [--opt O2] [--env N] [--link-seed S]\n"
         "           [--machine M] [--vendor V] [--counters]\n"
         "           [--manifest]\n"
         "  bias     --workload W [--factor env|link|both] [--setups N]\n"
-        "           [--resamples R] [--confidence C]\n"
         "  campaign --workload W [--factor env|link|both] [--setups N]\n"
-        "           [--jobs N] [--resume] [--out PATH] [--seed S]\n"
-        "           [--aslr-reps K] [--no-store] [--trace T.json]\n"
-        "           [--provenance] [--no-artifact-cache]\n"
-        "           [--resamples R] [--confidence C]\n"
-        "  analyze  [--store PATH] [--jobs N] [--resamples R]\n"
-        "           [--confidence C] [--seed S]\n"
+        "           [--resume] [--out PATH] [--aslr-reps K]\n"
+        "           [--no-store] [--provenance]\n"
+        "  analyze  [--store PATH]\n"
         "  obs-summary [--store PATH]\n"
         "  causal   --workload W [--factor env|link] [--setups N]\n"
         "  variance --workload W [--env N] [--reps K]\n"
-        "           [--confidence C]\n"
         "  profile  --workload W [--opt O] [--env N] [--top K]\n"
         "  disasm   --workload W [--opt O] [--link-seed S]\n"
         "           [--function F]\n"
         "  survey\n"
-        "global: --quiet (silence warn/inform + progress line)\n"
+        "shared (every command and figure binary): [--jobs N]\n"
+        "        [--seed S] [--resamples R] [--confidence C]\n"
+        "        [--trace T.json] [--no-artifact-cache]\n"
+        "        --quiet (silence warn/inform + progress line)\n"
         "        --verbose (force logging on; campaign prints metrics\n"
         "        and provenance)\n");
     return 2;
@@ -485,12 +562,16 @@ int
 main(int argc, char **argv)
 {
     const Args args = parseArgs(argc, argv);
-    if (args.options.count("quiet"))
-        setLoggingEnabled(false);
-    else if (args.options.count("verbose"))
-        setLoggingEnabled(true);
+    pipeline::applyLogging(args.shared);
+    mbias::figures::registerAll();
     if (args.command == "list")
         return cmdList();
+    if (args.command == "fig")
+        return cmdFigure(args, "fig");
+    if (args.command == "table")
+        return cmdFigure(args, "table");
+    if (args.command == "all")
+        return cmdAll(args);
     if (args.command == "run")
         return cmdRun(args);
     if (args.command == "bias")
