@@ -34,6 +34,7 @@ pipeline::FigureSpec table1();
 pipeline::FigureSpec table2();
 pipeline::FigureSpec table3();
 pipeline::FigureSpec ablation();
+pipeline::FigureSpec corpus();
 /** @} */
 
 } // namespace mbias::figures

@@ -23,6 +23,7 @@ registerAll()
         reg.add(table2());
         reg.add(table3());
         reg.add(ablation());
+        reg.add(corpus());
         return true;
     }();
     (void)once;

@@ -1,0 +1,95 @@
+#ifndef MBIAS_LANG_ASM_WORKLOAD_HH
+#define MBIAS_LANG_ASM_WORKLOAD_HH
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace mbias::lang
+{
+
+/**
+ * A workload backed by assembled µISA modules instead of a C++
+ * build() function: what a .asm asset (with its manifest) or a
+ * fuzzer-generated program becomes at runtime.  Registered in
+ * workloads::Registry it is indistinguishable from a builtin — the
+ * toolchain compiles the same pre-optimization module list, so a
+ * kernel dumped to .asm and loaded back produces bitwise-identical
+ * RunResults to its C++ original.
+ *
+ * The module list is pinned at one WorkloadConfig (the scale/seed the
+ * asm was generated at, recorded in the manifest); build() rejects
+ * any other config rather than silently returning wrong-scale code.
+ */
+class AsmWorkload final : public workloads::Workload
+{
+  public:
+    struct Params
+    {
+        std::string name;
+        std::string archetype = "asm";
+        std::string description;
+        std::vector<isa::Module> modules;
+        /** Append the shared runtime + cold library at build(). */
+        bool linkRuntime = true;
+        /** The WorkloadConfig the modules were generated at. */
+        workloads::WorkloadConfig config;
+        /** Reference checksum; when absent it is computed once, on
+         *  demand, by a reference-simulator run (the functional
+         *  result is layout- and machine-independent). */
+        std::optional<std::uint64_t> expect;
+    };
+
+    explicit AsmWorkload(Params params);
+
+    std::string name() const override { return params_.name; }
+    std::string archetype() const override { return params_.archetype; }
+    std::string description() const override
+    {
+        return params_.description;
+    }
+
+    std::vector<isa::Module>
+    build(const workloads::WorkloadConfig &cfg) const override;
+
+    std::uint64_t
+    referenceResult(const workloads::WorkloadConfig &cfg) const override;
+
+  private:
+    Params params_;
+    mutable std::once_flag computeOnce_;
+    mutable std::uint64_t computed_ = 0;
+};
+
+/** Result of loading one manifest + asm pair. */
+struct LoadedWorkload
+{
+    std::unique_ptr<AsmWorkload> workload; ///< null on failure
+    std::string error;                     ///< why, when null
+
+    bool ok() const { return workload != nullptr; }
+};
+
+/**
+ * Loads the manifest at @p manifest_path and the .asm file it names
+ * (resolved relative to the manifest's directory), and builds the
+ * workload.  Does not register it.
+ */
+LoadedWorkload loadAsmWorkload(const std::string &manifest_path);
+
+/**
+ * Loads every "*.toml" manifest under @p dir (sorted by name) and
+ * registers each workload in workloads::Registry with the manifest
+ * path as its source.  Returns the number registered; any failure
+ * (parse error, duplicate name, ...) is fatal — a half-loaded
+ * workload directory is worse than none.
+ */
+std::size_t loadAsmDirectory(const std::string &dir);
+
+} // namespace mbias::lang
+
+#endif // MBIAS_LANG_ASM_WORKLOAD_HH

@@ -1,0 +1,76 @@
+#ifndef MBIAS_LANG_ASSEMBLER_HH
+#define MBIAS_LANG_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace mbias::lang
+{
+
+/**
+ * One assembler diagnostic, anchored to the 1-based source position
+ * where the problem starts.
+ */
+struct AsmError
+{
+    unsigned line = 0;
+    unsigned col = 0;
+    std::string message;
+
+    /** "file.asm:12:7: message" (or "12:7: message" without a file). */
+    std::string str(std::string_view filename = {}) const;
+};
+
+/**
+ * Result of assembling one source file: the modules in file order,
+ * plus every diagnostic.  Modules are only meaningful when ok().
+ */
+struct AsmResult
+{
+    std::vector<isa::Module> modules;
+    std::vector<AsmError> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All diagnostics, one per line. */
+    std::string errorText(std::string_view filename = {}) const;
+};
+
+/**
+ * Assembles µISA text into modules.
+ *
+ * The language (see docs/workloads.md for the full grammar):
+ *
+ *   .module <name>                 start a module (file = module list)
+ *   .zero <name>, <size>[, align]  zero-initialized global
+ *   .data <name>[, align]          initialized global; bytes follow
+ *   .hex <hexdigits>               init bytes for the open .data
+ *   .func <name>                   start a function
+ *   .align <n>                     set the open function's alignment
+ *   .endfunc                       close the function
+ *   <label>:                       bind a label at the next instruction
+ *   <mnemonic> <operands...>       one µRISC instruction
+ *
+ * Registers accept ABI names (zero, ra, sp, gp, hp, t0-t8, a0-a7,
+ * s0-s9) and raw x0..x31.  Immediates are signed decimal or 0x-hex.
+ * Comments run from ';' or '#' to end of line.
+ *
+ * Error recovery is per-statement: a bad statement is reported (with
+ * line and column) and skipped, so one pass collects every
+ * diagnostic.  The token stream and module construction mirror
+ * isa::ProgramBuilder exactly — label ids are allocated in first-use
+ * order — so assembling a disassembler listing reproduces the
+ * original module bit for bit (see fingerprintModules).
+ */
+AsmResult assemble(std::string_view text);
+
+/** Assembles the file at @p path (adds a read-failure error if it
+ *  cannot be opened). */
+AsmResult assembleFile(const std::string &path);
+
+} // namespace mbias::lang
+
+#endif // MBIAS_LANG_ASSEMBLER_HH

@@ -1,0 +1,176 @@
+#include "lang/disassembler.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace mbias::lang
+{
+
+namespace
+{
+
+using isa::Opcode;
+
+constexpr const char *kRegNames[isa::reg::numRegs] = {
+    "zero", "ra", "sp", "gp", "hp", "t0", "t1", "t2", "t3", "t4",
+    "a0",   "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s0", "s1",
+    "s2",   "s3", "s4", "s5", "s6", "s7", "s8", "s9", "t5", "t6",
+    "t7",   "t8",
+};
+
+const char *
+reg(isa::Reg r)
+{
+    return kRegNames[r];
+}
+
+/** Stable printable names for a function's labels: the original name
+ *  when unique and non-empty, "__L<id>" otherwise. */
+std::vector<std::string>
+labelNames(const isa::Function &fn)
+{
+    std::vector<std::string> names(fn.numLabels());
+    std::set<std::string> used;
+    for (std::size_t id = 0; id < fn.numLabels(); ++id) {
+        const std::string &orig = fn.labelName(std::int32_t(id));
+        if (!orig.empty() && used.insert(orig).second)
+            names[id] = orig;
+        else
+            names[id] = "__L" + std::to_string(id);
+    }
+    return names;
+}
+
+void
+printInstruction(std::ostream &os, const isa::Instruction &inst,
+                 const std::vector<std::string> &labels)
+{
+    const auto name = isa::opcodeName(inst.op);
+    switch (isa::opClass(inst.op)) {
+      case isa::OpClass::IntAlu:
+      case isa::OpClass::IntMul:
+      case isa::OpClass::IntDiv:
+        if (inst.op == Opcode::Li) {
+            os << "li " << reg(inst.rd) << ", " << inst.imm;
+        } else if (inst.op == Opcode::La) {
+            os << "la " << reg(inst.rd) << ", " << inst.sym;
+        } else if (inst.op == Opcode::Addi && inst.imm == 0) {
+            os << "mv " << reg(inst.rd) << ", " << reg(inst.rs1);
+        } else if (inst.op == Opcode::Addi || inst.op == Opcode::Andi ||
+                   inst.op == Opcode::Ori || inst.op == Opcode::Xori ||
+                   inst.op == Opcode::Slli || inst.op == Opcode::Srli ||
+                   inst.op == Opcode::Srai || inst.op == Opcode::Slti) {
+            os << name << ' ' << reg(inst.rd) << ", " << reg(inst.rs1)
+               << ", " << inst.imm;
+        } else {
+            os << name << ' ' << reg(inst.rd) << ", " << reg(inst.rs1)
+               << ", " << reg(inst.rs2);
+        }
+        break;
+      case isa::OpClass::Load:
+      case isa::OpClass::Store:
+        os << name << ' ' << reg(inst.rd) << ", " << reg(inst.rs1);
+        if (inst.imm != 0)
+            os << ", " << inst.imm;
+        break;
+      case isa::OpClass::CondBranch:
+        os << name << ' ' << reg(inst.rs1) << ", " << reg(inst.rs2)
+           << ", " << labels[std::size_t(inst.target)];
+        break;
+      case isa::OpClass::Jump:
+        os << "jmp " << labels[std::size_t(inst.target)];
+        break;
+      case isa::OpClass::Call:
+        os << "call " << inst.sym;
+        break;
+      case isa::OpClass::Ret:
+        os << "ret";
+        break;
+      case isa::OpClass::Nop:
+        os << "nop";
+        if (inst.imm != 1)
+            os << ' ' << inst.imm;
+        break;
+      case isa::OpClass::Halt:
+        os << "halt";
+        break;
+    }
+}
+
+void
+printFunction(std::ostream &os, const isa::Function &fn)
+{
+    os << ".func " << fn.name() << '\n';
+    if (fn.alignment() != 1)
+        os << ".align " << fn.alignment() << '\n';
+    const auto labels = labelNames(fn);
+    // Labels bound at instruction index i print before instruction i,
+    // in id order — the order the assembler re-allocates them in.
+    std::map<std::uint32_t, std::vector<std::size_t>> atIndex;
+    for (std::size_t id = 0; id < fn.numLabels(); ++id)
+        atIndex[fn.labelTarget(std::int32_t(id))].push_back(id);
+    for (std::size_t i = 0; i <= fn.insts().size(); ++i) {
+        auto it = atIndex.find(std::uint32_t(i));
+        if (it != atIndex.end())
+            for (std::size_t id : it->second)
+                os << labels[id] << ":\n";
+        if (i < fn.insts().size()) {
+            os << "  ";
+            printInstruction(os, fn.insts()[i], labels);
+            os << '\n';
+        }
+    }
+    os << ".endfunc\n";
+}
+
+void
+printGlobal(std::ostream &os, const isa::GlobalData &g)
+{
+    if (g.init.empty()) {
+        os << ".zero " << g.name << ", " << g.size << ", " << g.alignment
+           << '\n';
+        return;
+    }
+    os << ".data " << g.name << ", " << g.alignment << '\n';
+    constexpr std::size_t per_line = 48; // bytes per .hex line
+    static const char digits[] = "0123456789abcdef";
+    for (std::size_t i = 0; i < g.init.size(); i += per_line) {
+        os << ".hex ";
+        const std::size_t end = std::min(i + per_line, g.init.size());
+        for (std::size_t j = i; j < end; ++j)
+            os << digits[g.init[j] >> 4] << digits[g.init[j] & 0xf];
+        os << '\n';
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const isa::Module &module)
+{
+    std::ostringstream os;
+    os << ".module " << module.name() << '\n';
+    for (const auto &g : module.globals())
+        printGlobal(os, g);
+    for (const auto &fn : module.functions())
+        printFunction(os, fn);
+    return os.str();
+}
+
+std::string
+disassemble(const std::vector<isa::Module> &modules)
+{
+    std::string out;
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+        if (i)
+            out += '\n';
+        out += disassemble(modules[i]);
+    }
+    return out;
+}
+
+} // namespace mbias::lang

@@ -1,0 +1,33 @@
+#ifndef MBIAS_LANG_DISASSEMBLER_HH
+#define MBIAS_LANG_DISASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/module.hh"
+
+namespace mbias::lang
+{
+
+/**
+ * Renders modules as canonical µISA assembly text.
+ *
+ * The listing is the assembler's round-trip anchor: for any module
+ * that came out of isa::ProgramBuilder (or this assembler),
+ *
+ *     assemble(disassemble(m)).modules == {m}
+ *
+ * reproduces the module bit for bit — same instructions, same label
+ * ids, same label targets, same globals — as checked by
+ * toolchain::fingerprintModules.  Labels print under their original
+ * names; unnamed labels (compiler-created) print as "__L<id>".
+ */
+std::string disassemble(const isa::Module &module);
+
+/** All modules, in order, separated by blank lines — the on-disk
+ *  format of one .asm asset. */
+std::string disassemble(const std::vector<isa::Module> &modules);
+
+} // namespace mbias::lang
+
+#endif // MBIAS_LANG_DISASSEMBLER_HH

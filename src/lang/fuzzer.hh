@@ -1,0 +1,73 @@
+#ifndef MBIAS_LANG_FUZZER_HH
+#define MBIAS_LANG_FUZZER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/asm_workload.hh"
+#include "isa/module.hh"
+
+namespace mbias::lang
+{
+
+/**
+ * Shape knobs of one generated program, drawn deterministically from
+ * the corpus seed and program index.  Every knob is chosen so the
+ * program provably halts: all loops are fixed-trip countdowns, every
+ * memory access is and-masked into a power-of-two working set, and the
+ * dynamic instruction count lands in a budget the simulator's default
+ * maxInsts comfortably covers.
+ */
+struct FuzzKnobs
+{
+    unsigned kernels = 1;     ///< leaf kernel functions (1..3)
+    unsigned bodyOps = 4;     ///< drawn body ops per inner iteration (2..10)
+    unsigned innerTrips = 64; ///< inner-loop trip count (32..512)
+    unsigned outerTrips = 8;  ///< derived from the inst budget (2..200)
+    unsigned wsWords = 64;    ///< working-set 8-byte words, power of two
+    unsigned entropyBits = 0; ///< mask bits of the data-dependent branch
+    unsigned padNops = 0;     ///< alignment nops before the hot loop
+    unsigned stackSlots = 0;  ///< sp-relative spill slots in the loop (0..2)
+    bool doStores = false;    ///< kernel writes the working set back
+};
+
+/** Corpus parameters. */
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;
+    unsigned count = 64;
+};
+
+/** One generated program: its knobs plus the pre-toolchain modules
+ *  (data module, kernel module, main module — three link-order units,
+ *  like the builtin workloads). */
+struct FuzzedProgram
+{
+    std::string name; ///< "fz<seed>_<index>", unique within a corpus
+    FuzzKnobs knobs;
+    std::vector<isa::Module> modules;
+};
+
+/** Generates program @p index of the corpus.  Pure function of
+ *  (cfg.seed, index): the draw stream is splitAt(index), so programs
+ *  can be generated in any order or in parallel. */
+FuzzedProgram fuzzProgram(const FuzzConfig &cfg, unsigned index);
+
+/** Generates the whole corpus, in index order. */
+std::vector<FuzzedProgram> fuzzCorpus(const FuzzConfig &cfg);
+
+/** Wraps a generated program as a runtime workload (archetype "fuzz",
+ *  default WorkloadConfig, reference checksum computed on demand). */
+std::unique_ptr<AsmWorkload> makeFuzzWorkload(FuzzedProgram prog);
+
+/** Canonical text of the whole corpus: each program's disassembly
+ *  preceded by a "; program <name>" banner.  Byte-identical across
+ *  runs for the same FuzzConfig — the determinism contract the test
+ *  suite pins. */
+std::string corpusText(const std::vector<FuzzedProgram> &corpus);
+
+} // namespace mbias::lang
+
+#endif // MBIAS_LANG_FUZZER_HH

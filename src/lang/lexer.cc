@@ -1,0 +1,152 @@
+#include "lang/lexer.hh"
+
+#include <cctype>
+
+namespace mbias::lang
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+bool
+isHexDigit(char c)
+{
+    return std::isxdigit(static_cast<unsigned char>(c));
+}
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view text)
+{
+    std::vector<Token> out;
+    unsigned line = 1;
+    unsigned col = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+
+    auto push = [&](Token::Kind kind, unsigned tok_line, unsigned tok_col,
+                    std::string spelling = {}, std::int64_t value = 0) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(spelling);
+        t.value = value;
+        t.line = tok_line;
+        t.col = tok_col;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            // Collapse newline runs: one statement terminator each.
+            push(Token::Kind::Newline, line, col);
+            ++i;
+            ++line;
+            col = 1;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == ';' || c == '#') {
+            while (i < n && text[i] != '\n') {
+                ++i;
+                ++col;
+            }
+            continue;
+        }
+        const unsigned tok_line = line, tok_col = col;
+        if (c == ',') {
+            push(Token::Kind::Comma, tok_line, tok_col);
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == ':') {
+            push(Token::Kind::Colon, tok_line, tok_col);
+            ++i;
+            ++col;
+            continue;
+        }
+        const bool neg = c == '-';
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (neg && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+            std::size_t j = i + (neg ? 1 : 0);
+            std::uint64_t mag = 0;
+            if (j + 1 < n && text[j] == '0' &&
+                (text[j + 1] == 'x' || text[j + 1] == 'X')) {
+                j += 2;
+                const std::size_t digits = j;
+                while (j < n && isHexDigit(text[j])) {
+                    mag = mag * 16 +
+                          std::uint64_t(
+                              std::isdigit(
+                                  static_cast<unsigned char>(text[j]))
+                                  ? text[j] - '0'
+                                  : std::tolower(static_cast<unsigned char>(
+                                        text[j])) -
+                                        'a' + 10);
+                    ++j;
+                }
+                if (j == digits) {
+                    // "0x" with no digits: hand the parser a Bad token.
+                    push(Token::Kind::Bad, tok_line, tok_col,
+                         std::string(text.substr(i, j - i)));
+                    col += unsigned(j - i);
+                    i = j;
+                    continue;
+                }
+            } else {
+                while (j < n &&
+                       std::isdigit(static_cast<unsigned char>(text[j]))) {
+                    mag = mag * 10 + std::uint64_t(text[j] - '0');
+                    ++j;
+                }
+            }
+            // Two's-complement wrap is intended: "li" immediates span
+            // the full u64/i64 range (e.g. 0xbf58476d1ce4e5b9).
+            const std::int64_t value =
+                neg ? -std::int64_t(mag) : std::int64_t(mag);
+            push(Token::Kind::Int, tok_line, tok_col,
+                 std::string(text.substr(i, j - i)), value);
+            col += unsigned(j - i);
+            i = j;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && isIdentChar(text[j]))
+                ++j;
+            push(Token::Kind::Ident, tok_line, tok_col,
+                 std::string(text.substr(i, j - i)));
+            col += unsigned(j - i);
+            i = j;
+            continue;
+        }
+        push(Token::Kind::Bad, tok_line, tok_col, std::string(1, c));
+        ++i;
+        ++col;
+    }
+    push(Token::Kind::End, line, col);
+    return out;
+}
+
+} // namespace mbias::lang

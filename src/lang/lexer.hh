@@ -1,0 +1,55 @@
+#ifndef MBIAS_LANG_LEXER_HH
+#define MBIAS_LANG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbias::lang
+{
+
+/**
+ * A token of the µISA assembly language.  The lexer is line-oriented:
+ * newlines are significant (they terminate statements), comments run
+ * from ';' or '#' to end of line, and every token carries the 1-based
+ * line/column it started at so the parser can report precise errors.
+ */
+struct Token
+{
+    enum class Kind
+    {
+        /** Identifier or mnemonic: [A-Za-z_.$][A-Za-z0-9_.$]*  (a
+         *  leading '.' marks a directive, e.g. ".module"). */
+        Ident,
+        /** Decimal or 0x-hex integer, optionally negative. */
+        Int,
+        Comma,
+        Colon,
+        /** End of line (one per newline run). */
+        Newline,
+        /** End of input. */
+        End,
+        /** A character the lexer cannot place (reported by parser). */
+        Bad,
+    };
+
+    Kind kind = Kind::End;
+    std::string text;        ///< raw spelling (idents, bad chars)
+    std::int64_t value = 0;  ///< integer value (Kind::Int)
+    unsigned line = 1;
+    unsigned col = 1;
+
+    bool is(Kind k) const { return kind == k; }
+};
+
+/**
+ * Splits @p text into tokens.  Never fails: unexpected characters
+ * become Kind::Bad tokens, so all error reporting (with line/column)
+ * lives in the parser.  The final token is always Kind::End.
+ */
+std::vector<Token> lex(std::string_view text);
+
+} // namespace mbias::lang
+
+#endif // MBIAS_LANG_LEXER_HH

@@ -1,0 +1,241 @@
+#include "lang/manifest.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mbias::lang
+{
+
+namespace
+{
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Strips a comment that starts outside of a quoted string. */
+std::string_view
+stripComment(std::string_view s)
+{
+    bool quoted = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '"')
+            quoted = !quoted;
+        else if (!quoted && (s[i] == '#' || s[i] == ';'))
+            return s.substr(0, i);
+    }
+    return s;
+}
+
+bool
+validKey(std::string_view k)
+{
+    if (k.empty())
+        return false;
+    for (char c : k)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '-' && c != '.')
+            return false;
+    return true;
+}
+
+} // namespace
+
+Manifest
+Manifest::parse(std::string_view text, std::string *error)
+{
+    Manifest m;
+    std::string section;
+    unsigned lineno = 0;
+    std::size_t pos = 0;
+
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = "line " + std::to_string(lineno) + ": " + msg;
+        return Manifest();
+    };
+
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        std::string_view line =
+            text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                           : eol - pos);
+        pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        ++lineno;
+
+        line = trim(stripComment(line));
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return fail("unterminated section header");
+            const auto name = trim(line.substr(1, line.size() - 2));
+            if (!validKey(name))
+                return fail("bad section name '" + std::string(name) + "'");
+            section = std::string(name);
+            m.sections_[section]; // section may stay empty
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string_view::npos)
+            return fail("expected 'key = value', got '" +
+                        std::string(line) + "'");
+        const auto key = trim(line.substr(0, eq));
+        const auto val = trim(line.substr(eq + 1));
+        if (!validKey(key))
+            return fail("bad key '" + std::string(key) + "'");
+        if (section.empty())
+            return fail("key '" + std::string(key) +
+                        "' before any [section]");
+        for (const auto &[k, v] : m.sections_[section])
+            if (k == key)
+                return fail("duplicate key '" + std::string(key) +
+                            "' in [" + section + "]");
+
+        Value v;
+        if (val.size() >= 2 && val.front() == '"' && val.back() == '"') {
+            v.kind = Value::Kind::String;
+            v.str = std::string(val.substr(1, val.size() - 2));
+            if (v.str.find('"') != std::string::npos)
+                return fail("stray '\"' inside string value of '" +
+                            std::string(key) + "'");
+        } else if (val == "true" || val == "false") {
+            v.kind = Value::Kind::Bool;
+            v.b = val == "true";
+        } else if (!val.empty()) {
+            const std::string s(val);
+            char *end = nullptr;
+            if (s.find('.') != std::string::npos ||
+                ((s.find('e') != std::string::npos ||
+                  s.find('E') != std::string::npos) &&
+                 s.rfind("0x", 0) != 0 && s.rfind("-0x", 0) != 0)) {
+                v.kind = Value::Kind::Double;
+                v.d = std::strtod(s.c_str(), &end);
+            } else {
+                v.kind = Value::Kind::Int;
+                const bool neg = s.front() == '-';
+                const char *digits = s.c_str() + (neg ? 1 : 0);
+                // strtoull so the full u64 range round-trips (expect
+                // checksums are u64); the sign wraps two's-complement.
+                const std::uint64_t mag = std::strtoull(digits, &end, 0);
+                v.i = neg ? -std::int64_t(mag) : std::int64_t(mag);
+            }
+            if (end == nullptr || *end != '\0')
+                return fail("cannot parse value '" + s + "' for key '" +
+                            std::string(key) + "'");
+        } else {
+            return fail("empty value for key '" + std::string(key) + "'");
+        }
+        m.sections_[section].emplace_back(std::string(key), std::move(v));
+    }
+    m.ok_ = true;
+    return m;
+}
+
+Manifest
+Manifest::parseFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return Manifest();
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str(), error);
+}
+
+const Manifest::Value *
+Manifest::find(const std::string &section, const std::string &key) const
+{
+    auto it = sections_.find(section);
+    if (it == sections_.end())
+        return nullptr;
+    for (const auto &[k, v] : it->second)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::optional<std::string>
+Manifest::raw(const std::string &section, const std::string &key) const
+{
+    const Value *v = find(section, key);
+    if (!v)
+        return std::nullopt;
+    switch (v->kind) {
+      case Value::Kind::String:
+        return v->str;
+      case Value::Kind::Int:
+        return std::to_string(v->i);
+      case Value::Kind::Double:
+        return std::to_string(v->d);
+      case Value::Kind::Bool:
+        return std::string(v->b ? "true" : "false");
+    }
+    return std::nullopt;
+}
+
+std::string
+Manifest::getString(const std::string &section, const std::string &key,
+                    const std::string &dflt) const
+{
+    const Value *v = find(section, key);
+    return v && v->kind == Value::Kind::String ? v->str : dflt;
+}
+
+std::int64_t
+Manifest::getInt(const std::string &section, const std::string &key,
+                 std::int64_t dflt) const
+{
+    const Value *v = find(section, key);
+    return v && v->kind == Value::Kind::Int ? v->i : dflt;
+}
+
+double
+Manifest::getDouble(const std::string &section, const std::string &key,
+                    double dflt) const
+{
+    const Value *v = find(section, key);
+    if (!v)
+        return dflt;
+    if (v->kind == Value::Kind::Double)
+        return v->d;
+    if (v->kind == Value::Kind::Int)
+        return double(v->i);
+    return dflt;
+}
+
+bool
+Manifest::getBool(const std::string &section, const std::string &key,
+                  bool dflt) const
+{
+    const Value *v = find(section, key);
+    return v && v->kind == Value::Kind::Bool ? v->b : dflt;
+}
+
+std::vector<std::string>
+Manifest::keys(const std::string &section) const
+{
+    std::vector<std::string> out;
+    auto it = sections_.find(section);
+    if (it == sections_.end())
+        return out;
+    for (const auto &[k, v] : it->second)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace mbias::lang

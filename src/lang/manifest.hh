@@ -1,0 +1,99 @@
+#ifndef MBIAS_LANG_MANIFEST_HH
+#define MBIAS_LANG_MANIFEST_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbias::lang
+{
+
+/**
+ * A workload manifest: the TOML/INI-style sidecar of one .asm asset.
+ *
+ *   # perl.toml
+ *   [workload]
+ *   name = "perl"
+ *   archetype = "400.perlbench"
+ *   description = "bytecode interpreter over a synthetic opcode mix"
+ *   asm = "perl.asm"          # relative to the manifest file
+ *   entry = "main"
+ *   link_runtime = true       # append the shared runtime + coldlib
+ *   scale = 1                 # the WorkloadConfig the asm was built at
+ *   seed = 12345
+ *   expect = 0x9a417b2c       # reference checksum (a0 at halt)
+ *
+ *   [factors]                 # free-form knobs (fuzzer provenance)
+ *   hot_loops = 3
+ *   working_set = 4096
+ *   branch_entropy = 0.50
+ *
+ * Values are quoted strings, integers (decimal or 0x hex, optionally
+ * negative), floats, or true/false.  '#' and ';' start comments.
+ */
+class Manifest
+{
+  public:
+    struct Error
+    {
+        unsigned line = 0;
+        std::string message;
+    };
+
+    /** Parses manifest text; on failure returns an Error instead. */
+    static Manifest parse(std::string_view text, std::string *error);
+
+    /** Reads and parses the file at @p path. */
+    static Manifest parseFile(const std::string &path, std::string *error);
+
+    bool ok() const { return ok_; }
+
+    /** Raw value of section.key, if present. */
+    std::optional<std::string> raw(const std::string &section,
+                                   const std::string &key) const;
+
+    /** @name Typed accessors (return dflt when absent).
+     *  Type mismatches were already rejected by parse(). @{ */
+    std::string getString(const std::string &section,
+                          const std::string &key,
+                          const std::string &dflt = "") const;
+    std::int64_t getInt(const std::string &section, const std::string &key,
+                        std::int64_t dflt = 0) const;
+    double getDouble(const std::string &section, const std::string &key,
+                     double dflt = 0.0) const;
+    bool getBool(const std::string &section, const std::string &key,
+                 bool dflt = false) const;
+    /** @} */
+
+    bool has(const std::string &section, const std::string &key) const
+    {
+        return raw(section, key).has_value();
+    }
+
+    /** Keys of @p section in file order (e.g. to list fuzzer knobs). */
+    std::vector<std::string> keys(const std::string &section) const;
+
+  private:
+    struct Value
+    {
+        enum class Kind { String, Int, Double, Bool } kind;
+        std::string str;
+        std::int64_t i = 0;
+        double d = 0.0;
+        bool b = false;
+    };
+
+    const Value *find(const std::string &section,
+                      const std::string &key) const;
+
+    bool ok_ = false;
+    std::map<std::string, std::vector<std::pair<std::string, Value>>>
+        sections_;
+};
+
+} // namespace mbias::lang
+
+#endif // MBIAS_LANG_MANIFEST_HH

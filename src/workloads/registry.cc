@@ -39,12 +39,87 @@ suite()
     return all;
 }
 
+Registry::Registry()
+{
+    for (const Workload *w : suite())
+        entries_.push_back({w, "builtin"});
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry reg;
+    return reg;
+}
+
+std::string
+Registry::tryAdd(std::unique_ptr<const Workload> w, std::string source)
+{
+    mbias_assert(w != nullptr, "registering a null workload");
+    const std::string name = w->name();
+    if (name.empty())
+        return "cannot register a workload with an empty name (from " +
+               source + ")";
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &e : entries_)
+        if (e.workload->name() == name)
+            return "duplicate workload name '" + name + "': already " +
+                   "registered from " + e.source +
+                   ", refusing to shadow it with the one from " + source;
+    entries_.push_back({w.get(), std::move(source)});
+    owned_.push_back(std::move(w));
+    return {};
+}
+
+const Workload &
+Registry::add(std::unique_ptr<const Workload> w, std::string source)
+{
+    const Workload *raw = w.get();
+    const std::string err = tryAdd(std::move(w), std::move(source));
+    if (!err.empty())
+        mbias_fatal(err);
+    return *raw;
+}
+
+const Workload *
+Registry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &e : entries_)
+        if (e.workload->name() == name)
+            return e.workload;
+    return nullptr;
+}
+
+std::string
+Registry::sourceOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &e : entries_)
+        if (e.workload->name() == name)
+            return e.source;
+    return {};
+}
+
+std::vector<Registry::Entry>
+Registry::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+}
+
+std::size_t
+Registry::runtimeCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size() - suite().size();
+}
+
 const Workload &
 findWorkload(const std::string &name)
 {
-    for (const Workload *w : suite())
-        if (w->name() == name)
-            return *w;
+    if (const Workload *w = Registry::instance().find(name))
+        return *w;
     mbias_fatal("unknown workload: ", name);
 }
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The workload-manifest parser: section/key lookup, typed accessors,
+ * hex and negative integers, and line-numbered rejection of malformed
+ * input (duplicate keys, junk lines, unterminated strings).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/manifest.hh"
+
+namespace
+{
+
+using namespace mbias;
+using lang::Manifest;
+
+TEST(Manifest, ParsesTypicalWorkloadManifest)
+{
+    std::string err;
+    const auto mf = Manifest::parse("# a comment\n"
+                                    "[workload]\n"
+                                    "name = \"perl\"   ; trailing\n"
+                                    "asm = \"perl.asm\"\n"
+                                    "link_runtime = true\n"
+                                    "scale = 1\n"
+                                    "seed = 12345\n"
+                                    "expect = 0xdeadbeef\n"
+                                    "\n"
+                                    "[factors]\n"
+                                    "hot_loops = 3\n"
+                                    "branch_entropy = 0.5\n"
+                                    "offset = -16\n",
+                                    &err);
+    ASSERT_TRUE(mf.ok()) << err;
+    EXPECT_EQ(mf.getString("workload", "name"), "perl");
+    EXPECT_EQ(mf.getString("workload", "asm"), "perl.asm");
+    EXPECT_TRUE(mf.getBool("workload", "link_runtime"));
+    EXPECT_EQ(mf.getInt("workload", "scale"), 1);
+    EXPECT_EQ(mf.getInt("workload", "expect"), 0xdeadbeef);
+    EXPECT_EQ(mf.getInt("factors", "hot_loops"), 3);
+    EXPECT_DOUBLE_EQ(mf.getDouble("factors", "branch_entropy"), 0.5);
+    EXPECT_EQ(mf.getInt("factors", "offset"), -16);
+    // Absent keys fall back to the default.
+    EXPECT_EQ(mf.getInt("workload", "nope", 77), 77);
+    EXPECT_EQ(mf.getString("nope", "nope", "dflt"), "dflt");
+    EXPECT_FALSE(mf.has("workload", "nope"));
+    EXPECT_TRUE(mf.has("workload", "expect"));
+    // Keys come back in file order.
+    const auto keys = mf.keys("factors");
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "hot_loops");
+    EXPECT_EQ(keys[2], "offset");
+}
+
+TEST(Manifest, FullU64ExpectRoundTrips)
+{
+    std::string err;
+    const auto mf = Manifest::parse("[w]\n"
+                                    "expect = 0xffffffffffffffff\n",
+                                    &err);
+    ASSERT_TRUE(mf.ok()) << err;
+    EXPECT_EQ(std::uint64_t(mf.getInt("w", "expect")),
+              0xffffffffffffffffULL);
+}
+
+TEST(Manifest, RejectsDuplicateKey)
+{
+    std::string err;
+    const auto mf = Manifest::parse("[w]\na = 1\na = 2\n", &err);
+    EXPECT_FALSE(mf.ok());
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+    EXPECT_NE(err.find("duplicate key 'a'"), std::string::npos) << err;
+}
+
+TEST(Manifest, RejectsKeyBeforeSection)
+{
+    std::string err;
+    const auto mf = Manifest::parse("a = 1\n", &err);
+    EXPECT_FALSE(mf.ok());
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+}
+
+TEST(Manifest, RejectsJunkLine)
+{
+    std::string err;
+    const auto mf = Manifest::parse("[w]\nwhat even is this\n", &err);
+    EXPECT_FALSE(mf.ok());
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Manifest, RejectsUnparsableValue)
+{
+    std::string err;
+    const auto mf = Manifest::parse("[w]\na = 12monkeys\n", &err);
+    EXPECT_FALSE(mf.ok());
+    EXPECT_NE(err.find("12monkeys"), std::string::npos) << err;
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The runtime workload registry: registering new workloads alongside
+ * the builtin suite, provenance tracking, and — because a workload's
+ * name keys the toolchain artifact cache and the result stores —
+ * loud rejection of duplicate names instead of silent shadowing.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mbias;
+using workloads::Registry;
+
+class DummyWorkload final : public workloads::Workload
+{
+  public:
+    explicit DummyWorkload(std::string name) : name_(std::move(name)) {}
+
+    std::string name() const override { return name_; }
+    std::string archetype() const override { return "test"; }
+    std::string description() const override { return "test dummy"; }
+
+    std::vector<isa::Module>
+    build(const workloads::WorkloadConfig &) const override
+    {
+        return {};
+    }
+
+    std::uint64_t
+    referenceResult(const workloads::WorkloadConfig &) const override
+    {
+        return 0;
+    }
+
+  private:
+    std::string name_;
+};
+
+TEST(Registry, BuiltinsAreRegistered)
+{
+    auto &reg = Registry::instance();
+    for (const auto *w : workloads::suite()) {
+        EXPECT_EQ(reg.find(w->name()), w);
+        EXPECT_EQ(reg.sourceOf(w->name()), "builtin");
+    }
+    EXPECT_EQ(reg.find("no_such_workload"), nullptr);
+    EXPECT_EQ(reg.sourceOf("no_such_workload"), "");
+}
+
+TEST(Registry, RuntimeRegistrationDoesNotTouchSuite)
+{
+    auto &reg = Registry::instance();
+    const auto before = workloads::suite().size();
+    const std::string err = reg.tryAdd(
+        std::make_unique<DummyWorkload>("regtest_runtime"), "unit test");
+    ASSERT_EQ(err, "");
+    // Lookup sees it; the canonical suite does not.
+    EXPECT_NE(reg.find("regtest_runtime"), nullptr);
+    EXPECT_EQ(reg.sourceOf("regtest_runtime"), "unit test");
+    EXPECT_EQ(workloads::suite().size(), before);
+    EXPECT_EQ(&workloads::findWorkload("regtest_runtime"),
+              reg.find("regtest_runtime"));
+    // entries() lists builtins first, runtime additions after.
+    const auto entries = reg.entries();
+    ASSERT_GE(entries.size(), before + 1);
+    for (std::size_t i = 0; i < before; ++i)
+        EXPECT_EQ(entries[i].source, "builtin");
+}
+
+TEST(Registry, RejectsDuplicateOfBuiltin)
+{
+    auto &reg = Registry::instance();
+    const auto count = reg.entries().size();
+    const std::string err =
+        reg.tryAdd(std::make_unique<DummyWorkload>("perl"), "evil.toml");
+    EXPECT_NE(err.find("duplicate workload name 'perl'"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("builtin"), std::string::npos) << err;
+    EXPECT_NE(err.find("evil.toml"), std::string::npos) << err;
+    // Nothing was registered; the builtin still resolves.
+    EXPECT_EQ(reg.entries().size(), count);
+    EXPECT_EQ(reg.sourceOf("perl"), "builtin");
+}
+
+TEST(Registry, RejectsDuplicateOfRuntimeEntry)
+{
+    auto &reg = Registry::instance();
+    ASSERT_EQ(reg.tryAdd(std::make_unique<DummyWorkload>("regtest_dup"),
+                         "first.toml"),
+              "");
+    const std::string err = reg.tryAdd(
+        std::make_unique<DummyWorkload>("regtest_dup"), "second.toml");
+    EXPECT_NE(err.find("duplicate workload name 'regtest_dup'"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("first.toml"), std::string::npos) << err;
+    EXPECT_EQ(reg.sourceOf("regtest_dup"), "first.toml");
+}
+
+TEST(Registry, RejectsEmptyName)
+{
+    auto &reg = Registry::instance();
+    const std::string err =
+        reg.tryAdd(std::make_unique<DummyWorkload>(""), "unit test");
+    EXPECT_NE(err.find("empty name"), std::string::npos) << err;
+}
+
+} // namespace

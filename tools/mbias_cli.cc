@@ -32,6 +32,8 @@
  */
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -52,6 +54,10 @@
 #include "core/manifest.hh"
 #include "core/variance.hh"
 #include "figures.hh"
+#include "lang/asm_workload.hh"
+#include "lang/assembler.hh"
+#include "lang/disassembler.hh"
+#include "lang/fuzzer.hh"
 #include "pipeline/driver.hh"
 #include "pipeline/options.hh"
 #include "survey/analyzer.hh"
@@ -195,13 +201,30 @@ kindName(pipeline::FigureSpec::Kind kind)
     return "?";
 }
 
+/** The workload table: builtins first, then anything registered at
+ *  runtime (.asm manifests via --asm-dir, fuzzer programs), with the
+ *  provenance of each. */
+void
+printWorkloads()
+{
+    core::TextTable t({"workload", "archetype", "source", "description"});
+    for (const auto &e : workloads::Registry::instance().entries())
+        t.addRow({e.workload->name(), e.workload->archetype(), e.source,
+                  e.workload->description()});
+    std::printf("%s\n", t.str().c_str());
+}
+
+int
+cmdWorkloads()
+{
+    printWorkloads();
+    return 0;
+}
+
 int
 cmdList()
 {
-    core::TextTable t({"workload", "archetype", "description"});
-    for (const auto *w : workloads::suite())
-        t.addRow({w->name(), w->archetype(), w->description()});
-    std::printf("%s\n", t.str().c_str());
+    printWorkloads();
 
     core::TextTable figs({"id", "kind", "binary", "description"});
     for (const auto &spec : pipeline::FigureRegistry::instance().all())
@@ -504,6 +527,170 @@ cmdDisasm(const Args &args)
     return 0;
 }
 
+void
+writeTextFile(const std::filesystem::path &path,
+              const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        mbias_fatal("cannot write '", path.string(), "'");
+    out << content;
+}
+
+/** The manifest sidecar of one dumped/fuzzed .asm asset. */
+std::string
+manifestText(const workloads::Workload &w, const std::string &name,
+             const std::string &asm_file, bool link_runtime,
+             std::uint64_t expect, const lang::FuzzKnobs *knobs)
+{
+    char buf[64];
+    std::string s;
+    s += "# generated by `mbias asm dump` / `mbias fuzz`\n";
+    s += "[workload]\n";
+    s += "name = \"" + name + "\"\n";
+    s += "archetype = \"" + w.archetype() + "\"\n";
+    s += "description = \"" + w.description() + "\"\n";
+    s += "asm = \"" + asm_file + "\"\n";
+    s += "entry = \"main\"\n";
+    s += std::string("link_runtime = ") +
+         (link_runtime ? "true" : "false") + "\n";
+    s += "scale = 1\n";
+    s += "seed = 12345\n";
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  (unsigned long long)expect);
+    s += std::string("expect = ") + buf + "\n";
+    if (knobs) {
+        s += "\n[factors]\n";
+        s += "kernels = " + std::to_string(knobs->kernels) + "\n";
+        s += "body_ops = " + std::to_string(knobs->bodyOps) + "\n";
+        s += "inner_trips = " + std::to_string(knobs->innerTrips) + "\n";
+        s += "outer_trips = " + std::to_string(knobs->outerTrips) + "\n";
+        s += "working_set = " + std::to_string(knobs->wsWords * 8) + "\n";
+        s += "branch_entropy = " + std::to_string(knobs->entropyBits) +
+             "\n";
+        s += "pad_nops = " + std::to_string(knobs->padNops) + "\n";
+        s += "stack_slots = " + std::to_string(knobs->stackSlots) + "\n";
+        s += std::string("stores = ") +
+             (knobs->doStores ? "true" : "false") + "\n";
+    }
+    return s;
+}
+
+int
+cmdAsm(const Args &args)
+{
+    const std::string action =
+        args.positionals.empty() ? "" : args.positionals[0];
+    if (action == "check" || action == "dis") {
+        if (args.positionals.size() < 2)
+            mbias_fatal("mbias asm ", action, " needs at least one "
+                        ".asm file");
+        int rc = 0;
+        for (std::size_t i = 1; i < args.positionals.size(); ++i) {
+            const std::string &file = args.positionals[i];
+            const auto res = lang::assembleFile(file);
+            if (!res.ok()) {
+                std::fprintf(stderr, "%s",
+                             res.errorText(file).c_str());
+                rc = 1;
+                continue;
+            }
+            if (action == "dis") {
+                std::printf("%s", lang::disassemble(res.modules).c_str());
+                continue;
+            }
+            std::size_t funcs = 0, insts = 0;
+            for (const auto &m : res.modules) {
+                funcs += m.functions().size();
+                for (const auto &f : m.functions())
+                    insts += f.insts().size();
+            }
+            std::printf("%s: OK (%zu modules, %zu functions, %zu "
+                        "instructions)\n",
+                        file.c_str(), res.modules.size(), funcs, insts);
+        }
+        return rc;
+    }
+    if (action == "dump") {
+        // Writes <name>.asm + <name>.toml for builtin kernels.  The
+        // builtin build() already links the runtime, so the asset is
+        // self-contained (link_runtime = false) and its manifest name
+        // gets an _asm suffix to avoid shadowing the builtin.
+        const std::filesystem::path dir =
+            args.get("out", "workloads/asm");
+        std::filesystem::create_directories(dir);
+        std::vector<const workloads::Workload *> todo;
+        const std::string only = args.get("workload", "");
+        for (const auto *w : workloads::suite())
+            if (only.empty() || w->name() == only)
+                todo.push_back(w);
+        if (todo.empty())
+            mbias_fatal("no builtin workload named '", only, "'");
+        for (const auto *w : todo) {
+            const std::string asm_file = w->name() + ".asm";
+            writeTextFile(dir / asm_file,
+                          lang::disassemble(w->build({})));
+            writeTextFile(dir / (w->name() + ".toml"),
+                          manifestText(*w, w->name() + "_asm", asm_file,
+                                       false, w->referenceResult({}),
+                                       nullptr));
+            std::printf("wrote %s and %s.toml\n",
+                        (dir / asm_file).string().c_str(),
+                        (dir / w->name()).string().c_str());
+        }
+        return 0;
+    }
+    mbias_fatal("usage: mbias asm check|dis <file.asm>... | "
+                "mbias asm dump [--workload W] [--out DIR]");
+}
+
+int
+cmdFuzz(const Args &args)
+{
+    lang::FuzzConfig cfg;
+    // --seed is one of the shared pipeline flags, so it lands in
+    // args.shared rather than the subcommand options.
+    cfg.seed = args.shared.seedOr(1);
+    cfg.count = unsigned(args.getInt("count", 64));
+    const std::string out = args.get("out", "");
+    if (out.empty()) {
+        core::TextTable t({"program", "kernels", "body", "trips",
+                           "ws bytes", "entropy", "stack", "stores"});
+        for (unsigned i = 0; i < cfg.count; ++i) {
+            const auto p = lang::fuzzProgram(cfg, i);
+            const auto &k = p.knobs;
+            t.addRow({p.name, std::to_string(k.kernels),
+                      std::to_string(k.bodyOps),
+                      std::to_string(k.innerTrips) + "x" +
+                          std::to_string(k.outerTrips),
+                      std::to_string(k.wsWords * 8),
+                      std::to_string(k.entropyBits) + "b",
+                      std::to_string(k.stackSlots),
+                      k.doStores ? "yes" : "no"});
+        }
+        std::printf("%s\n", t.str().c_str());
+        std::printf("write the corpus with --out DIR (one .asm + .toml "
+                    "per program)\n");
+        return 0;
+    }
+    const std::filesystem::path dir = out;
+    std::filesystem::create_directories(dir);
+    for (unsigned i = 0; i < cfg.count; ++i) {
+        auto prog = lang::fuzzProgram(cfg, i);
+        const std::string name = prog.name;
+        const lang::FuzzKnobs knobs = prog.knobs;
+        writeTextFile(dir / (name + ".asm"),
+                      lang::disassemble(prog.modules));
+        auto w = lang::makeFuzzWorkload(std::move(prog));
+        writeTextFile(dir / (name + ".toml"),
+                      manifestText(*w, name, name + ".asm", true,
+                                   w->referenceResult({}), &knobs));
+    }
+    std::printf("wrote %u programs (seed %llu) to %s\n", cfg.count,
+                (unsigned long long)cfg.seed, dir.string().c_str());
+    return 0;
+}
+
 int
 cmdSurvey()
 {
@@ -546,7 +733,16 @@ usage()
         "  profile  --workload W [--opt O] [--env N] [--top K]\n"
         "  disasm   --workload W [--opt O] [--link-seed S]\n"
         "           [--function F]\n"
+        "  workloads                      just the workload table\n"
+        "  asm      check <f.asm>...      assemble, report diagnostics\n"
+        "  asm      dis <f.asm>           print the canonical listing\n"
+        "  asm      dump [--workload W] [--out DIR]   write .asm+.toml\n"
+        "           assets for builtin kernels (default workloads/asm)\n"
+        "  fuzz     [--seed S] [--count N] [--out DIR]  seeded workload\n"
+        "           corpus; without --out prints the knob table\n"
         "  survey\n"
+        "every command accepts --asm-dir DIR to load *.toml workload\n"
+        "manifests (and their .asm) before running\n"
         "shared (every command and figure binary): [--jobs N]\n"
         "        [--seed S] [--resamples R] [--confidence C]\n"
         "        [--trace T.json] [--no-artifact-cache]\n"
@@ -564,8 +760,18 @@ main(int argc, char **argv)
     const Args args = parseArgs(argc, argv);
     pipeline::applyLogging(args.shared);
     mbias::figures::registerAll();
+    // Runtime workloads load before dispatch, so every subcommand
+    // (list, run, bias, campaign, ...) sees them by name.
+    if (args.options.count("asm-dir"))
+        lang::loadAsmDirectory(args.options.at("asm-dir"));
     if (args.command == "list")
         return cmdList();
+    if (args.command == "workloads")
+        return cmdWorkloads();
+    if (args.command == "asm")
+        return cmdAsm(args);
+    if (args.command == "fuzz")
+        return cmdFuzz(args);
     if (args.command == "fig")
         return cmdFigure(args, "fig");
     if (args.command == "table")

@@ -1,0 +1,232 @@
+.module gcc_data
+.zero symtab, 16384, 64
+
+.module gcc_keys
+.func make_key
+  li t0, 2654435761
+  mul a0, a0, t0
+  li t0, 12345
+  add a0, a0, t0
+  call rt_mix64
+  ori a0, a0, 1
+  ret
+.endfunc
+
+.module gcc_main
+.func main
+  la s2, symtab
+  li s1, 0
+  li s5, 1
+rep_loop:
+  li s0, 0
+  li s3, 1800
+phase1:
+  mv a0, s0
+  call make_key
+  mv s4, a0
+  andi t1, s4, 2047
+probe1:
+  slli t2, t1, 3
+  add t2, s2, t2
+  ld8 t3, t2
+  beq t3, zero, do_insert
+  beq t3, s4, inserted
+  addi t1, t1, 1
+  andi t1, t1, 2047
+  jmp probe1
+do_insert:
+  st8 s4, t2
+inserted:
+  mv a0, s1
+  mv a1, t1
+  call rt_cksum
+  mv s1, a0
+  addi s0, s0, 1
+  bne s0, s3, phase1
+  li s0, 0
+phase2:
+  mv a0, s0
+  call make_key
+  mv s4, a0
+  andi t1, s4, 2047
+probe2:
+  slli t2, t1, 3
+  add t2, s2, t2
+  ld8 t3, t2
+  beq t3, s4, found2
+  beq t3, zero, found2
+  addi t1, t1, 1
+  andi t1, t1, 2047
+  jmp probe2
+found2:
+  mv a0, s1
+  mv a1, t1
+  call rt_cksum
+  mv s1, a0
+  addi s0, s0, 1
+  bne s0, s3, phase2
+  addi s5, s5, -1
+  bne s5, zero, rep_loop
+  mv a0, s1
+  halt
+.endfunc
+
+.module rt_hash
+.func rt_cksum
+  li t0, 31
+  mul a0, a0, t0
+  add a0, a0, a1
+  ret
+.endfunc
+.func rt_mix64
+  srli t0, a0, 30
+  xor a0, a0, t0
+  li t1, -4658895280553007687
+  mul a0, a0, t1
+  srli t0, a0, 27
+  xor a0, a0, t0
+  li t1, -7723592293110705685
+  mul a0, a0, t1
+  srli t0, a0, 31
+  xor a0, a0, t0
+  ret
+.endfunc
+
+.module rt_util
+.func rt_min
+  bltu a0, a1, min_done
+  mv a0, a1
+min_done:
+  ret
+.endfunc
+.func rt_max
+  bgeu a0, a1, max_done
+  mv a0, a1
+max_done:
+  ret
+.endfunc
+.func rt_absdiff
+  sub t0, a0, a1
+  bge t0, zero, abs_pos
+  sub t0, zero, t0
+abs_pos:
+  mv a0, t0
+  ret
+.endfunc
+
+.module cold_err
+.func cold_report_error
+  li t0, 17
+  li t1, 0
+cold_report_error_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_report_error_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_abort_path
+  li t0, 5
+  li t1, 0
+cold_abort_path_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_abort_path_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_init
+.func cold_startup
+  li t0, 3
+  li t1, 0
+cold_startup_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  addi t1, t1, 10
+  addi t1, t1, 11
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_startup_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_parse_args
+  li t0, 41
+  li t1, 0
+cold_parse_args_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_parse_args_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_env_scan
+  li t0, 23
+  li t1, 0
+cold_env_scan_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_env_scan_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_util
+.func cold_format
+  li t0, 13
+  li t1, 0
+cold_format_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_format_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_log
+  li t0, 29
+  li t1, 0
+cold_log_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_log_loop
+  mv a0, t1
+  ret
+.endfunc

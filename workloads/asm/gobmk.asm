@@ -1,0 +1,313 @@
+.module gobmk_data
+.data board, 8
+.hex 020202020200010101000201000100020201000200000000000101010000020200010201000101000002010101000100
+.hex 020002010100020000010101010201000200020001010101020000020000020000000002010101010101020001010000
+.hex 020001000202010201020101000202020101010001000000020102020001010100020201010101000200000202020101
+.hex 000202000100010102020202010000020202020101020002020201010102020201000101000200020101020201000202
+.hex 020101020001010101020201020101010002020002010001020102010000000201020102000000020100000001000201
+.hex 010200020001020102010200020202000100010000010102020000010000000002010101020100000101010102010000
+.hex 020002020201000201020001010000010102010000020202020200010201010201020201020100020000010102020101
+.hex 01020202000101020002010201020000000000010200020102
+.zero visited, 361, 8
+
+.module gobmk_fill
+.func fill
+  addi sp, sp, -16
+  st8 s0, sp
+  st8 s1, sp, 8
+  mv s0, a0
+  li s1, 1
+  la t0, visited
+  add t1, t0, s0
+  li t2, 1
+  st1 t2, t1
+  li t3, 19
+  remu t4, s0, t3
+  beq t4, zero, skip_left
+  addi a0, s0, -1
+  call fill_try
+  add s1, s1, a0
+skip_left:
+  li t3, 19
+  remu t4, s0, t3
+  li t5, 18
+  beq t4, t5, skip_right
+  addi a0, s0, 1
+  call fill_try
+  add s1, s1, a0
+skip_right:
+  li t3, 19
+  blt s0, t3, skip_up
+  addi a0, s0, -19
+  call fill_try
+  add s1, s1, a0
+skip_up:
+  li t3, 342
+  bge s0, t3, skip_down
+  addi a0, s0, 19
+  call fill_try
+  add s1, s1, a0
+skip_down:
+  mv a0, s1
+  ld8 s1, sp, 8
+  ld8 s0, sp
+  addi sp, sp, 16
+  ret
+.endfunc
+.func fill_try
+  la t0, visited
+  add t1, t0, a0
+  ld1 t2, t1
+  bne t2, zero, try_zero
+  la t0, board
+  add t1, t0, a0
+  ld1 t2, t1
+  li t3, 1
+  bne t2, t3, try_zero
+  call fill
+  ret
+try_zero:
+  li a0, 0
+  ret
+.endfunc
+
+.module gobmk_scan
+.func scan_cell
+  la t0, board
+  add t1, t0, a0
+  ld1 t2, t1
+  li a0, 0
+  ld1 t3, t1, -20
+  bne t3, t2, scan_skip_0
+  addi a0, a0, 1
+scan_skip_0:
+  ld1 t3, t1, -19
+  bne t3, t2, scan_skip_1
+  addi a0, a0, 1
+scan_skip_1:
+  ld1 t3, t1, -18
+  bne t3, t2, scan_skip_2
+  addi a0, a0, 1
+scan_skip_2:
+  ld1 t3, t1, -1
+  bne t3, t2, scan_skip_3
+  addi a0, a0, 1
+scan_skip_3:
+  ld1 t3, t1, 1
+  bne t3, t2, scan_skip_4
+  addi a0, a0, 1
+scan_skip_4:
+  ld1 t3, t1, 18
+  bne t3, t2, scan_skip_5
+  addi a0, a0, 1
+scan_skip_5:
+  ld1 t3, t1, 19
+  bne t3, t2, scan_skip_6
+  addi a0, a0, 1
+scan_skip_6:
+  ld1 t3, t1, 20
+  bne t3, t2, scan_skip_7
+  addi a0, a0, 1
+scan_skip_7:
+  ret
+.endfunc
+
+.module gobmk_main
+.func main
+  li s1, 0
+  li s5, 3
+round_loop:
+  li s2, 1
+row_loop:
+  li s3, 1
+col_loop:
+  li t0, 19
+  mul t0, s2, t0
+  add a0, t0, s3
+  call scan_cell
+  mv a1, a0
+  mv a0, s1
+  call rt_cksum
+  mv s1, a0
+  addi s3, s3, 1
+  li t1, 18
+  bne s3, t1, col_loop
+  addi s2, s2, 1
+  li t1, 18
+  bne s2, t1, row_loop
+  li s2, 0
+fill_loop:
+  mv a0, s2
+  call fill_try
+  mv a1, a0
+  mv a0, s1
+  call rt_cksum
+  mv s1, a0
+  addi s2, s2, 7
+  li t1, 361
+  blt s2, t1, fill_loop
+  addi s5, s5, -1
+  bne s5, zero, round_loop
+  mv a0, s1
+  halt
+.endfunc
+
+.module rt_hash
+.func rt_cksum
+  li t0, 31
+  mul a0, a0, t0
+  add a0, a0, a1
+  ret
+.endfunc
+.func rt_mix64
+  srli t0, a0, 30
+  xor a0, a0, t0
+  li t1, -4658895280553007687
+  mul a0, a0, t1
+  srli t0, a0, 27
+  xor a0, a0, t0
+  li t1, -7723592293110705685
+  mul a0, a0, t1
+  srli t0, a0, 31
+  xor a0, a0, t0
+  ret
+.endfunc
+
+.module rt_util
+.func rt_min
+  bltu a0, a1, min_done
+  mv a0, a1
+min_done:
+  ret
+.endfunc
+.func rt_max
+  bgeu a0, a1, max_done
+  mv a0, a1
+max_done:
+  ret
+.endfunc
+.func rt_absdiff
+  sub t0, a0, a1
+  bge t0, zero, abs_pos
+  sub t0, zero, t0
+abs_pos:
+  mv a0, t0
+  ret
+.endfunc
+
+.module cold_err
+.func cold_report_error
+  li t0, 17
+  li t1, 0
+cold_report_error_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_report_error_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_abort_path
+  li t0, 5
+  li t1, 0
+cold_abort_path_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_abort_path_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_init
+.func cold_startup
+  li t0, 3
+  li t1, 0
+cold_startup_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  addi t1, t1, 10
+  addi t1, t1, 11
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_startup_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_parse_args
+  li t0, 41
+  li t1, 0
+cold_parse_args_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_parse_args_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_env_scan
+  li t0, 23
+  li t1, 0
+cold_env_scan_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_env_scan_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_util
+.func cold_format
+  li t0, 13
+  li t1, 0
+cold_format_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_format_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_log
+  li t0, 29
+  li t1, 0
+cold_log_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_log_loop
+  mv a0, t1
+  ret
+.endfunc

@@ -1,0 +1,303 @@
+.module perl_data
+.data vmcode, 8
+.hex 079300ca03072f08000e05002203077b07be0785010101077206ef003c0207850500160100370088071900f204010106
+.hex d7073401075b00d2003b02020207f400a6010307e7010807910801076f01009500a500de0501079e002e010208070907
+.hex 1a06d802074a0407a206860751040206f0071906d400dd010304009a02009e003305002f08066b07ed0101065207e101
+.hex 00f507c00301001006890011075607af003800260106f203030107790107e0077b07840304010107e2000501010109
+.zero vmglobals, 256, 8
+
+.module perl_vm
+.func vm_run
+  addi sp, sp, -520
+  la t0, vmcode
+  li t1, 0
+  mv t2, sp
+  li t3, 0
+dispatch:
+  add t4, t0, t1
+  ld1 t5, t4
+  addi t1, t1, 1
+  beq t5, zero, op_pushc
+  li t6, 1
+  beq t5, t6, op_add
+  li t6, 2
+  beq t5, t6, op_sub
+  li t6, 3
+  beq t5, t6, op_mul
+  li t6, 4
+  beq t5, t6, op_dup
+  li t6, 5
+  beq t5, t6, op_drop
+  li t6, 6
+  beq t5, t6, op_storeg
+  li t6, 7
+  beq t5, t6, op_loadg
+  li t6, 8
+  beq t5, t6, op_xor
+  jmp op_end
+op_pushc:
+  add t4, t0, t1
+  ld1 t6, t4
+  addi t1, t1, 1
+  slli t7, t3, 3
+  add t7, t2, t7
+  st8 t6, t7
+  addi t3, t3, 1
+  jmp dispatch
+op_add:
+  addi t3, t3, -1
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 t8, t7
+  ld8 t6, t7, -8
+  add t6, t6, t8
+  st8 t6, t7, -8
+  jmp dispatch
+op_sub:
+  addi t3, t3, -1
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 t8, t7
+  ld8 t6, t7, -8
+  sub t6, t6, t8
+  st8 t6, t7, -8
+  jmp dispatch
+op_mul:
+  addi t3, t3, -1
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 t8, t7
+  ld8 t6, t7, -8
+  mul t6, t6, t8
+  st8 t6, t7, -8
+  jmp dispatch
+op_xor:
+  addi t3, t3, -1
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 t8, t7
+  ld8 t6, t7, -8
+  xor t6, t6, t8
+  st8 t6, t7, -8
+  jmp dispatch
+op_dup:
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 t6, t7, -8
+  st8 t6, t7
+  addi t3, t3, 1
+  jmp dispatch
+op_drop:
+  addi t3, t3, -1
+  jmp dispatch
+op_storeg:
+  add t4, t0, t1
+  ld1 t6, t4
+  addi t1, t1, 1
+  andi t6, t6, 31
+  slli t6, t6, 3
+  la t8, vmglobals
+  add t8, t8, t6
+  addi t3, t3, -1
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 t6, t7
+  st8 t6, t8
+  jmp dispatch
+op_loadg:
+  add t4, t0, t1
+  ld1 t6, t4
+  addi t1, t1, 1
+  andi t6, t6, 31
+  slli t6, t6, 3
+  la t8, vmglobals
+  add t8, t8, t6
+  ld8 t6, t8
+  slli t7, t3, 3
+  add t7, t2, t7
+  st8 t6, t7
+  addi t3, t3, 1
+  jmp dispatch
+op_end:
+  slli t7, t3, 3
+  add t7, t2, t7
+  ld8 a0, t7, -8
+  addi sp, sp, 520
+  ret
+.endfunc
+
+.module perl_main
+.func main
+  li s0, 40
+  li s1, 0
+main_loop:
+  call vm_run
+  mv a1, a0
+  mv a0, s1
+  call rt_cksum
+  mv s1, a0
+  addi s0, s0, -1
+  bne s0, zero, main_loop
+  mv a0, s1
+  halt
+.endfunc
+
+.module rt_hash
+.func rt_cksum
+  li t0, 31
+  mul a0, a0, t0
+  add a0, a0, a1
+  ret
+.endfunc
+.func rt_mix64
+  srli t0, a0, 30
+  xor a0, a0, t0
+  li t1, -4658895280553007687
+  mul a0, a0, t1
+  srli t0, a0, 27
+  xor a0, a0, t0
+  li t1, -7723592293110705685
+  mul a0, a0, t1
+  srli t0, a0, 31
+  xor a0, a0, t0
+  ret
+.endfunc
+
+.module rt_util
+.func rt_min
+  bltu a0, a1, min_done
+  mv a0, a1
+min_done:
+  ret
+.endfunc
+.func rt_max
+  bgeu a0, a1, max_done
+  mv a0, a1
+max_done:
+  ret
+.endfunc
+.func rt_absdiff
+  sub t0, a0, a1
+  bge t0, zero, abs_pos
+  sub t0, zero, t0
+abs_pos:
+  mv a0, t0
+  ret
+.endfunc
+
+.module cold_err
+.func cold_report_error
+  li t0, 17
+  li t1, 0
+cold_report_error_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_report_error_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_abort_path
+  li t0, 5
+  li t1, 0
+cold_abort_path_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_abort_path_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_init
+.func cold_startup
+  li t0, 3
+  li t1, 0
+cold_startup_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  addi t1, t1, 10
+  addi t1, t1, 11
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_startup_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_parse_args
+  li t0, 41
+  li t1, 0
+cold_parse_args_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_parse_args_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_env_scan
+  li t0, 23
+  li t1, 0
+cold_env_scan_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_env_scan_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_util
+.func cold_format
+  li t0, 13
+  li t1, 0
+cold_format_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_format_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_log
+  li t0, 29
+  li t1, 0
+cold_log_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_log_loop
+  mv a0, t1
+  ret
+.endfunc

@@ -1,0 +1,224 @@
+.module sjeng_search
+.func negamax
+  beq a0, zero, leaf_loss
+  beq a1, zero, leaf_eval
+  addi sp, sp, -32
+  st8 s0, sp
+  st8 s1, sp, 8
+  st8 s2, sp, 16
+  st8 s3, sp, 24
+  mv s0, a0
+  mv s1, a1
+  li s2, -1000000
+  li s3, 1
+move_loop:
+  bltu s0, s3, move_done
+  sub a0, s0, s3
+  addi a1, s1, -1
+  call negamax
+  sub t0, zero, a0
+  blt t0, s2, no_improve
+  mv s2, t0
+no_improve:
+  addi s3, s3, 1
+  li t1, 4
+  bne s3, t1, move_loop
+move_done:
+  mv a0, s2
+  ld8 s3, sp, 24
+  ld8 s2, sp, 16
+  ld8 s1, sp, 8
+  ld8 s0, sp
+  addi sp, sp, 32
+  ret
+leaf_loss:
+  li a0, -100
+  ret
+leaf_eval:
+  li t0, 12345
+  add a0, a0, t0
+  call rt_mix64
+  andi a0, a0, 63
+  ret
+.endfunc
+
+.module sjeng_main
+.func main
+  li s0, 0
+  li s1, 0
+  li s2, 4
+root_loop:
+  li t0, 6
+  remu t1, s0, t0
+  addi a0, t1, 18
+  li a1, 6
+  call negamax
+  andi a1, a0, 255
+  mv a0, s1
+  call rt_cksum
+  mv s1, a0
+  addi s0, s0, 1
+  bne s0, s2, root_loop
+  mv a0, s1
+  halt
+.endfunc
+
+.module rt_hash
+.func rt_cksum
+  li t0, 31
+  mul a0, a0, t0
+  add a0, a0, a1
+  ret
+.endfunc
+.func rt_mix64
+  srli t0, a0, 30
+  xor a0, a0, t0
+  li t1, -4658895280553007687
+  mul a0, a0, t1
+  srli t0, a0, 27
+  xor a0, a0, t0
+  li t1, -7723592293110705685
+  mul a0, a0, t1
+  srli t0, a0, 31
+  xor a0, a0, t0
+  ret
+.endfunc
+
+.module rt_util
+.func rt_min
+  bltu a0, a1, min_done
+  mv a0, a1
+min_done:
+  ret
+.endfunc
+.func rt_max
+  bgeu a0, a1, max_done
+  mv a0, a1
+max_done:
+  ret
+.endfunc
+.func rt_absdiff
+  sub t0, a0, a1
+  bge t0, zero, abs_pos
+  sub t0, zero, t0
+abs_pos:
+  mv a0, t0
+  ret
+.endfunc
+
+.module cold_err
+.func cold_report_error
+  li t0, 17
+  li t1, 0
+cold_report_error_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_report_error_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_abort_path
+  li t0, 5
+  li t1, 0
+cold_abort_path_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_abort_path_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_init
+.func cold_startup
+  li t0, 3
+  li t1, 0
+cold_startup_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  addi t1, t1, 10
+  addi t1, t1, 11
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_startup_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_parse_args
+  li t0, 41
+  li t1, 0
+cold_parse_args_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_parse_args_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_env_scan
+  li t0, 23
+  li t1, 0
+cold_env_scan_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_env_scan_loop
+  mv a0, t1
+  ret
+.endfunc
+
+.module cold_util
+.func cold_format
+  li t0, 13
+  li t1, 0
+cold_format_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  addi t1, t1, 5
+  addi t1, t1, 6
+  addi t1, t1, 7
+  addi t1, t1, 8
+  addi t1, t1, 9
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_format_loop
+  mv a0, t1
+  ret
+.endfunc
+.func cold_log
+  li t0, 29
+  li t1, 0
+cold_log_loop:
+  addi t1, t1, 1
+  addi t1, t1, 2
+  addi t1, t1, 3
+  addi t1, t1, 4
+  xor t1, t1, t0
+  addi t0, t0, -1
+  bne t0, zero, cold_log_loop
+  mv a0, t1
+  ret
+.endfunc
