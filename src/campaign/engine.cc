@@ -368,6 +368,24 @@ CampaignEngine::run()
             .count();
     report.provenance = provenance;
     report.metrics = metrics.snapshot();
+    // Fold in the process-wide lang metrics (asm.load, asm.assemble,
+    // fuzz.generate): asm-manifest workloads assemble inside the
+    // campaign's tasks but record into the global registry, and their
+    // cost belongs in the report obs-summary prints.
+    {
+        const auto global = obs::Registry::global().snapshot();
+        obs::MetricsSnapshot lang;
+        const auto langKey = [](const std::string &k) {
+            return k.rfind("asm.", 0) == 0 || k.rfind("fuzz.", 0) == 0;
+        };
+        for (const auto &[k, v] : global.counters)
+            if (langKey(k))
+                lang.counters[k] = v;
+        for (const auto &[k, v] : global.histograms)
+            if (langKey(k))
+                lang.histograms[k] = v;
+        report.metrics.merge(lang);
+    }
     if (store)
         store->appendMetrics(report.metrics);
     if (tracing) {

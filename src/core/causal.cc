@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "core/explain.hh"
 #include "stats/regression.hh"
 
 namespace mbias::core
@@ -38,6 +39,13 @@ CausalAnalyzer &
 CausalAnalyzer::withSweep(SweepFn sweep)
 {
     sweep_ = std::move(sweep);
+    return *this;
+}
+
+CausalAnalyzer &
+CausalAnalyzer::withMechanismEvidence(bool on)
+{
+    wantMechanismEvidence_ = on;
     return *this;
 }
 
@@ -131,6 +139,19 @@ CausalAnalyzer::analyze(const ExperimentSpec &spec,
     const double spread_before =
         *std::max_element(metric.begin(), metric.end()) -
         *std::min_element(metric.begin(), metric.end());
+
+    // Optional: diff the two extreme setups with attribution on, so
+    // the report names the concrete sets/entries behind the spread.
+    if (wantMechanismEvidence_) {
+        const std::size_t lo = std::size_t(
+            std::min_element(metric.begin(), metric.end()) -
+            metric.begin());
+        const std::size_t hi = std::size_t(
+            std::max_element(metric.begin(), metric.end()) -
+            metric.begin());
+        report.mechanismEvidence = mechanismEvidence(
+            explainSetupPair(spec, setups[lo], setups[hi]));
+    }
 
     // Step 2: interventions.  Stack alignment first (the paper's
     // env-size cause), then machine-mechanism ablations for the

@@ -54,6 +54,15 @@ struct CausalReport
     /** Interventions that were tried. */
     std::vector<InterventionResult> interventions;
 
+    /**
+     * Optional mechanism evidence from the setup-diff engine: the
+     * extreme setups of the sweep diffed with per-set attribution
+     * (see core/explain.hh).  Filled only when the analyzer ran
+     * withMechanismEvidence(); deliberately *not* part of str() so
+     * pinned causal transcripts stay byte-stable.
+     */
+    std::string mechanismEvidence;
+
     std::string str() const;
 };
 
@@ -92,6 +101,14 @@ class CausalAnalyzer
     CausalAnalyzer &withSweep(SweepFn sweep);
 
     /**
+     * Also runs the setup-diff engine on the sweep's extreme setups
+     * (min vs max metric) and fills CausalReport::mechanismEvidence,
+     * so the localized factor ships with the per-set/per-entry
+     * mechanism behind it.  Costs two extra profiled reference runs.
+     */
+    CausalAnalyzer &withMechanismEvidence(bool on = true);
+
+    /**
      * Runs the spec's *baseline* toolchain across @p setups, ranks
      * counter correlations, and applies the standard interventions:
      * stack-alignment forcing plus per-mechanism machine ablations for
@@ -113,6 +130,7 @@ class CausalAnalyzer
                     sim::MachineConfig machine, double spread_before) const;
 
     SweepFn sweep_; ///< empty = the default serial runner
+    bool wantMechanismEvidence_ = false;
 };
 
 } // namespace mbias::core

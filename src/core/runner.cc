@@ -124,6 +124,28 @@ ExperimentRunner::runSide(const toolchain::ToolchainSpec &tc,
     return rr;
 }
 
+sim::RunResult
+ExperimentRunner::runProfiled(const toolchain::ToolchainSpec &tc,
+                              const ExperimentSetup &setup,
+                              sim::Profile *profile,
+                              sim::Attribution *attribution,
+                              bool treatment_side)
+{
+    auto image = materialize(tc, setup);
+    const sim::MachineConfig &mc =
+        treatment_side && spec_.treatmentMachine ? *spec_.treatmentMachine
+                                                 : spec_.machine;
+    sim::Machine machine(mc);
+    obs::ScopedSpan runSpan("run-profiled", "runner");
+    const auto t0 = std::chrono::steady_clock::now();
+    auto rr = machine.run(image, 500'000'000, sim::NoiseModel::none(),
+                          profile, attribution);
+    if (runHistogram_)
+        runHistogram_->record(microsSince(t0));
+    mbias_assert(rr.halted, "workload did not halt: ", spec_.workload);
+    return rr;
+}
+
 stats::Sample
 ExperimentRunner::repeatedMetric(const toolchain::ToolchainSpec &tc,
                                  const ExperimentSetup &setup,

@@ -82,6 +82,18 @@ class ExperimentRunner
                            bool treatment_side = false);
 
     /**
+     * runSide() with per-function profiling and optional per-set
+     * attribution (both force the reference interpreter).  The
+     * returned RunResult is bitwise identical to runSide()'s — the
+     * sinks observe, never perturb.
+     */
+    sim::RunResult runProfiled(const toolchain::ToolchainSpec &tc,
+                               const ExperimentSetup &setup,
+                               sim::Profile *profile,
+                               sim::Attribution *attribution = nullptr,
+                               bool treatment_side = false);
+
+    /**
      * Repeats one side @p reps times in one setup under seeded
      * OS-interrupt noise (seeds base, base+1, ...), returning the
      * metric sample — the conventional "repeat the run k times"

@@ -1,11 +1,14 @@
 #include "lang/asm_workload.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 
 #include "base/logging.hh"
 #include "lang/assembler.hh"
 #include "lang/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/machine.hh"
 #include "toolchain/compiler.hh"
 #include "toolchain/linker.hh"
@@ -64,8 +67,12 @@ AsmWorkload::referenceResult(const workloads::WorkloadConfig &cfg) const
     return computed_;
 }
 
+namespace
+{
+
+/** The uninstrumented load; loadAsmWorkload wraps it with metrics. */
 LoadedWorkload
-loadAsmWorkload(const std::string &manifest_path)
+loadAsmWorkloadImpl(const std::string &manifest_path)
 {
     auto fail = [&](std::string why) {
         LoadedWorkload r;
@@ -116,6 +123,24 @@ loadAsmWorkload(const std::string &manifest_path)
 
     LoadedWorkload r;
     r.workload = std::make_unique<AsmWorkload>(std::move(p));
+    return r;
+}
+
+} // namespace
+
+LoadedWorkload
+loadAsmWorkload(const std::string &manifest_path)
+{
+    obs::ScopedSpan span("asm.load", "lang");
+    const auto t0 = std::chrono::steady_clock::now();
+    LoadedWorkload r = loadAsmWorkloadImpl(manifest_path);
+    auto &reg = obs::Registry::global();
+    reg.counter("asm.load").add();
+    reg.histogram("asm.load_us")
+        .record(std::uint64_t(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
     return r;
 }
 

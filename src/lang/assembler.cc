@@ -1,6 +1,7 @@
 #include "lang/assembler.hh"
 
 #include <array>
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -10,6 +11,8 @@
 #include "isa/instruction.hh"
 #include "isa/opcode.hh"
 #include "lang/lexer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mbias::lang
 {
@@ -741,7 +744,17 @@ AsmResult::errorText(std::string_view filename) const
 AsmResult
 assemble(std::string_view text)
 {
-    return Parser(text).run();
+    obs::ScopedSpan span("asm.assemble", "lang");
+    const auto t0 = std::chrono::steady_clock::now();
+    AsmResult r = Parser(text).run();
+    auto &reg = obs::Registry::global();
+    reg.counter("asm.assemble").add();
+    reg.histogram("asm.assemble_us")
+        .record(std::uint64_t(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+    return r;
 }
 
 AsmResult

@@ -57,6 +57,36 @@ HistogramStats::quantile(double q) const
     return bucketUpper(kHistogramBuckets - 1);
 }
 
+double
+HistogramStats::percentile(double q) const
+{
+    mbias_assert(q > 0.0 && q <= 1.0, "percentile out of (0, 1]: ", q);
+    if (count == 0)
+        return 0.0;
+    // Continuous rank of the percentile, then interpolate its position
+    // among the containing bucket's observations across the bucket's
+    // value range.  The last bucket's upper bound is 2^63 - 1, where
+    // interpolation is meaningless; report its lower bound instead.
+    const double rank = q * double(count);
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+        if (!buckets[b])
+            continue;
+        const std::uint64_t before = seen;
+        seen += buckets[b];
+        if (double(seen) >= rank) {
+            const double lo = double(bucketLower(b));
+            if (b + 1 == kHistogramBuckets)
+                return lo;
+            const double hi = double(bucketUpper(b));
+            const double frac =
+                (rank - double(before)) / double(buckets[b]);
+            return lo + frac * (hi - lo);
+        }
+    }
+    return double(bucketLower(kHistogramBuckets - 1));
+}
+
 void
 HistogramStats::merge(const HistogramStats &other)
 {
@@ -109,20 +139,16 @@ MetricsSnapshot::str() const
     }
     if (!histograms.empty()) {
         std::snprintf(line, sizeof(line),
-                      "histograms:  %-17s %10s %12s %10s %10s\n", "",
-                      "count", "mean", "p50", "p99");
+                      "histograms:  %-17s %10s %12s %10s %10s %10s\n",
+                      "", "count", "mean", "p50", "p90", "p99");
         os << line;
         for (const auto &[name, h] : histograms) {
             std::snprintf(line, sizeof(line),
-                          "  %-28s %10llu %12.1f %10llu %10llu\n",
+                          "  %-28s %10llu %12.1f %10.1f %10.1f %10.1f\n",
                           name.c_str(), (unsigned long long)h.count,
-                          h.mean(),
-                          (unsigned long long)(h.count
-                                                   ? h.quantile(0.5)
-                                                   : 0),
-                          (unsigned long long)(h.count
-                                                   ? h.quantile(0.99)
-                                                   : 0));
+                          h.mean(), h.count ? h.percentile(0.5) : 0.0,
+                          h.count ? h.percentile(0.9) : 0.0,
+                          h.count ? h.percentile(0.99) : 0.0);
             os << line;
         }
     }
@@ -154,13 +180,15 @@ MetricsSnapshot::toJson() const
     os << "},\"histograms\":{";
     first = true;
     for (const auto &[name, h] : histograms) {
-        char num[64];
-        std::snprintf(num, sizeof(num), "%.3f", h.mean());
+        char num[128];
+        std::snprintf(num, sizeof(num),
+                      "%.3f,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f",
+                      h.mean(), h.count ? h.percentile(0.5) : 0.0,
+                      h.count ? h.percentile(0.9) : 0.0,
+                      h.count ? h.percentile(0.99) : 0.0);
         os << (first ? "" : ",") << "\"" << name
            << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
-           << ",\"mean\":" << num
-           << ",\"p50\":" << (h.count ? h.quantile(0.5) : 0)
-           << ",\"p99\":" << (h.count ? h.quantile(0.99) : 0) << "}";
+           << ",\"mean\":" << num << "}";
         first = false;
     }
     os << "}}";

@@ -67,6 +67,15 @@ struct HistogramStats
      */
     std::uint64_t quantile(double q) const;
 
+    /**
+     * Percentile estimate with sub-bucket resolution: linear
+     * interpolation of the q-rank's position within its log2 bucket's
+     * [lower, upper] value range.  Smoother than quantile() (which
+     * reports the raw bucket upper bound) and what obs-summary
+     * renders as p50/p90/p99.  0 when empty.
+     */
+    double percentile(double q) const;
+
     /** Elementwise accumulate (for merging snapshots). */
     void merge(const HistogramStats &other);
 };
@@ -93,8 +102,8 @@ struct MetricsSnapshot
     /**
      * One-line JSON: {"counters":{...},"gauges":{...},
      * "histograms":{"name":{"count":..,"sum":..,"mean":..,"p50":..,
-     * "p99":..},...}}.  Histograms are summarized, not dumped
-     * bucket-by-bucket.
+     * "p90":..,"p99":..},...}}.  Histograms are summarized
+     * (interpolated percentiles), not dumped bucket-by-bucket.
      */
     std::string toJson() const;
 };

@@ -28,7 +28,7 @@ namespace mbias::obs
  * whole layer compiles to nothing.
  */
 
-/** One complete event; tid is the worker's threadId(). */
+/** One trace event; tid is the worker's threadId(). */
 struct TraceEvent
 {
     const char *name = "";
@@ -36,8 +36,29 @@ struct TraceEvent
     std::uint64_t tsUs = 0;
     std::uint64_t durUs = 0;
     unsigned tid = 0;
+    char ph = 'X'; ///< 'X' = complete span, 'C' = counter sample
     std::string args; ///< pre-rendered JSON object ("{...}") or empty
 };
+
+/**
+ * What a lexical scan of a written trace file found.  Mirrors the
+ * result store's torn-line handling: a process killed mid-write
+ * leaves a torn tail, which readers count and warn about (with the
+ * byte offset) instead of failing.
+ */
+struct TraceFileSummary
+{
+    bool ok = false;            ///< file opened and had an event array
+    std::size_t events = 0;     ///< complete event objects
+    std::size_t bytes = 0;      ///< file size
+    bool truncated = false;     ///< missing the closing "]}"
+    std::size_t tornOffset = 0; ///< byte offset where the torn tail starts
+    std::size_t tornBytes = 0;  ///< bytes in the torn tail
+};
+
+/** Scans @p path (Chrome-trace JSON); warns on a torn tail.  Pure
+ *  file inspection — works identically with -DMBIAS_OBS=OFF. */
+TraceFileSummary summarizeTraceFile(const std::string &path);
 
 #if MBIAS_OBS_ENABLED
 

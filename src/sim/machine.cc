@@ -2,11 +2,26 @@
 
 #include "base/bitutils.hh"
 #include "base/random.hh"
+#include "sim/attribution.hh"
 #include "sim/plan.hh"
 
 #include <algorithm>
 #include <cstdlib>
 #include "base/logging.hh"
+
+// Attribution recording: side-effect-free observation of where an
+// event landed (which set/entry).  Compiles to nothing under
+// -DMBIAS_OBS=OFF; at runtime it is dead unless run() was handed an
+// Attribution sink.  Never touch PerfCounters or component state here.
+#if MBIAS_OBS_ENABLED
+#define MBIAS_ATTR(expr)                                                    \
+    do {                                                                    \
+        if (attr_)                                                          \
+            attr_->expr;                                                    \
+    } while (0)
+#else
+#define MBIAS_ATTR(expr) ((void)0)
+#endif
 
 namespace mbias::sim
 {
@@ -196,8 +211,10 @@ Machine::fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
             if (line == pipe.lastCodeLine)
                 continue;
             pipe.lastCodeLine = line;
+            MBIAS_ATTR(icache.touch(icache_.setIndex(line)));
             if (!icache_.accessLine(line)) {
                 ctrs.inc(Counter::IcacheMisses);
+                MBIAS_ATTR(icache.miss(icache_.setIndex(line)));
                 pipe.now += config_.icache.missPenalty;
                 if (!l2_.accessLine(line)) {
                     ctrs.inc(Counter::L2Misses);
@@ -211,6 +228,15 @@ Machine::fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
         if (page != pipe.lastCodePage) {
             pipe.lastCodePage = page;
             const unsigned misses = itlb_.access(pc, size);
+#if MBIAS_OBS_ENABLED
+            if (attr_) {
+                const std::size_t b =
+                    std::size_t(page) & (attr_->itlb.sets - 1);
+                attr_->itlb.touch(b);
+                for (unsigned m = 0; m < misses; ++m)
+                    attr_->itlb.miss(b);
+            }
+#endif
             if (misses) {
                 ctrs.inc(Counter::ItlbMisses, misses);
                 pipe.now += misses * config_.itlb.missPenalty;
@@ -227,6 +253,16 @@ Machine::memoryAccess(Pipeline &pipe, Addr addr, unsigned size,
 
     if (config_.enableTlbs) {
         const unsigned misses = dtlb_.access(addr, size);
+#if MBIAS_OBS_ENABLED
+        if (attr_) {
+            const std::size_t b =
+                std::size_t(addr / config_.dtlb.pageBytes) &
+                (attr_->dtlb.sets - 1);
+            attr_->dtlb.touch(b);
+            for (unsigned m = 0; m < misses; ++m)
+                attr_->dtlb.miss(b);
+        }
+#endif
         if (misses) {
             ctrs.inc(Counter::DtlbMisses, misses);
             lat += misses * config_.dtlb.missPenalty;
@@ -238,8 +274,10 @@ Machine::memoryAccess(Pipeline &pipe, Addr addr, unsigned size,
     if (config_.enableCaches) {
         for (Addr line = first; line <= last;
              line += config_.dcache.lineBytes) {
+            MBIAS_ATTR(dcache.touch(dcache_.setIndex(line)));
             if (!dcache_.accessLine(line)) {
                 ctrs.inc(Counter::DcacheMisses);
+                MBIAS_ATTR(dcache.miss(dcache_.setIndex(line)));
                 lat += config_.dcache.missPenalty;
                 if (!l2_.accessLine(line)) {
                     ctrs.inc(Counter::L2Misses);
@@ -250,8 +288,16 @@ Machine::memoryAccess(Pipeline &pipe, Addr addr, unsigned size,
                     // latency, but it can pollute (and be perturbed
                     // by) set placement.
                     ctrs.inc(Counter::PrefetchesIssued);
-                    dcache_.accessLine(line + config_.dcache.lineBytes);
-                    l2_.accessLine(line + config_.dcache.lineBytes);
+                    const Addr next_line =
+                        line + config_.dcache.lineBytes;
+                    MBIAS_ATTR(
+                        dcache.touch(dcache_.setIndex(next_line)));
+                    const bool prefetch_hit =
+                        dcache_.accessLine(next_line);
+                    if (!prefetch_hit)
+                        MBIAS_ATTR(
+                            dcache.miss(dcache_.setIndex(next_line)));
+                    l2_.accessLine(next_line);
                 }
             }
         }
@@ -281,17 +327,27 @@ Machine::memoryAccess(Pipeline &pipe, Addr addr, unsigned size,
 
 RunResult
 Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
-             const NoiseModel &noise, Profile *profile)
+             const NoiseModel &noise, Profile *profile,
+             Attribution *attribution)
 {
 #if MBIAS_SIM_FASTPATH_ENABLED
     // The fast path handles the common campaign case: deterministic,
-    // unprofiled runs.  Noise injection and per-function profiling
-    // read per-instruction state the fast lanes skip, so those runs
-    // stay on the reference interpreter.
-    if (useFastPath_ && !noise.enabled && !profile && !referenceForced())
+    // unprofiled runs.  Noise injection, per-function profiling, and
+    // per-set attribution read per-instruction state the fast lanes
+    // skip, so those runs stay on the reference interpreter.
+    if (useFastPath_ && !noise.enabled && !profile && !attribution &&
+        !referenceForced())
         return runFast(image, max_insts,
                        *PlanCache::global().get(image.program));
 #endif
+
+    // Noise invalidations bypass the attribution occupancy mirror;
+    // the combination has no use case, so reject it outright.
+    mbias_assert(!(attribution && noise.enabled),
+                 "attribution requires a noise-free run");
+    if (attribution)
+        attribution->configure(config_);
+    attr_ = MBIAS_OBS_ENABLED ? attribution : nullptr;
 
     // Cold start: deterministic from the image alone.
     icache_.reset();
@@ -358,7 +414,8 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
     }
     Cycles prof_now = 0;
     std::uint64_t prof_ic = 0, prof_dc = 0, prof_mp = 0, prof_ls = 0,
-                  prof_as = 0, prof_calls = 0;
+                  prof_as = 0, prof_calls = 0, prof_l2 = 0, prof_it = 0,
+                  prof_dt = 0, prof_bt = 0, prof_st = 0, prof_fg = 0;
 
     // OS-interrupt noise (seeded; disabled by default).
     Rng noise_rng(noise.seed ^ 0x05e1f00dULL);
@@ -404,6 +461,12 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
             prof_ls = ctrs.get(Counter::LineSplits);
             prof_as = ctrs.get(Counter::AliasStalls);
             prof_calls = ctrs.get(Counter::Calls);
+            prof_l2 = ctrs.get(Counter::L2Misses);
+            prof_it = ctrs.get(Counter::ItlbMisses);
+            prof_dt = ctrs.get(Counter::DtlbMisses);
+            prof_bt = ctrs.get(Counter::BtbMisses);
+            prof_st = ctrs.get(Counter::StallCycles);
+            prof_fg = ctrs.get(Counter::FetchGroups);
         }
 
         const PlacedInst &pi = prog.code[idx];
@@ -565,6 +628,11 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
               }
               ctrs.inc(Counter::BranchesExecuted);
               if (config_.enableBranchPrediction) {
+                  // Attribution reads the index before update() so a
+                  // history-folding predictor reports the entry this
+                  // prediction actually used.
+                  MBIAS_ATTR(pht.record(predictor_->tableIndex(pi.pc),
+                                        pi.pc));
                   const bool pred = predictor_->predict(pi.pc);
                   predictor_->update(pi.pc, taken);
                   if (pred != taken) {
@@ -576,10 +644,12 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
               if (taken) {
                   ctrs.inc(Counter::TakenBranches);
                   const Addr target = prog.code[pi.targetIdx].pc;
-                  if (config_.enableBtb &&
-                      !btb_.lookupAndUpdate(pi.pc, target)) {
-                      ctrs.inc(Counter::BtbMisses);
-                      pipe.now += config_.btbMissPenalty;
+                  if (config_.enableBtb) {
+                      MBIAS_ATTR(btb.record(btb_.setIndex(pi.pc), pi.pc));
+                      if (!btb_.lookupAndUpdate(pi.pc, target)) {
+                          ctrs.inc(Counter::BtbMisses);
+                          pipe.now += config_.btbMissPenalty;
+                      }
                   }
                   pipe.forceNewGroup = true;
                   next = pi.targetIdx;
@@ -589,10 +659,12 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
 
           case Opcode::Jmp: {
               const Addr target = prog.code[pi.targetIdx].pc;
-              if (config_.enableBtb &&
-                  !btb_.lookupAndUpdate(pi.pc, target)) {
-                  ctrs.inc(Counter::BtbMisses);
-                  pipe.now += config_.btbMissPenalty;
+              if (config_.enableBtb) {
+                  MBIAS_ATTR(btb.record(btb_.setIndex(pi.pc), pi.pc));
+                  if (!btb_.lookupAndUpdate(pi.pc, target)) {
+                      ctrs.inc(Counter::BtbMisses);
+                      pipe.now += config_.btbMissPenalty;
+                  }
               }
               pipe.forceNewGroup = true;
               next = pi.targetIdx;
@@ -609,10 +681,12 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
               mem.write(new_sp, 8, ret_addr);
               set_reg(isa::reg::sp, new_sp, pipe.now + 1);
               const Addr target = prog.code[pi.targetIdx].pc;
-              if (config_.enableBtb &&
-                  !btb_.lookupAndUpdate(pi.pc, target)) {
-                  ctrs.inc(Counter::BtbMisses);
-                  pipe.now += config_.btbMissPenalty;
+              if (config_.enableBtb) {
+                  MBIAS_ATTR(btb.record(btb_.setIndex(pi.pc), pi.pc));
+                  if (!btb_.lookupAndUpdate(pi.pc, target)) {
+                      ctrs.inc(Counter::BtbMisses);
+                      pipe.now += config_.btbMissPenalty;
+                  }
               }
               pipe.forceNewGroup = true;
               next = pi.targetIdx;
@@ -663,11 +737,18 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
             fp.lineSplits += ctrs.get(Counter::LineSplits) - prof_ls;
             fp.aliasStalls += ctrs.get(Counter::AliasStalls) - prof_as;
             fp.calls += ctrs.get(Counter::Calls) - prof_calls;
+            fp.l2Misses += ctrs.get(Counter::L2Misses) - prof_l2;
+            fp.itlbMisses += ctrs.get(Counter::ItlbMisses) - prof_it;
+            fp.dtlbMisses += ctrs.get(Counter::DtlbMisses) - prof_dt;
+            fp.btbMisses += ctrs.get(Counter::BtbMisses) - prof_bt;
+            fp.stallCycles += ctrs.get(Counter::StallCycles) - prof_st;
+            fp.fetchGroups += ctrs.get(Counter::FetchGroups) - prof_fg;
         }
 
         idx = next;
     }
 
+    attr_ = nullptr;
     ctrs.set(Counter::Cycles, pipe.now);
     ctrs.set(Counter::Instructions, icount);
     rr.halted = halted;

@@ -20,6 +20,7 @@ namespace mbias::sim
 {
 
 struct ExecutionPlan; // sim/plan.hh
+struct Attribution;   // sim/attribution.hh
 
 /** Outcome of one simulated program run. */
 struct RunResult
@@ -72,11 +73,15 @@ class Machine
 
     /** Runs the image to Halt (or @p max_insts).  A NoiseModel adds
      *  seeded run-to-run variation (OS-interrupt jitter); the default
-     *  disabled model keeps runs bit-deterministic. */
+     *  disabled model keeps runs bit-deterministic.  An Attribution
+     *  sink records per-set/per-entry event placement on the
+     *  reference path (noise-free runs only; counters observe, never
+     *  perturb — the RunResult is bitwise unchanged). */
     RunResult run(const toolchain::ProcessImage &image,
                   std::uint64_t max_insts = 500'000'000,
                   const NoiseModel &noise = NoiseModel::none(),
-                  Profile *profile = nullptr);
+                  Profile *profile = nullptr,
+                  Attribution *attribution = nullptr);
 
     const MachineConfig &config() const { return config_; }
 
@@ -110,6 +115,10 @@ class Machine
     std::unique_ptr<uarch::BranchPredictor> predictor_;
     uarch::Btb btb_;
     uarch::StoreBuffer storeBuffer_;
+
+    /** Live only inside run() when the caller passed an Attribution
+     *  sink; lets fetchAccounting()/memoryAccess() record placement. */
+    Attribution *attr_ = nullptr;
 
     bool useFastPath_ = true;
 };

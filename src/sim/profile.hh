@@ -25,6 +25,12 @@ struct FunctionProfile
     std::uint64_t lineSplits = 0;
     std::uint64_t aliasStalls = 0;
     std::uint64_t calls = 0; ///< calls executed *by* this function
+    std::uint64_t l2Misses = 0;
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t dtlbMisses = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t stallCycles = 0; ///< exposed producer-consumer stalls
+    std::uint64_t fetchGroups = 0; ///< front-end fetch blocks consumed
 };
 
 /**

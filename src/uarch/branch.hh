@@ -31,6 +31,17 @@ class BranchPredictor
 
     /** Clears all state. */
     virtual void reset() = 0;
+
+    /**
+     * Table entry the branch at @p pc currently indexes (for history-
+     * folding predictors this depends on the live history, so call it
+     * at prediction time).  Read-only: attribution uses it to name the
+     * entries where distinct branches collide.
+     */
+    virtual std::size_t tableIndex(Addr pc) const = 0;
+
+    /** Number of table entries. */
+    virtual std::size_t tableSize() const = 0;
 };
 
 /** Classic 2-bit-counter bimodal predictor. */
@@ -43,6 +54,8 @@ class BimodalPredictor : public BranchPredictor
     bool predict(Addr pc) const override;
     void update(Addr pc, bool taken) override;
     void reset() override;
+    std::size_t tableIndex(Addr pc) const override { return indexHot(pc); }
+    std::size_t tableSize() const override { return counters_.size(); }
 
     /**
      * Header-inline, non-virtual twins of predict()/update() for the
@@ -83,6 +96,8 @@ class GsharePredictor : public BranchPredictor
     bool predict(Addr pc) const override;
     void update(Addr pc, bool taken) override;
     void reset() override;
+    std::size_t tableIndex(Addr pc) const override { return indexHot(pc); }
+    std::size_t tableSize() const override { return counters_.size(); }
 
     /** Non-virtual fast-path twins; see BimodalPredictor. */
     bool predictHot(Addr pc) const { return counters_[indexHot(pc)] >= 2; }
@@ -160,6 +175,14 @@ class Btb
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    /** Set the control transfer at @p pc maps to (for attribution). */
+    std::size_t setIndex(Addr pc) const
+    {
+        return std::size_t(pc ^ (pc >> 16)) & (sets_ - 1);
+    }
+
+    unsigned sets() const { return sets_; }
 
   private:
     struct Entry

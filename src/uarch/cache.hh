@@ -102,6 +102,12 @@ class Cache
     /** Number of sets (for external eviction choices). */
     unsigned sets() const { return config_.sets; }
 
+    /** Set the address maps to (for external attribution). */
+    std::size_t setIndex(Addr addr) const
+    {
+        return std::size_t((addr >> setShift_) & setMask_);
+    }
+
     const CacheConfig &config() const { return config_; }
 
     std::uint64_t hits() const { return hits_; }

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Smoke-checks the global --quiet flag for one subcommand.
+#
+# Usage: check_quiet.sh <cmd...>
+#
+# Runs the command with --quiet appended and asserts no inform()
+# chatter (e.g. the "trace written to ..." note) reached stderr.
+set -e
+
+errfile="$(mktemp)"
+trap 'rm -f "$errfile"' EXIT
+
+"$@" --quiet > /dev/null 2> "$errfile"
+if grep -Eq "inform:|trace written" "$errfile"; then
+    echo "FAIL: --quiet left chatter on stderr:" >&2
+    cat "$errfile" >&2
+    exit 1
+fi
+echo "OK: --quiet run was silent"

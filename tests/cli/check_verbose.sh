@@ -1,0 +1,23 @@
+#!/bin/sh
+# Smoke-checks the global --verbose flag for one subcommand.
+#
+# Usage: check_verbose.sh <substr>[,<substr>...] <cmd...>
+#
+# Runs the command with --verbose appended and asserts every listed
+# substring appears on stdout (e.g. "metrics:" plus the lang-layer
+# counters the command should have recorded).
+set -e
+
+subs="$1"
+shift
+
+out="$("$@" --verbose)"
+IFS=','
+for s in $subs; do
+    if ! printf '%s\n' "$out" | grep -q "$s"; then
+        echo "FAIL: --verbose output lacks '$s'" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+done
+echo "OK: --verbose output mentions $subs"

@@ -70,6 +70,78 @@ TEST(ObsHistogram, QuantileIsConservativeUpperBound)
     EXPECT_DOUBLE_EQ(stats.mean(), (99 * 10 + 1000) / 100.0);
 }
 
+TEST(ObsHistogram, PercentileInterpolatesWithinBucket)
+{
+    obs::Registry reg;
+    auto &h = reg.histogram("p");
+    for (const std::uint64_t v : {8, 10, 12, 14})
+        h.record(v); // all in bucket 4: [8, 15]
+    const auto stats = reg.snapshot().histograms.at("p");
+    // rank = q * count observations into the bucket, spread linearly
+    // across [8, 15]: p50 sits halfway, p100 at the upper bound.
+    EXPECT_DOUBLE_EQ(stats.percentile(0.50), 8.0 + 0.50 * 7.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.90), 8.0 + 0.90 * 7.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(1.00), 15.0);
+}
+
+TEST(ObsHistogram, PercentileIsLessPessimisticThanQuantile)
+{
+    // Same distribution as QuantileIsConservativeUpperBound: the
+    // interpolated percentile lands inside the bucket instead of
+    // snapping to its upper bound.
+    obs::Registry reg;
+    auto &h = reg.histogram("p");
+    for (int i = 0; i < 99; ++i)
+        h.record(10); // bucket 4: [8, 15]
+    h.record(1000);   // bucket 10: [512, 1023]
+    const auto stats = reg.snapshot().histograms.at("p");
+    EXPECT_DOUBLE_EQ(stats.percentile(0.50), 8.0 + (50.0 / 99.0) * 7.0);
+    EXPECT_LT(stats.percentile(0.50), double(stats.quantile(0.50)));
+    EXPECT_NEAR(stats.percentile(0.999),
+                512.0 + 0.9 * (1023.0 - 512.0), 1e-6);
+}
+
+TEST(ObsHistogram, PercentileEdgeCases)
+{
+    // Empty histogram reports 0; the last (open-ended) bucket reports
+    // its lower bound since interpolating to 2^63 - 1 is meaningless.
+    const obs::HistogramStats empty;
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+    obs::Registry reg;
+    auto &h = reg.histogram("top");
+    h.record(~std::uint64_t(0));
+    const auto stats = reg.snapshot().histograms.at("top");
+    EXPECT_DOUBLE_EQ(
+        stats.percentile(0.5),
+        double(obs::HistogramStats::bucketLower(obs::kHistogramBuckets -
+                                                1)));
+}
+
+TEST(ObsSnapshot, SummaryTablePinsPercentileColumns)
+{
+    // Pins the obs-summary rendering: the histogram table shows
+    // count / mean / p50 / p90 / p99 (interpolated percentiles, not
+    // raw log2 buckets), column-aligned with the counter table.
+    obs::Registry reg;
+    reg.counter("tasks.done").add(5);
+    auto &h = reg.histogram("task.execute_us");
+    for (const std::uint64_t v : {8, 10, 12, 14})
+        h.record(v); // bucket 4: mean 11.0, p50 11.5, p90 14.3, p99 14.9
+    const auto text = reg.snapshot().str();
+
+    const std::string expected =
+        "counters:\n"
+        "  tasks.done" + std::string(30, ' ') + "5\n" +
+        "histograms:" + std::string(25, ' ') + "count" +
+        std::string(9, ' ') + "mean" + std::string(8, ' ') + "p50" +
+        std::string(8, ' ') + "p90" + std::string(8, ' ') + "p99\n" +
+        "  task.execute_us" + std::string(23, ' ') + "4" +
+        std::string(9, ' ') + "11.0" + std::string(7, ' ') + "11.5" +
+        std::string(7, ' ') + "14.3" + std::string(7, ' ') + "14.9\n";
+    EXPECT_EQ(text, expected);
+}
+
 TEST(ObsCounter, ShardsMergeAtSnapshot)
 {
     // Writers on distinct shards must not lose increments; the

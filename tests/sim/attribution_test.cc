@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Attribution-layer tests.  The contract under test is the one the
+ * header states: attribution observes, never perturbs.  A run with an
+ * Attribution sink attached must produce a bitwise-identical RunResult
+ * (every counter, halted, result) to the same run without one — and to
+ * the fast path, which never records attribution at all.  Content
+ * expectations (misses land in sets, PHT entries remember their PCs)
+ * are checked only when the build records (MBIAS_OBS=ON); under
+ * -DMBIAS_OBS=OFF the hooks compile out and every structure stays
+ * zeroed, which the last test pins.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/attribution.hh"
+#include "sim/machine.hh"
+#include "toolchain/compiler.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/loader.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace mbias;
+using sim::Attribution;
+using sim::Counter;
+using sim::Machine;
+using sim::MachineConfig;
+
+toolchain::ProcessImage
+imageOf(const std::string &workload, std::uint64_t env = 0)
+{
+    const auto &w = workloads::findWorkload(workload);
+    workloads::WorkloadConfig cfg;
+    toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                           toolchain::OptLevel::O2);
+    auto prog = toolchain::Linker().link(cc.compile(w.build(cfg)));
+    toolchain::LoaderConfig lc;
+    lc.envBytes = env;
+    return toolchain::Loader::load(std::move(prog), lc);
+}
+
+TEST(Attribution, RunResultIsBitwiseUnchanged)
+{
+    // The differential at the heart of the layer: fast path (never
+    // attributes), plain reference, and attributed reference must all
+    // agree bit for bit on every counter.
+    for (const char *name : {"perl", "hmmer"}) {
+        const auto image = imageOf(name);
+        Machine m(MachineConfig::core2Like());
+
+        const auto fast = m.run(image);
+
+        m.setUseFastPath(false);
+        const auto reference = m.run(image);
+
+        Attribution attr;
+        const auto attributed = m.run(image, 500'000'000,
+                                      sim::NoiseModel::none(), nullptr,
+                                      &attr);
+
+        EXPECT_TRUE(fast.halted) << name;
+        EXPECT_EQ(reference, fast) << name;
+        EXPECT_EQ(attributed, fast)
+            << name << ": attribution perturbed the run";
+    }
+}
+
+TEST(Attribution, WithProfileStillBitwiseUnchanged)
+{
+    // Profile and attribution share the reference path; together they
+    // still must not move a single counter.
+    const auto image = imageOf("gobmk");
+    Machine m(MachineConfig::core2Like());
+    const auto plain = m.run(image);
+
+    sim::Profile profile;
+    Attribution attr;
+    const auto observed = m.run(image, 500'000'000,
+                                sim::NoiseModel::none(), &profile, &attr);
+    EXPECT_EQ(observed, plain);
+}
+
+TEST(Attribution, TotalsReconcileWithPerfCounters)
+{
+    if (!Attribution::enabled())
+        GTEST_SKIP() << "built with MBIAS_OBS=OFF; hooks compile out";
+
+    const auto image = imageOf("perl");
+    Machine m(MachineConfig::core2Like());
+    Attribution attr;
+    const auto rr = m.run(image, 500'000'000, sim::NoiseModel::none(),
+                          nullptr, &attr);
+    ASSERT_TRUE(rr.halted);
+
+    // Demand misses land one-for-one in the per-set counters; the
+    // dcache additionally records prefetch fills, bounded by the
+    // number of prefetches issued.
+    EXPECT_EQ(attr.icache.totalMisses(),
+              rr.counters.get(Counter::IcacheMisses));
+    EXPECT_GE(attr.dcache.totalMisses(),
+              rr.counters.get(Counter::DcacheMisses));
+    EXPECT_LE(attr.dcache.totalMisses(),
+              rr.counters.get(Counter::DcacheMisses) +
+                  rr.counters.get(Counter::PrefetchesIssued));
+    EXPECT_EQ(attr.itlb.totalMisses(),
+              rr.counters.get(Counter::ItlbMisses));
+    EXPECT_EQ(attr.dtlb.totalMisses(),
+              rr.counters.get(Counter::DtlbMisses));
+
+    // A structure can only miss on a touch.
+    EXPECT_GE(attr.icache.totalTouches(), attr.icache.totalMisses());
+    EXPECT_GE(attr.dcache.totalTouches(), attr.dcache.totalMisses());
+
+    // One PHT record per executed conditional branch.
+    const auto pht_updates =
+        std::accumulate(attr.pht.updates.begin(), attr.pht.updates.end(),
+                        std::uint64_t(0));
+    EXPECT_EQ(pht_updates, rr.counters.get(Counter::BranchesExecuted));
+}
+
+TEST(Attribution, TableCountersRememberCollidingPcs)
+{
+    if (!Attribution::enabled())
+        GTEST_SKIP() << "built with MBIAS_OBS=OFF; hooks compile out";
+
+    const auto image = imageOf("perl");
+    Machine m(MachineConfig::core2Like());
+    Attribution attr;
+    const auto rr = m.run(image, 500'000'000, sim::NoiseModel::none(),
+                          nullptr, &attr);
+    ASSERT_TRUE(rr.halted);
+
+    // perl's VM dispatch drives many branch PCs through a gshare
+    // table: some entry must see more than one PC, and every recorded
+    // PC slot must belong to an entry that was actually updated.
+    bool saw_alias = false;
+    for (std::size_t e = 0; e < attr.pht.entries; ++e) {
+        const unsigned distinct = attr.pht.distinctPcs(e);
+        if (distinct > 1)
+            saw_alias = true;
+        if (distinct > 0) {
+            EXPECT_GT(attr.pht.updates[e], 0u) << "entry " << e;
+        }
+    }
+    EXPECT_TRUE(saw_alias) << "no PHT entry saw two PCs";
+    EXPECT_GT(attr.pht.totalAliasSwitches(), 0u);
+
+    // The summary names each structure and is non-empty.
+    const auto text = attr.str();
+    for (const char *key : {"icache", "dcache", "itlb", "dtlb", "pht",
+                            "btb"})
+        EXPECT_NE(text.find(key), std::string::npos) << key << "\n"
+                                                     << text;
+}
+
+TEST(Attribution, SetCountersClassifyEvictions)
+{
+    // Unit-level check of the occupancy mirror: the first `ways`
+    // misses in a set are cold fills, every further miss is an
+    // eviction; clear() keeps geometry and zeroes counts.
+    sim::SetCounters sc;
+    sc.configure(4, 2);
+    for (int i = 0; i < 5; ++i) {
+        sc.touch(1);
+        sc.miss(1);
+    }
+    EXPECT_EQ(sc.totalTouches(), 5u);
+    EXPECT_EQ(sc.totalMisses(), 5u);
+    EXPECT_EQ(sc.totalEvictions(), 3u) << "5 misses into 2 ways";
+    EXPECT_EQ(sc.hottestSet(), 1u);
+    sc.clear();
+    EXPECT_EQ(sc.totalMisses(), 0u);
+    EXPECT_EQ(sc.sets, 4u);
+}
+
+TEST(Attribution, DisabledBuildKeepsStructuresZeroed)
+{
+    if (Attribution::enabled())
+        GTEST_SKIP() << "covers the -DMBIAS_OBS=OFF build only";
+
+    const auto image = imageOf("hmmer");
+    Machine m(MachineConfig::core2Like());
+    Attribution attr;
+    const auto rr = m.run(image, 500'000'000, sim::NoiseModel::none(),
+                          nullptr, &attr);
+    ASSERT_TRUE(rr.halted);
+    EXPECT_EQ(attr.icache.totalMisses(), 0u);
+    EXPECT_EQ(attr.dcache.totalTouches(), 0u);
+    EXPECT_EQ(attr.pht.totalAliasSwitches(), 0u);
+}
+
+} // namespace

@@ -20,6 +20,10 @@
  *   mbias analyze  [--store PATH]
  *   mbias obs-summary [--store PATH]
  *   mbias causal   --workload perl [--factor env|link] [--setups N]
+ *                  [--explain]
+ *   mbias explain  --workload perl --setup SPEC --setup SPEC
+ *                  [--figure fig3|fig7] [--json PATH] [--heatmap PATH]
+ *                  [--top K]
  *   mbias variance --workload perl [--env N] [--reps K]
  *   mbias survey
  *
@@ -45,6 +49,7 @@
 #include "core/bias.hh"
 #include "core/causal.hh"
 #include "core/conclusion.hh"
+#include "core/explain.hh"
 #include "core/setup.hh"
 #include "core/table.hh"
 #include "toolchain/compiler.hh"
@@ -58,6 +63,7 @@
 #include "lang/assembler.hh"
 #include "lang/disassembler.hh"
 #include "lang/fuzzer.hh"
+#include "obs/metrics.hh"
 #include "pipeline/driver.hh"
 #include "pipeline/options.hh"
 #include "survey/analyzer.hh"
@@ -77,6 +83,10 @@ struct Args
 
     /** Command-specific --key [value] options. */
     std::map<std::string, std::string> options;
+
+    /** Every --setup SPEC, in order (the options map keeps only the
+     *  last occurrence of a repeated key; explain needs both). */
+    std::vector<std::string> setupSpecs;
 
     /** The shared pipeline flags, parsed by the same code as the
      *  figure wrapper binaries. */
@@ -118,6 +128,8 @@ parseArgs(int argc, char **argv)
                 args.options[key] = rest[++i];
             else
                 args.options[key] = "1"; // boolean flag
+            if (key == "setup")
+                args.setupSpecs.push_back(args.options[key]);
         } else if (args.options.empty()) {
             args.positionals.push_back(a);
         } else {
@@ -126,6 +138,9 @@ parseArgs(int argc, char **argv)
     }
     return args;
 }
+
+void writeTextFile(const std::filesystem::path &path,
+                   const std::string &content);
 
 sim::MachineConfig
 machineByName(const std::string &name)
@@ -266,14 +281,12 @@ cmdFigure(const Args &args, const std::string &prefix)
     if (!spec)
         mbias_fatal("unknown figure/table '", id,
                     "' (see `mbias list`)");
-    pipeline::ScopedTraceSession trace(args.shared.tracePath);
     return pipeline::runFigure(*spec, args.shared);
 }
 
 int
 cmdAll(const Args &args)
 {
-    pipeline::ScopedTraceSession trace(args.shared.tracePath);
     return pipeline::runAll(args.shared);
 }
 
@@ -420,8 +433,83 @@ cmdCausal(const Args &args)
     core::ExperimentSpec spec = specFromArgs(args);
     auto space = spaceByFactor(args.get("factor", "env"));
     auto setups = space.grid(unsigned(args.getInt("setups", 32)));
-    auto report = core::CausalAnalyzer().analyze(spec, setups);
+    core::CausalAnalyzer analyzer;
+    if (args.options.count("explain"))
+        analyzer.withMechanismEvidence();
+    auto report = analyzer.analyze(spec, setups);
     std::printf("%s", report.str().c_str());
+    if (!report.mechanismEvidence.empty())
+        std::printf("%s", report.mechanismEvidence.c_str());
+    return 0;
+}
+
+/**
+ * `mbias explain`: diff the same workload under two setups and rank
+ * the microarchitectural mechanisms behind the cycle delta.  The
+ * setups come from two --setup specs, or from a --figure preset:
+ * fig3's link-order pair or fig7's env-size pair (both perl on
+ * core2like, matching those figures' sweeps).
+ */
+int
+cmdExplain(const Args &args)
+{
+    core::ExperimentSpec spec = specFromArgs(args);
+    spec.baseline = {vendorByName(args.get("vendor", "gcc")),
+                     optByName(args.get("opt", "O2"))};
+
+    std::vector<std::string> specs = args.setupSpecs;
+    const std::string figure = args.get("figure", "");
+    if (!figure.empty()) {
+        if (!specs.empty())
+            mbias_fatal("--figure and --setup are mutually exclusive");
+        if (figure == "fig3" || figure == "3") {
+            // fig3's factor, link order, on fig3's workload: the
+            // shuffle perturbs the gshare index streams (the suite's
+            // code fits the 32 KiB icache, so predictor aliasing, not
+            // capacity, carries the link-order effect on core2like).
+            specs = {"link=given", "link=seed:3"};
+        } else if (figure == "fig7" || figure == "7") {
+            // fig7's env-size factor on its most env-sensitive
+            // workload: hmmer's stack-resident DP rows make the
+            // stack-alignment line splits plain.
+            specs = {"env=0", "env=300"};
+            if (!args.options.count("workload"))
+                spec.withWorkload("hmmer");
+        } else {
+            mbias_fatal("unknown --figure '", figure,
+                        "' (presets: fig3 = link-order pair, "
+                        "fig7 = env-size pair)");
+        }
+    }
+    if (specs.size() != 2)
+        mbias_fatal("mbias explain needs exactly two --setup specs "
+                    "(e.g. --setup env=0 --setup env=3072), or "
+                    "--figure fig3|fig7");
+
+    core::ExperimentSetup a, b;
+    std::string error;
+    if (!parseSetupSpec(specs[0], a, error))
+        mbias_fatal("bad --setup '", specs[0], "': ", error);
+    if (!parseSetupSpec(specs[1], b, error))
+        mbias_fatal("bad --setup '", specs[1], "': ", error);
+
+    const auto report = core::explainSetupPair(spec, a, b);
+    std::printf("%s", report.str(unsigned(args.getInt("top", 8))).c_str());
+    std::printf("\n%s", report.heatmaps().c_str());
+
+    const std::string json = args.get("json", "");
+    if (!json.empty()) {
+        writeTextFile(json, report.toJson() + "\n");
+        std::fprintf(stderr, "wrote %s\n", json.c_str());
+    }
+    const std::string heat = args.get("heatmap", "");
+    if (!heat.empty()) {
+        writeTextFile(heat, report.heatmaps());
+        std::fprintf(stderr, "wrote %s\n", heat.c_str());
+    }
+    // With --trace, the per-set deltas also land in the session's
+    // trace file as counter tracks next to the run spans.
+    report.emitCounterTracks();
     return 0;
 }
 
@@ -729,6 +817,11 @@ usage()
         "  analyze  [--store PATH]\n"
         "  obs-summary [--store PATH]\n"
         "  causal   --workload W [--factor env|link] [--setups N]\n"
+        "           [--explain]  (ship per-set mechanism evidence)\n"
+        "  explain  --workload W --setup SPEC --setup SPEC\n"
+        "           [--figure fig3|fig7] [--json PATH]\n"
+        "           [--heatmap PATH] [--top K]\n"
+        "           SPEC = env=BYTES,link=given|alpha|seed:N\n"
         "  variance --workload W [--env N] [--reps K]\n"
         "  profile  --workload W [--opt O] [--env N] [--top K]\n"
         "  disasm   --workload W [--opt O] [--link-seed S]\n"
@@ -752,18 +845,9 @@ usage()
     return 2;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const Args &args)
 {
-    const Args args = parseArgs(argc, argv);
-    pipeline::applyLogging(args.shared);
-    mbias::figures::registerAll();
-    // Runtime workloads load before dispatch, so every subcommand
-    // (list, run, bias, campaign, ...) sees them by name.
-    if (args.options.count("asm-dir"))
-        lang::loadAsmDirectory(args.options.at("asm-dir"));
     if (args.command == "list")
         return cmdList();
     if (args.command == "workloads")
@@ -790,6 +874,8 @@ main(int argc, char **argv)
         return cmdObsSummary(args);
     if (args.command == "causal")
         return cmdCausal(args);
+    if (args.command == "explain")
+        return cmdExplain(args);
     if (args.command == "variance")
         return cmdVariance(args);
     if (args.command == "profile")
@@ -799,4 +885,37 @@ main(int argc, char **argv)
     if (args.command == "survey")
         return cmdSurvey();
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+    pipeline::applyLogging(args.shared);
+    mbias::figures::registerAll();
+    // One process-wide trace session for every subcommand, opened
+    // before the --asm-dir load so asm.load spans land in the file
+    // too.  The campaign engine owns its own session (it stops the
+    // tracer at a deterministic point before writing the store), so
+    // `campaign` keeps its historical behavior.
+    pipeline::ScopedTraceSession trace(args.command == "campaign"
+                                           ? std::string()
+                                           : args.shared.tracePath);
+    // Runtime workloads load before dispatch, so every subcommand
+    // (list, run, bias, campaign, ...) sees them by name.
+    if (args.options.count("asm-dir"))
+        lang::loadAsmDirectory(args.options.at("asm-dir"));
+    const int rc = dispatch(args);
+    // --verbose surfaces the process-wide metrics (asm.load,
+    // asm.assemble, fuzz.generate, ...) for the subcommands that do
+    // not print a registry of their own.
+    if (args.shared.verbose && args.command != "campaign" &&
+        args.command != "analyze") {
+        const auto metrics = obs::Registry::global().snapshot();
+        if (!metrics.empty())
+            std::printf("metrics:\n%s", metrics.str().c_str());
+    }
+    return rc;
 }
