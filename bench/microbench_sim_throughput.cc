@@ -1,16 +1,20 @@
 /**
  * @file
- * Throughput microbenchmark for this PR's two optimization layers:
+ * Throughput microbenchmark for the simulator's interpreter tiers and
+ * the campaign engine around them:
  *
  *  1. raw interpreter speed — simulated instructions/second of the
- *     plan-based fast path vs the reference interpreter on one image
- *     (identical results, different wall-clock);
+ *     reference interpreter, the plan-based fast path, and the
+ *     superblock trace tier on the same images (identical results,
+ *     different wall-clock).  Two images bound the range: `perl`
+ *     (memory-heavy, modest superblock coverage) and a straight-line
+ *     ALU kernel (the trace tier's best case, and the shape the
+ *     ROADMAP's >=3x target is defined over);
  *  2. end-to-end campaign throughput — tasks/second of a fig3-style
- *     environment-size sweep under the 2x2 matrix
- *     {artifact cache on, off} x {fast path, reference interpreter}.
+ *     environment-size sweep across {artifact cache, sim tier} arms.
  *
- * The headline `speedup` compares the optimized engine (cache + fast
- * path) against the pre-cache, pre-fast-path configuration (no cache +
+ * The headline `speedup` compares the optimized engine (cache + trace
+ * tier) against the pre-cache, pre-fast-path configuration (no cache +
  * reference), i.e. the seed tree's behavior.  Human-readable progress
  * goes to stderr; stdout is exactly one JSON document, which
  * scripts/reproduce_all.sh captures as results/BENCH_sim.json.
@@ -20,6 +24,7 @@
  * timed runs are reported, which suppresses one-off scheduling noise
  * the same way the repo's interleaved probes do.
  */
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,8 +36,10 @@
 #include "campaign/engine.hh"
 #include "core/experiment.hh"
 #include "core/setup.hh"
+#include "isa/builder.hh"
 #include "sim/machine.hh"
 #include "sim/plan.hh"
+#include "sim/trace.hh"
 #include "toolchain/artifacts.hh"
 #include "toolchain/compiler.hh"
 #include "toolchain/linker.hh"
@@ -52,24 +59,113 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** Simulated instructions/second of one interpreter on one image. */
-double
-rawInstsPerSec(const toolchain::ProcessImage &image, bool fast)
+/** The three implementations of Machine::run (sim/machine.hh). */
+enum class Tier
 {
-    sim::Machine machine(sim::MachineConfig::core2Like());
-    machine.setUseFastPath(fast);
-    auto warm = machine.run(image);
-    mbias_assert(warm.halted, "bench workload did not halt");
-    const double insts = double(warm.instructions());
-    constexpr int kRounds = 5, kReps = 6;
-    double best = 0.0;
-    for (int round = 0; round < kRounds; ++round) {
-        const auto t0 = std::chrono::steady_clock::now();
-        for (int r = 0; r < kReps; ++r)
-            machine.run(image);
-        best = std::max(best, insts * kReps / secondsSince(t0));
+    Reference,
+    Fast,
+    Trace,
+};
+
+/** Per-image tier results plus the ratios scripts consume. */
+struct TierResult
+{
+    double reference = 0.0;
+    double fast = 0.0;
+    double trace = 0.0;
+};
+
+/**
+ * Simulated instructions/second of all three tiers on one image.  The
+ * tiers are timed *interleaved* within each round — reference, fast,
+ * trace, repeat — so slow host-frequency drift hits every tier alike
+ * and the reported ratios stay stable even when the absolute numbers
+ * wander.
+ */
+TierResult
+measureTiers(const char *name, const toolchain::ProcessImage &image)
+{
+    std::array<sim::Machine, 3> machines = {
+        sim::Machine(sim::MachineConfig::core2Like()),
+        sim::Machine(sim::MachineConfig::core2Like()),
+        sim::Machine(sim::MachineConfig::core2Like()),
+    };
+    machines[0].setUseFastPath(false);
+    machines[1].setUseTracePath(false);
+    double insts = 0.0;
+    for (auto &machine : machines) {
+        auto warm = machine.run(image);
+        mbias_assert(warm.halted, "bench workload did not halt");
+        insts = double(warm.instructions());
     }
-    return best;
+    constexpr int kRounds = 7, kReps = 6;
+    std::array<double, 3> best{};
+    for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t tier = 0; tier < machines.size(); ++tier) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int r = 0; r < kReps; ++r)
+                machines[tier].run(image);
+            best[tier] = std::max(
+                best[tier], insts * kReps / secondsSince(t0));
+        }
+    }
+
+    TierResult r;
+    r.reference = best[0];
+    r.fast = best[1];
+    r.trace = best[2];
+    std::fprintf(stderr,
+                 "  %s: reference %.1f, fast %.1f, trace %.1f Mi/s "
+                 "(trace/fast %.2fx, trace/ref %.2fx)\n",
+                 name, r.reference / 1e6, r.fast / 1e6, r.trace / 1e6,
+                 r.trace / r.fast, r.trace / r.reference);
+    return r;
+}
+
+/**
+ * A straight-line-heavy kernel: a hot loop whose body is a long
+ * unrolled ALU block — eight independent accumulator streams, the
+ * shape loop unrolling actually produces — ending in one branch.
+ * Almost every retired instruction sits inside one superblock, so
+ * this is the shape the trace tier's >=3x-over-fast target is
+ * measured on.
+ */
+toolchain::ProcessImage
+straightLineImage()
+{
+    using namespace isa;
+    ProgramBuilder b("straightline");
+    b.func("main");
+    b.li(reg::t0, 6000); // loop counter
+    b.li(reg::s0, 0x1234);
+    b.li(reg::s1, 0);
+    b.label("loop");
+    // 56 unroll groups x 8 ALU ops + 2 loop-maintenance ops per trip.
+    for (int g = 0; g < 56; ++g) {
+        b.addi(reg::s0, reg::s0, g + 1);
+        b.xori(reg::s1, reg::s1, 0x5a5a);
+        b.addi(reg::s2, reg::s2, -3);
+        b.add(reg::s3, reg::s3, reg::s0);
+        b.addi(reg::s4, reg::s4, 7);
+        b.xori(reg::s5, reg::s5, 0x00ff);
+        b.addi(reg::s6, reg::s6, 11);
+        b.add(reg::s7, reg::s7, reg::s2);
+    }
+    b.addi(reg::t0, reg::t0, -1);
+    b.bne(reg::t0, reg::zero, "loop");
+    b.add(reg::s1, reg::s1, reg::s2);
+    b.add(reg::s3, reg::s3, reg::s4);
+    b.add(reg::s5, reg::s5, reg::s6);
+    b.add(reg::s5, reg::s5, reg::s7);
+    b.add(reg::s1, reg::s1, reg::s3);
+    b.add(reg::s1, reg::s1, reg::s5);
+    b.mv(reg::a0, reg::s1);
+    b.halt();
+    b.endFunc();
+    auto prog = toolchain::Linker().link({b.build()});
+    toolchain::LoaderConfig lc;
+    lc.envBytes = 1024;
+    return toolchain::Loader::load(std::move(prog), lc);
 }
 
 struct ArmResult
@@ -81,17 +177,22 @@ struct ArmResult
     toolchain::ArtifactCacheStats cacheStats;
 };
 
-/** One fig3-style env sweep under one (cache, interpreter) setting. */
+/** One fig3-style env sweep under one (cache, sim tier) setting. */
 ArmResult
-campaignArm(bool cache_on, bool fast, unsigned jobs)
+campaignArm(bool cache_on, Tier tier, unsigned jobs)
 {
-    // The interpreter toggle is the same process-wide escape hatch
-    // users have: MBIAS_SIM_REFERENCE pins runs to the reference
-    // interpreter and is re-read on every run().
-    if (fast)
-        ::unsetenv("MBIAS_SIM_REFERENCE");
-    else
+    // The tier toggles are the same process-wide escape hatches users
+    // have: MBIAS_SIM_REFERENCE pins runs to the reference
+    // interpreter, MBIAS_SIM_TRACE=0 drops the trace tier back to the
+    // plain fast path; both are re-read on every run().
+    if (tier == Tier::Reference)
         ::setenv("MBIAS_SIM_REFERENCE", "1", 1);
+    else
+        ::unsetenv("MBIAS_SIM_REFERENCE");
+    if (tier == Tier::Fast)
+        ::setenv("MBIAS_SIM_TRACE", "0", 1);
+    else
+        ::unsetenv("MBIAS_SIM_TRACE");
 
     std::vector<core::ExperimentSetup> setups;
     for (std::uint64_t env = 0; env <= 4096; env += 40) {
@@ -113,6 +214,7 @@ campaignArm(bool cache_on, bool fast, unsigned jobs)
         // campaign (and the cache-off arm can't hit stale entries).
         toolchain::ArtifactCache::global().clear();
         sim::PlanCache::global().clear();
+        sim::TraceCache::global().clear();
         // stats() counters are cumulative over the process; diff
         // around the run to attribute hits/misses to this round.
         const auto before = toolchain::ArtifactCache::global().stats();
@@ -138,6 +240,7 @@ campaignArm(bool cache_on, bool fast, unsigned jobs)
         }
     }
     ::unsetenv("MBIAS_SIM_REFERENCE");
+    ::unsetenv("MBIAS_SIM_TRACE");
     out.tasksPerSec = double(out.tasks) / out.wallSeconds;
     return out;
 }
@@ -149,6 +252,22 @@ hitRate(std::uint64_t hits, std::uint64_t misses)
     return total ? double(hits) / double(total) : 0.0;
 }
 
+void
+printTiers(const char *name, const TierResult &r, bool comma)
+{
+    std::printf("    \"%s\": {\n", name);
+    std::printf("      \"reference_insts_per_sec\": %.0f,\n",
+                r.reference);
+    std::printf("      \"fast_insts_per_sec\": %.0f,\n", r.fast);
+    std::printf("      \"trace_insts_per_sec\": %.0f,\n", r.trace);
+    std::printf("      \"fast_vs_reference\": %.4f,\n",
+                r.fast / r.reference);
+    std::printf("      \"trace_vs_fast\": %.4f,\n", r.trace / r.fast);
+    std::printf("      \"trace_vs_reference\": %.4f\n",
+                r.trace / r.reference);
+    std::printf("    }%s\n", comma ? "," : "");
+}
+
 } // namespace
 
 int
@@ -158,7 +277,7 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "sim throughput microbench (jobs=%u)\n", jobs);
 
-    // Part 1: raw interpreter throughput on one loaded image.
+    // Part 1: raw per-tier throughput on two loaded images.
     const auto &w = workloads::findWorkload("perl");
     toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
                            toolchain::OptLevel::O2);
@@ -166,29 +285,36 @@ main(int argc, char **argv)
     toolchain::LoaderConfig lc;
     lc.envBytes = 1024;
     const auto image = toolchain::Loader::load(std::move(prog), lc);
-    const double refIps = rawInstsPerSec(image, false);
-    const double fastIps = rawInstsPerSec(image, true);
-    std::fprintf(stderr,
-                 "  interpreter: fast %.1f Mi/s, reference %.1f Mi/s "
-                 "(%.2fx)\n",
-                 fastIps / 1e6, refIps / 1e6, fastIps / refIps);
+    const TierResult perl = measureTiers("perl", image);
+    const TierResult straight =
+        measureTiers("straightline", straightLineImage());
+    const auto traceStats = sim::TraceCache::global().stats();
+    std::fprintf(
+        stderr,
+        "  trace cache: %llu superblocks, %llu ops batched, %llu "
+        "interpreted, %llu fallbacks\n",
+        (unsigned long long)traceStats.superblocks,
+        (unsigned long long)traceStats.opsBatched,
+        (unsigned long long)traceStats.opsInterpreted,
+        (unsigned long long)traceStats.fallbacks);
 
-    // Part 2: the 2x2 campaign matrix.  Arms differ only in engine
+    // Part 2: the campaign matrix.  Arms differ only in engine
     // plumbing, so their campaign results must agree exactly.
-    const ArmResult optimized = campaignArm(true, true, jobs);
-    const ArmResult cacheOnly = campaignArm(true, false, jobs);
-    const ArmResult fastOnly = campaignArm(false, true, jobs);
-    const ArmResult seedLike = campaignArm(false, false, jobs);
-    for (const ArmResult *arm : {&cacheOnly, &fastOnly, &seedLike})
+    const ArmResult optimized = campaignArm(true, Tier::Trace, jobs);
+    const ArmResult cacheFast = campaignArm(true, Tier::Fast, jobs);
+    const ArmResult cacheRef = campaignArm(true, Tier::Reference, jobs);
+    const ArmResult seedLike =
+        campaignArm(false, Tier::Reference, jobs);
+    for (const ArmResult *arm : {&cacheFast, &cacheRef, &seedLike})
         mbias_assert(arm->sumSpeedup == optimized.sumSpeedup &&
                          arm->tasks == optimized.tasks,
                      "campaign results must not depend on cache or "
-                     "interpreter choice");
+                     "sim tier choice");
 
     const double speedup =
         optimized.tasksPerSec / seedLike.tasksPerSec;
     std::fprintf(stderr,
-                 "  campaign: cache+fast %.1f tasks/s, seed-like %.1f "
+                 "  campaign: cache+trace %.1f tasks/s, seed-like %.1f "
                  "tasks/s -> speedup %.2fx\n",
                  optimized.tasksPerSec, seedLike.tasksPerSec, speedup);
 
@@ -196,9 +322,14 @@ main(int argc, char **argv)
     std::printf("{\n");
     std::printf("  \"jobs\": %u,\n", jobs);
     std::printf("  \"interpreter\": {\n");
-    std::printf("    \"fast_insts_per_sec\": %.0f,\n", fastIps);
-    std::printf("    \"reference_insts_per_sec\": %.0f,\n", refIps);
-    std::printf("    \"ratio\": %.4f\n", fastIps / refIps);
+    printTiers("perl", perl, true);
+    printTiers("straightline", straight, true);
+    std::printf("    \"trace_ops_batched\": %llu,\n",
+                (unsigned long long)traceStats.opsBatched);
+    std::printf("    \"trace_ops_interpreted\": %llu,\n",
+                (unsigned long long)traceStats.opsInterpreted);
+    std::printf("    \"trace_fallbacks\": %llu\n",
+                (unsigned long long)traceStats.fallbacks);
     std::printf("  },\n");
     std::printf("  \"campaign_env_sweep\": {\n");
     std::printf("    \"tasks\": %llu,\n",
@@ -209,9 +340,9 @@ main(int argc, char **argv)
                     name, r.tasksPerSec, r.wallSeconds,
                     comma ? "," : "");
     };
-    arm("cache_fast", optimized, true);
-    arm("cache_reference", cacheOnly, true);
-    arm("nocache_fast", fastOnly, true);
+    arm("cache_trace", optimized, true);
+    arm("cache_fast", cacheFast, true);
+    arm("cache_reference", cacheRef, true);
     arm("nocache_reference", seedLike, true);
     std::printf("    \"cache_hit_rates\": {\"compile\": %.4f, "
                 "\"link\": %.4f, \"image\": %.4f}\n",

@@ -15,6 +15,8 @@
 #include "campaign/threadpool.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/plan.hh"
+#include "sim/trace.hh"
 #include "toolchain/artifacts.hh"
 
 namespace mbias::campaign
@@ -253,8 +255,12 @@ CampaignEngine::run()
         toolchain::ArtifactCache::global();
     if (opts_.artifactCache)
         artifacts.attachMetrics(&metrics);
-    // The cache is process-global and the registry is per-run: detach
-    // on every exit path, before the registry dies.
+    // The simulator's plan/trace caches mirror their counters the same
+    // way (sim.plan.*, sim.trace.*) regardless of the artifact cache.
+    sim::PlanCache::global().attachMetrics(&metrics);
+    sim::TraceCache::global().attachMetrics(&metrics);
+    // The caches are process-global and the registry is per-run:
+    // detach on every exit path, before the registry dies.
     struct DetachMetrics
     {
         toolchain::ArtifactCache *cache;
@@ -262,6 +268,8 @@ CampaignEngine::run()
         {
             if (cache)
                 cache->attachMetrics(nullptr);
+            sim::PlanCache::global().attachMetrics(nullptr);
+            sim::TraceCache::global().attachMetrics(nullptr);
         }
     } detachMetrics{opts_.artifactCache ? &artifacts : nullptr};
 

@@ -20,7 +20,18 @@ namespace mbias::sim
 {
 
 struct ExecutionPlan; // sim/plan.hh
+struct TracePlan;     // sim/trace.hh
 struct Attribution;   // sim/attribution.hh
+
+/**
+ * Human-readable description of the sim tier run() would pick for a
+ * plain deterministic run right now — build flags and environment
+ * escape hatches folded in (e.g. "trace", or "fast (MBIAS_SIM_TRACE=0)",
+ * or "reference (-DMBIAS_SIM_FASTPATH=OFF)").  Recorded by `mbias
+ * list`/`mbias workloads` so provenance explains perf deltas between
+ * hosts.
+ */
+std::string activeSimTierDescription();
 
 /** Outcome of one simulated program run. */
 struct RunResult
@@ -56,15 +67,19 @@ struct RunResult
  * Determinism: given the same ProcessImage and config, run() returns
  * bit-identical results.  All components start cold on each run().
  *
- * Two interpreters implement run().  The *reference* interpreter walks
- * the linker's PlacedInst records directly; the *fast path* walks a
+ * Three tiers implement run().  The *reference* interpreter walks the
+ * linker's PlacedInst records directly; the *fast path* walks a
  * cached ExecutionPlan (sim/plan.hh) — dense pre-decoded operands, a
  * straight-line lane for simple runs, an O(1) return-address table —
  * performing the identical component accesses in the identical order,
- * so its RunResult is bitwise equal by construction.  The fast path is
- * taken only for noise-free, unprofiled runs; it can be disabled per
- * machine (setUseFastPath(false)), per process (MBIAS_SIM_REFERENCE=1
- * in the environment), or at build time (-DMBIAS_SIM_FASTPATH=OFF).
+ * so its RunResult is bitwise equal by construction.  The *trace
+ * tier* (sim/trace.hh) runs the fast loop over a TracePlan whose hot
+ * superblocks apply pre-batched effects in one step, guarded so the
+ * result stays bitwise equal.  Fast tiers are taken only for
+ * noise-free, unprofiled runs; they can be disabled per machine
+ * (setUseFastPath(false) / setUseTracePath(false)), per process
+ * (MBIAS_SIM_REFERENCE=1 / MBIAS_SIM_TRACE=0 in the environment), or
+ * at build time (-DMBIAS_SIM_FASTPATH=OFF / -DMBIAS_SIM_TRACE=OFF).
  */
 class Machine
 {
@@ -90,12 +105,32 @@ class Machine
     void setUseFastPath(bool on) { useFastPath_ = on; }
     bool useFastPath() const { return useFastPath_; }
 
+    /** Selects the superblock trace tier on top of the fast path
+     *  (default on; results are bitwise identical either way).
+     *  Ignored while the fast path is off. */
+    void setUseTracePath(bool on) { useTracePath_ = on; }
+    bool useTracePath() const { return useTracePath_; }
+
   private:
     struct Pipeline; // per-run timing state
 
     /** The plan-based interpreter behind run(); see class comment. */
     RunResult runFast(const toolchain::ProcessImage &image,
                       std::uint64_t max_insts, const ExecutionPlan &plan);
+
+    /** The trace-tier interpreter: runFast's loop over a TracePlan's
+     *  rewritten ops, with superblocks batched (sim/trace.hh). */
+    RunResult
+    runTrace(const toolchain::ProcessImage &image, std::uint64_t max_insts,
+             const std::shared_ptr<const ExecutionPlan> &plan);
+
+    /** Shared direct-threaded interpreter body behind runFast
+     *  (Traced = false) and runTrace (Traced = true). */
+    template <bool Traced>
+    RunResult runPlanImpl(const toolchain::ProcessImage &image,
+                          std::uint64_t max_insts,
+                          const ExecutionPlan &plan,
+                          const TracePlan *tplan);
 
     /** Charges fetch/decode costs for the instruction at @p pc. */
     void fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
@@ -121,6 +156,7 @@ class Machine
     Attribution *attr_ = nullptr;
 
     bool useFastPath_ = true;
+    bool useTracePath_ = true;
 };
 
 } // namespace mbias::sim

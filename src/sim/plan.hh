@@ -1,6 +1,7 @@
 #ifndef MBIAS_SIM_PLAN_HH
 #define MBIAS_SIM_PLAN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "base/types.hh"
 #include "isa/opcode.hh"
+#include "obs/metrics.hh"
 #include "toolchain/linker.hh"
 
 #ifndef MBIAS_SIM_FASTPATH_ENABLED
@@ -134,10 +136,16 @@ class PlanCache
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
     };
 
     Stats stats() const;
     void clear();
+
+    /** Attaches a metrics registry (nullptr detaches): hit/miss/
+     *  eviction counts mirror into `sim.plan.*` counters.  @p metrics
+     *  must outlive the attachment. */
+    void attachMetrics(obs::Registry *metrics);
 
   private:
     using Lru = std::list<
@@ -149,6 +157,12 @@ class PlanCache
     std::unordered_map<const void *, Lru::iterator> map_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+
+    std::mutex metricsMutex_; ///< serializes attachMetrics() calls
+    std::atomic<obs::Counter *> cHits_{nullptr};
+    std::atomic<obs::Counter *> cMisses_{nullptr};
+    std::atomic<obs::Counter *> cEvictions_{nullptr};
 };
 
 } // namespace mbias::sim

@@ -5,7 +5,8 @@
  * identically to the C++-built originals, the manifest's pinned
  * expect checksum matches the reference result, and the full
  * pipeline (compile, link, load, simulate) produces a bitwise
- * identical RunResult from either source.
+ * identical RunResult from either source — and, per asset, the three
+ * interpreter tiers (reference, fast, trace) agree bit for bit.
  */
 #include <gtest/gtest.h>
 
@@ -65,6 +66,50 @@ TEST(AsmAssets, EveryBuiltinKernelPinnedBitwise)
         EXPECT_EQ(from_asm, from_cpp)
             << w->name() << ": asset RunResult diverged";
         EXPECT_EQ(from_cpp.result, w->referenceResult({})) << w->name();
+    }
+}
+
+TEST(AsmAssets, ThreeTierDifferentialAcrossAssets)
+{
+    // The asm-sourced programs through all three interpreter tiers,
+    // env size and link order rotating with the asset index: the
+    // trace tier's bitwise contract must hold for text-authored
+    // programs exactly as it does for the C++-built suite.
+    const std::string dir =
+        std::string(MBIAS_SOURCE_DIR) + "/workloads/asm/";
+    const auto mc = sim::MachineConfig::core2Like();
+    const auto suite = workloads::suite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto loaded =
+            lang::loadAsmWorkload(dir + suite[i]->name() + ".toml");
+        ASSERT_TRUE(loaded.ok()) << loaded.error;
+
+        toolchain::Compiler cc(toolchain::CompilerVendor::GccLike,
+                               toolchain::OptLevel::O2);
+        auto mods = cc.compile(loaded.workload->build({}));
+        toolchain::Linker linker;
+        const auto order =
+            i % 2 == 0 ? toolchain::LinkOrder::asGiven()
+                       : toolchain::LinkOrder::shuffled(0x41c3 + i);
+        auto linked = linker.link(mods, order);
+        toolchain::LoaderConfig lc;
+        lc.envBytes = (199 * i * i) % 4096;
+        const auto image = toolchain::Loader::load(std::move(linked), lc);
+
+        sim::Machine ref_m(mc);
+        ref_m.setUseFastPath(false);
+        const auto ref = ref_m.run(image);
+        sim::Machine fast_m(mc);
+        fast_m.setUseTracePath(false);
+        const auto fast = fast_m.run(image);
+        sim::Machine trace_m(mc);
+        const auto trace = trace_m.run(image);
+
+        ASSERT_TRUE(ref.halted) << loaded.workload->name();
+        EXPECT_EQ(fast, ref)
+            << loaded.workload->name() << ": fast path diverged";
+        EXPECT_EQ(trace, ref)
+            << loaded.workload->name() << ": trace tier diverged";
     }
 }
 

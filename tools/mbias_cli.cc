@@ -66,6 +66,7 @@
 #include "obs/metrics.hh"
 #include "pipeline/driver.hh"
 #include "pipeline/options.hh"
+#include "sim/machine.hh"
 #include "survey/analyzer.hh"
 #include "workloads/registry.hh"
 
@@ -227,6 +228,10 @@ printWorkloads()
         t.addRow({e.workload->name(), e.workload->archetype(), e.source,
                   e.workload->description()});
     std::printf("%s\n", t.str().c_str());
+    // Which interpreter these workloads will run on (provenance for
+    // perf deltas between hosts/builds; results are tier-invariant).
+    std::printf("sim tier: %s\n\n",
+                sim::activeSimTierDescription().c_str());
 }
 
 int
