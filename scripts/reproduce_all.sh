@@ -66,6 +66,8 @@ echo "sim throughput: results/BENCH_sim.json" \
     2>&1 >results/BENCH_stats.json | tee -a results/bench_output.txt
 echo "stats throughput: results/BENCH_stats.json" \
     | tee -a results/bench_output.txt
+# Fold every BENCH_*.json headline into the per-PR trajectory table.
+scripts/bench_report.sh | tee -a results/bench_output.txt
 
 echo "== examples =="
 : > results/examples_output.txt

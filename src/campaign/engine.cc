@@ -16,6 +16,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/plan.hh"
+#include "sim/replay.hh"
 #include "sim/trace.hh"
 #include "toolchain/artifacts.hh"
 
@@ -255,10 +256,12 @@ CampaignEngine::run()
         toolchain::ArtifactCache::global();
     if (opts_.artifactCache)
         artifacts.attachMetrics(&metrics);
-    // The simulator's plan/trace caches mirror their counters the same
-    // way (sim.plan.*, sim.trace.*) regardless of the artifact cache.
+    // The simulator's plan/trace/replay caches mirror their counters
+    // the same way (sim.plan.*, sim.trace.*, sim.replay.*) regardless
+    // of the artifact cache.
     sim::PlanCache::global().attachMetrics(&metrics);
     sim::TraceCache::global().attachMetrics(&metrics);
+    sim::ReplayCache::global().attachMetrics(&metrics);
     // The caches are process-global and the registry is per-run:
     // detach on every exit path, before the registry dies.
     struct DetachMetrics
@@ -270,6 +273,7 @@ CampaignEngine::run()
                 cache->attachMetrics(nullptr);
             sim::PlanCache::global().attachMetrics(nullptr);
             sim::TraceCache::global().attachMetrics(nullptr);
+            sim::ReplayCache::global().attachMetrics(nullptr);
         }
     } detachMetrics{opts_.artifactCache ? &artifacts : nullptr};
 

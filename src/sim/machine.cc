@@ -3,7 +3,9 @@
 #include "base/bitutils.hh"
 #include "base/random.hh"
 #include "sim/attribution.hh"
+#include "obs/trace.hh"
 #include "sim/plan.hh"
+#include "sim/replay.hh"
 #include "sim/trace.hh"
 
 #include <algorithm>
@@ -31,6 +33,13 @@ using isa::Opcode;
 using isa::OpClass;
 using toolchain::PlacedInst;
 
+bool
+referenceForcedByEnv()
+{
+    const char *e = std::getenv("MBIAS_SIM_REFERENCE");
+    return e && *e && !(e[0] == '0' && e[1] == '\0');
+}
+
 namespace
 {
 
@@ -39,8 +48,7 @@ namespace
 bool
 referenceForced()
 {
-    const char *e = std::getenv("MBIAS_SIM_REFERENCE");
-    return e && *e && !(e[0] == '0' && e[1] == '\0');
+    return referenceForcedByEnv();
 }
 
 /** MBIAS_SIM_TRACE=0 drops fast-path-eligible runs back to runFast
@@ -109,6 +117,34 @@ struct ShadowCache
         base[0] = key;
         return false;
     }
+
+    /** Read-only residency probe: would access(@p addr) hit right
+     *  now?  No LRU update, so probing leaves the model state
+     *  untouched (the trace tier's noise guard uses this to bound a
+     *  block's penalty without committing to running it). */
+    bool contains(Addr addr) const
+    {
+        const std::uint64_t tag = addr >> shift;
+        const std::uint64_t key = (tag << 1) | 1;
+        const std::uint64_t *base =
+            slots.data() + std::size_t(tag & setMask) * ways;
+        for (unsigned w = 0; w < ways; ++w) {
+            if (base[w] == key)
+                return true;
+        }
+        return false;
+    }
+
+    /** Twin of uarch::Cache::invalidateSet: clearing valid bits there
+     *  is observationally identical to zeroing the packed slots here —
+     *  a stale tag can never hit again, and invalid ways shift through
+     *  the MRU order exactly like empty ones. */
+    void invalidateSet(std::uint64_t set)
+    {
+        std::uint64_t *base = slots.data() + std::size_t(set & setMask) * ways;
+        for (unsigned w = 0; w < ways; ++w)
+            base[w] = 0;
+    }
 };
 
 /** Fast-path twin of uarch::Tlb (fully associative, LRU): one packed
@@ -150,6 +186,25 @@ struct ShadowTlb
             ++miss_count;
         return miss_count;
     }
+
+    /** Read-only residency probe (no LRU update), the ShadowCache
+     *  contains() counterpart. */
+    bool contains(std::uint64_t vpn) const
+    {
+        const std::uint64_t key = (vpn << 1) | 1;
+        for (unsigned e = 0; e < entries; ++e) {
+            if (slots[e] == key)
+                return true;
+        }
+        return false;
+    }
+
+    bool containsVpns(std::uint64_t first_vpn,
+                      std::uint64_t last_vpn) const
+    {
+        return contains(first_vpn) &&
+               (last_vpn == first_vpn || contains(last_vpn));
+    }
 };
 
 } // namespace
@@ -157,17 +212,28 @@ struct ShadowTlb
 std::string
 activeSimTierDescription()
 {
+    // Replay provenance rides along as a suffix: it serves repetition
+    // families on top of whichever tier single runs take.
+    std::string replay;
+#if !MBIAS_SIM_REPLAY_ENABLED
+    replay = " (replay: -DMBIAS_SIM_REPLAY=OFF)";
+#else
+    if (replayDisabledByEnv())
+        replay = " (replay: MBIAS_SIM_REPLAY=0)";
+    else
+        replay = " + replay";
+#endif
 #if !MBIAS_SIM_FASTPATH_ENABLED
     return "reference (-DMBIAS_SIM_FASTPATH=OFF)";
 #else
     if (referenceForced())
         return "reference (MBIAS_SIM_REFERENCE set)";
 #if !MBIAS_SIM_TRACE_ENABLED
-    return "fast (-DMBIAS_SIM_TRACE=OFF)";
+    return "fast (-DMBIAS_SIM_TRACE=OFF)" + replay;
 #else
     if (traceDisabledByEnv())
-        return "fast (MBIAS_SIM_TRACE=0)";
-    return "trace";
+        return "fast (MBIAS_SIM_TRACE=0)" + replay;
+    return "trace" + replay;
 #endif
 #endif
 }
@@ -794,7 +860,9 @@ RunResult
 Machine::runFast(const toolchain::ProcessImage &image,
                  std::uint64_t max_insts, const ExecutionPlan &plan)
 {
-    return runPlanImpl<false>(image, max_insts, plan, nullptr);
+    return runPlanImpl<false, RunMode::Normal>(
+        image, max_insts, plan, nullptr, NoiseModel::none(), nullptr,
+        nullptr);
 }
 
 RunResult
@@ -804,14 +872,92 @@ Machine::runTrace(const toolchain::ProcessImage &image,
 {
     const auto tplan =
         TraceCache::global().get(plan, TraceGeometry::of(config_));
-    return runPlanImpl<true>(image, max_insts, *plan, tplan.get());
+    return runPlanImpl<true, RunMode::Normal>(image, max_insts, *plan,
+                                              tplan.get(),
+                                              NoiseModel::none(), nullptr,
+                                              nullptr);
 }
 
-template <bool Traced>
+RunResult
+Machine::runRecord(const toolchain::ProcessImage &image,
+                   std::uint64_t max_insts, const NoiseModel &noise,
+                   std::shared_ptr<const FunctionalTrace> *out)
+{
+    mbias_assert(out, "runRecord needs a trace sink");
+    *out = nullptr;
+#if MBIAS_SIM_REPLAY_ENABLED
+    if (replayTierUsable(*this)) {
+        obs::ScopedSpan span("replay-record", "sim");
+        const auto plan = PlanCache::global().get(image.program);
+        auto trace = std::make_shared<FunctionalTrace>();
+        trace->program = image.program;
+        trace->gp = image.gp;
+        trace->heapBase = image.heapBase;
+        trace->entryIdx = image.entryIdx;
+        trace->budget = max_insts;
+        trace->recordedSp = image.initialSp;
+        trace->stackBoundary = image.stackTop >> 1;
+        RunResult rr;
+#if MBIAS_SIM_TRACE_ENABLED
+        if (useTracePath_ && !traceDisabledByEnv()) {
+            const auto tplan =
+                TraceCache::global().get(plan, TraceGeometry::of(config_));
+            rr = runPlanImpl<true, RunMode::Record>(image, max_insts,
+                                                    *plan, tplan.get(),
+                                                    noise, trace.get(),
+                                                    nullptr);
+        } else
+#endif
+            rr = runPlanImpl<false, RunMode::Record>(image, max_insts,
+                                                     *plan, nullptr, noise,
+                                                     trace.get(), nullptr);
+        ReplayCache::global().noteRecord();
+        if (!trace->aborted)
+            *out = std::move(trace);
+        return rr;
+    }
+#endif
+    return run(image, max_insts, noise);
+}
+
+RunResult
+Machine::runReplay(const toolchain::ProcessImage &image,
+                   std::uint64_t max_insts, const NoiseModel &noise,
+                   const FunctionalTrace &trace)
+{
+#if MBIAS_SIM_REPLAY_ENABLED
+    if (replayTierUsable(*this)) {
+        mbias_assert(trace.matches(image, max_insts),
+                     "replaying a trace against a mismatched image");
+        const auto plan = PlanCache::global().get(image.program);
+        RunResult rr;
+#if MBIAS_SIM_TRACE_ENABLED
+        if (useTracePath_ && !traceDisabledByEnv()) {
+            const auto tplan =
+                TraceCache::global().get(plan, TraceGeometry::of(config_));
+            rr = runPlanImpl<true, RunMode::Replay>(image, max_insts,
+                                                    *plan, tplan.get(),
+                                                    noise, nullptr,
+                                                    &trace);
+        } else
+#endif
+            rr = runPlanImpl<false, RunMode::Replay>(image, max_insts,
+                                                     *plan, nullptr, noise,
+                                                     nullptr, &trace);
+        ReplayCache::global().noteReplay();
+        return rr;
+    }
+#endif
+    (void)trace;
+    return run(image, max_insts, noise);
+}
+
+template <bool Traced, Machine::RunMode Mode>
 RunResult
 Machine::runPlanImpl(const toolchain::ProcessImage &image,
                      std::uint64_t max_insts, const ExecutionPlan &plan,
-                     const TracePlan *tplan)
+                     const TracePlan *tplan, const NoiseModel &noise,
+                     FunctionalTrace *rec, const FunctionalTrace *rep)
 {
     // The contract of this function is bitwise equality with the
     // reference interpreter above (noise disabled, no profile): it
@@ -836,8 +982,22 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
     // when its zero-stall guards cannot be proven — falls through to
     // per-op execution of the very same ops (sim/trace.hh).
     //
+    // Mode extends the same loop to the record/replay tier
+    // (sim/replay.hh).  Record runs normally (noise allowed — the
+    // reference's OS-interrupt model is transcribed below) while
+    // appending branch outcomes, Ret targets and resolved memory
+    // addresses to *rec.  Replay consumes those streams from *rep
+    // instead of executing functionally: control flow comes from the
+    // branch bits and Ret targets, memory addresses from the stream
+    // (stack ones rebased by the image-vs-recording sp delta), and
+    // every value computation is dead — only the timing models run.
+    // Mode conditionals are plain ifs on a constant, so the Normal
+    // instantiations fold them away.
+    //
     // Keep every simulated effect in lockstep with run() when touching
     // any tier.
+    constexpr bool kRecord = Mode == RunMode::Record;
+    constexpr bool kReplay = Mode == RunMode::Replay;
 
     // Only the components the fast loop actually drives need a reset:
     // the predictor and BTB are shared with the reference path (their
@@ -859,7 +1019,8 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
     PerfCounters &ctrs = rr.counters;
 
     SparseMemory mem;
-    mem.writeBlock(prog.dataBase, prog.dataInit);
+    if (!kReplay) // replay never reads or writes functional memory
+        mem.writeBlock(prog.dataBase, prog.dataInit);
 
     std::array<std::uint64_t, isa::reg::numRegs> regs{};
     regs[isa::reg::sp] = image.initialSp;
@@ -964,7 +1125,8 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
     auto set_reg = [&](isa::Reg rd, std::uint64_t v, Cycles ready)
         __attribute__((always_inline)) {
         if (rd != isa::reg::zero) {
-            regs[rd] = v;
+            if (!kReplay) // replay tracks readiness, never values
+                regs[rd] = v;
             pipe.regReady[rd] = ready;
         }
     };
@@ -1234,6 +1396,118 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
         mem.write(addr, size, value);
     };
 
+    // OS-interrupt noise, transcribed from the reference loop: same
+    // RNG stream (one nextDouble per schedule, two next() per evicted
+    // line pair), same schedule arithmetic, same eviction order
+    // (dcache set then icache set), same lastCodeLine reset — so noisy
+    // record/replay runs are bitwise identical to the reference.
+    // Normal-mode runs are gated noise-free by run(), so noise_on
+    // folds to false there and the checks vanish.
+    Rng noise_rng(noise.seed ^ 0x05e1f00dULL);
+    Cycles next_interrupt = ~Cycles(0);
+    const bool noise_on = Mode != RunMode::Normal && noise.enabled;
+    const Cycles noise_cost = noise.costCycles;
+    const unsigned noise_evict = noise.linesEvictedPerInterrupt;
+    auto schedule_interrupt = [&](Cycles from) {
+        const double jitter = 0.5 + noise_rng.nextDouble();
+        next_interrupt =
+            from + Cycles(double(noise.meanIntervalCycles) * jitter);
+    };
+    auto do_interrupt = [&]() __attribute__((noinline)) {
+        ctrs.inc(Counter::OsInterrupts);
+        pipe.now += noise_cost;
+        for (unsigned e = 0; e < noise_evict; ++e) {
+            s_dcache.invalidateSet(noise_rng.next());
+            s_icache.invalidateSet(noise_rng.next());
+        }
+        pipe.lastCodeLine = ~Addr(0); // force an icache re-access
+        schedule_interrupt(pipe.now);
+    };
+    if (noise_on)
+        schedule_interrupt(0);
+
+    // Record-mode stream sinks.  One running byte estimate caps the
+    // footprint: past FunctionalTrace::kMaxBytes the streams stop
+    // growing, the run completes normally, and the trace is marked
+    // aborted (the caller then negative-caches the key).
+    FunctionalTrace *const ft_rec = rec;
+    std::uint64_t rec_bits = 0; ///< branch-bit accumulator, LSB first
+    unsigned rec_nbits = 0;
+    std::uint64_t rec_bytes = 0;
+    bool rec_ok = true;
+    auto rec_branch = [&](bool taken) __attribute__((always_inline)) {
+        rec_bits |= std::uint64_t(taken) << rec_nbits;
+        if (++rec_nbits == 64) {
+            if (__builtin_expect(rec_ok, 1)) {
+                ft_rec->branchBits.push_back(rec_bits);
+                rec_ok = (rec_bytes += 8) < FunctionalTrace::kMaxBytes;
+            }
+            rec_bits = 0;
+            rec_nbits = 0;
+        }
+        ++ft_rec->branchCount;
+    };
+    auto rec_mem = [&](Addr addr) __attribute__((always_inline)) {
+        if (__builtin_expect(rec_ok, 1)) {
+            ft_rec->memAddrs.push_back(addr);
+            rec_ok = (rec_bytes += sizeof(Addr)) <
+                     FunctionalTrace::kMaxBytes;
+        }
+    };
+    auto rec_ret = [&](std::uint32_t target) __attribute__((always_inline)) {
+        if (__builtin_expect(rec_ok, 1)) {
+            ft_rec->retTargets.push_back(target);
+            rec_ok = (rec_bytes += 4) < FunctionalTrace::kMaxBytes;
+        }
+    };
+
+    // Replay-mode stream cursors.  The streams are exact by
+    // construction (same program, same entry, same budget ⇒ same
+    // functional execution), so exhaustion mid-run means the replay
+    // preconditions were violated — assert, don't wander.
+    const std::uint64_t *rp_bits_data = nullptr;
+    std::size_t rp_bits_n = 0;
+    const std::uint32_t *rp_ret_data = nullptr;
+    std::size_t rp_ret_n = 0;
+    const Addr *rp_mem_data = nullptr;
+    std::size_t rp_mem_n = 0;
+    std::uint64_t rp_delta = 0; ///< stack rebase: initialSp - recordedSp
+    Addr rp_boundary = ~Addr(0);
+    if (kReplay) {
+        rp_bits_data = rep->branchBits.data();
+        rp_bits_n = rep->branchBits.size();
+        rp_ret_data = rep->retTargets.data();
+        rp_ret_n = rep->retTargets.size();
+        rp_mem_data = rep->memAddrs.data();
+        rp_mem_n = rep->memAddrs.size();
+        rp_delta = image.initialSp - rep->recordedSp; // mod-2^64 delta
+        rp_boundary = rep->stackBoundary;
+    }
+    std::uint64_t rp_bit = 0;
+    std::size_t rp_bitword = 0;
+    std::size_t rp_ret = 0;
+    std::size_t rp_mem = 0;
+    auto rp_taken = [&]() __attribute__((always_inline)) -> bool {
+        mbias_assert(rp_bitword < rp_bits_n,
+                     "replay branch stream exhausted");
+        const bool t = (rp_bits_data[rp_bitword] >> rp_bit) & 1;
+        if (++rp_bit == 64) {
+            rp_bit = 0;
+            ++rp_bitword;
+        }
+        return t;
+    };
+    auto rp_addr = [&]() __attribute__((always_inline)) -> Addr {
+        mbias_assert(rp_mem < rp_mem_n, "replay memory stream exhausted");
+        const Addr a = rp_mem_data[rp_mem++];
+        return a >= rp_boundary ? a + rp_delta : a;
+    };
+    auto rp_ret_target = [&]() __attribute__((always_inline))
+        -> std::uint32_t {
+        mbias_assert(rp_ret < rp_ret_n, "replay return stream exhausted");
+        return rp_ret_data[rp_ret++];
+    };
+
     // The traced tier walks the TracePlan's rewritten op array; both
     // arrays decode the same program, only the dispatch tags of
     // superblock heads differ.
@@ -1260,9 +1534,15 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
     const DecodedOp *d = nullptr;
 
     // Shared tail of every conditional branch (reference order:
-    // BranchesExecuted, predict+train, then the taken path).
+    // BranchesExecuted, predict+train, then the taken path).  Replay
+    // overrides the caller's (dead-value) outcome with the recorded
+    // bit; Record appends the live outcome to the stream.
     auto do_branch = [&](const DecodedOp &b, bool taken)
         __attribute__((always_inline)) {
+        if (kReplay)
+            taken = rp_taken();
+        else if (kRecord)
+            rec_branch(taken);
         ctrs.inc(Counter::BranchesExecuted);
         if (bp_on) {
             bool pred;
@@ -1313,11 +1593,15 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
 
 // One budget check + fetch + threaded jump between every pair of
 // instructions; each expansion gives its handler a private dispatch
-// branch.
+// branch.  The noise check sits where the reference loop has it —
+// after the budget check, before fetch — and folds away in Normal
+// mode (noise_on is constant false there).
 #define MBIAS_DISPATCH()                                                    \
     do {                                                                    \
         if (__builtin_expect(icount >= max_insts, 0))                       \
             goto run_done;                                                  \
+        if (noise_on && __builtin_expect(pipe.now >= next_interrupt, 0))    \
+            do_interrupt();                                                 \
         d = ops + idx;                                                      \
         ++icount;                                                           \
         fetch(d->pc, d->size);                                              \
@@ -1489,11 +1773,15 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
   op_ld: {
       wait_for(d->rs1);
       const unsigned size = d->accessSize;
-      const Addr addr = regs[d->rs1] + std::uint64_t(d->imm);
+      const Addr addr = kReplay
+                            ? rp_addr()
+                            : regs[d->rs1] + std::uint64_t(d->imm);
+      if (kRecord)
+          rec_mem(addr);
       ctrs.inc(Counter::Loads);
       pipe.icount = icount; // only memory ops observe it
       const Cycles lat = mem_access(addr, size, false);
-      set_reg(d->rd, mem_read(addr, size), pipe.now + lat);
+      set_reg(d->rd, kReplay ? 0 : mem_read(addr, size), pipe.now + lat);
       ++idx;
       MBIAS_DISPATCH();
   }
@@ -1502,11 +1790,16 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
       wait_for(d->rs1);
       wait_for(d->rd); // data register
       const unsigned size = d->accessSize;
-      const Addr addr = regs[d->rs1] + std::uint64_t(d->imm);
+      const Addr addr = kReplay
+                            ? rp_addr()
+                            : regs[d->rs1] + std::uint64_t(d->imm);
+      if (kRecord)
+          rec_mem(addr);
       ctrs.inc(Counter::Stores);
       pipe.icount = icount;
       mem_access(addr, size, true);
-      mem_write(addr, size, regs[d->rd]);
+      if (!kReplay)
+          mem_write(addr, size, regs[d->rd]);
       ++idx;
       MBIAS_DISPATCH();
   }
@@ -1561,12 +1854,16 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
   op_call: {
       wait_for(isa::reg::sp);
       ctrs.inc(Counter::Calls);
-      const Addr new_sp = regs[isa::reg::sp] - 8;
+      const Addr new_sp =
+          kReplay ? rp_addr() : regs[isa::reg::sp] - 8;
+      if (kRecord)
+          rec_mem(new_sp);
       const Addr ret_addr = d->pc + d->size;
       ctrs.inc(Counter::Stores);
       pipe.icount = icount;
       mem_access(new_sp, 8, true);
-      mem_write(new_sp, 8, ret_addr);
+      if (!kReplay)
+          mem_write(new_sp, 8, ret_addr);
       set_reg(isa::reg::sp, new_sp, pipe.now + 1);
       const Addr target = ops[d->targetIdx].pc;
       if (btb_on && !btb_.lookupAndUpdateHot(d->pc, target)) {
@@ -1580,23 +1877,34 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
 
   op_ret: {
       wait_for(isa::reg::sp);
-      const Addr sp = regs[isa::reg::sp];
+      const Addr sp = kReplay ? rp_addr() : regs[isa::reg::sp];
+      if (kRecord)
+          rec_mem(sp);
       ctrs.inc(Counter::Loads);
       pipe.icount = icount;
       // Return-address stack: the target is predicted perfectly, so
       // the load latency is off the critical path, but the access
       // still exercises the cache/TLB.
       mem_access(sp, 8, false);
-      const Addr ret_addr = mem_read(sp, 8);
+      std::uint32_t t;
+      if (kReplay) {
+          // The resolved code index was recorded; the functional load
+          // it came from never happens here.
+          t = rp_ret_target();
+      } else {
+          const Addr ret_addr = mem_read(sp, 8);
+          // O(1) return-address table, same domain as the reference's
+          // addrToIdx hash map.
+          const Addr off = ret_addr - plan.codeBase;
+          t = ExecutionPlan::kNoIndex;
+          if (off < plan.idxByOffset.size())
+              t = plan.idxByOffset[std::size_t(off)];
+          mbias_assert(t != ExecutionPlan::kNoIndex,
+                       "corrupted return address 0x", std::hex, ret_addr);
+          if (kRecord)
+              rec_ret(t);
+      }
       set_reg(isa::reg::sp, sp + 8, pipe.now + 1);
-      // O(1) return-address table, same domain as the reference's
-      // addrToIdx hash map.
-      const Addr off = ret_addr - plan.codeBase;
-      std::uint32_t t = ExecutionPlan::kNoIndex;
-      if (off < plan.idxByOffset.size())
-          t = plan.idxByOffset[std::size_t(off)];
-      mbias_assert(t != ExecutionPlan::kNoIndex,
-                   "corrupted return address 0x", std::hex, ret_addr);
       pipe.forceNewGroup = true;
       idx = t;
       MBIAS_DISPATCH();
@@ -1648,6 +1956,48 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
                     batch_ok = false;
                     break;
                 }
+            }
+        }
+        if (noise_on && batch_ok) {
+            // (4) no OS interrupt can fire inside the block: bound the
+            // batch's cycle advance from above (entry fetch row plus
+            // every line/page touch missing) — now only grows through
+            // the per-op walk and the guards above prove zero stalls,
+            // so if even the bound stays short of the next interrupt,
+            // no mid-block dispatch could have fired it, and the
+            // post-block dispatch re-checks with identical state.
+            const Cycles exit_base =
+                pipe.now + tb->rows[pipe.groupSlots].groups;
+            Cycles pen_ub =
+                Cycles(tb->lines.size()) * (i_miss_pen + l2_miss_pen) +
+                Cycles(2 * tb->pages.size()) * itlb_miss_pen;
+            if (exit_base + pen_ub >= next_interrupt) {
+                // Near the interrupt the all-miss bound refuses almost
+                // every block; tighten it with a read-only residency
+                // probe.  If every block line (page) is resident right
+                // now, the walk inserts nothing into that structure,
+                // so nothing is evicted and — by induction over the
+                // block's accesses — every one hits: that structure's
+                // true penalty is exactly zero.  Any probe miss keeps
+                // the pessimistic term (an insertion can cascade
+                // evictions within the block).
+                pen_ub = 0;
+                for (const auto &lt : tb->lines) {
+                    if (!s_icache.contains(lt.line)) {
+                        pen_ub += Cycles(tb->lines.size()) *
+                                  (i_miss_pen + l2_miss_pen);
+                        break;
+                    }
+                }
+                for (const auto &pt : tb->pages) {
+                    if (!s_itlb.containsVpns(pt.firstVpn, pt.lastVpn)) {
+                        pen_ub += Cycles(2 * tb->pages.size()) *
+                                  itlb_miss_pen;
+                        break;
+                    }
+                }
+                if (exit_base + pen_ub >= next_interrupt)
+                    batch_ok = false;
             }
         }
         if (__builtin_expect(!batch_ok, 0)) {
@@ -1715,7 +2065,13 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
         // switch dispatch plus a back edge.  FnOp opcodes are the
         // first 22 enumerators, validated by TracePlan::build; there
         // is no range backstop, matching the outer dispatch table.
-        {
+        // Replay skips the dataflow step wholesale: batched ops are
+        // value-producing ALU only, and replay never reads a value.
+        // The rows/lines/pages/writes bookkeeping above is address-
+        // derived and already applied.  (Plain if, not constexpr —
+        // the computed-goto labels inside must exist in every
+        // instantiation.)
+        if (!kReplay) {
             static_assert(std::size_t(Opcode::Li) == 21,
                           "fn dispatch assumes Add..Li are dense");
             static const void *const kFn[] = {
@@ -1817,10 +2173,30 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
     if constexpr (Traced)
         TraceCache::global().recordRun(tr_batched, icount - tr_batched,
                                        tr_fallbacks);
+    if (kRecord) {
+        if (rec_nbits && rec_ok)
+            ft_rec->branchBits.push_back(rec_bits); // flush partial word
+        ft_rec->aborted = !rec_ok;
+        ft_rec->icount = icount;
+        ft_rec->halted = halted;
+        ft_rec->resultA0 = regs[isa::reg::a0];
+    }
     ctrs.set(Counter::Cycles, pipe.now);
     ctrs.set(Counter::Instructions, icount);
     rr.halted = halted;
-    rr.result = regs[isa::reg::a0];
+    if (kReplay) {
+        // The architectural outcome comes from the recording; the
+        // loop above only re-derived control flow from the streams.
+        // a0 gets the stack rebase when it is itself a stack address
+        // (e.g. a workload returning a stack pointer).
+        mbias_assert(icount == rep->icount && halted == rep->halted,
+                     "replay diverged from its recording");
+        rr.result = rep->resultA0 >= rp_boundary
+                        ? rep->resultA0 + rp_delta
+                        : rep->resultA0;
+    } else {
+        rr.result = regs[isa::reg::a0];
+    }
     return rr;
 }
 

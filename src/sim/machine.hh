@@ -19,9 +19,10 @@
 namespace mbias::sim
 {
 
-struct ExecutionPlan; // sim/plan.hh
-struct TracePlan;     // sim/trace.hh
-struct Attribution;   // sim/attribution.hh
+struct ExecutionPlan;   // sim/plan.hh
+struct TracePlan;       // sim/trace.hh
+struct Attribution;     // sim/attribution.hh
+struct FunctionalTrace; // sim/replay.hh
 
 /**
  * Human-readable description of the sim tier run() would pick for a
@@ -32,6 +33,10 @@ struct Attribution;   // sim/attribution.hh
  * hosts.
  */
 std::string activeSimTierDescription();
+
+/** True when MBIAS_SIM_REFERENCE forces the reference interpreter for
+ *  this process (re-read per run). */
+bool referenceForcedByEnv();
 
 /** Outcome of one simulated program run. */
 struct RunResult
@@ -80,11 +85,26 @@ struct RunResult
  * (setUseFastPath(false) / setUseTracePath(false)), per process
  * (MBIAS_SIM_REFERENCE=1 / MBIAS_SIM_TRACE=0 in the environment), or
  * at build time (-DMBIAS_SIM_FASTPATH=OFF / -DMBIAS_SIM_TRACE=OFF).
+ *
+ * A fourth tier, *record/replay* (sim/replay.hh), serves repetition
+ * families: runRecord() executes one instrumented fast/trace-tier run
+ * (noise allowed — the functional stream is noise-independent) that
+ * captures branch outcomes, return targets, resolved memory addresses,
+ * and the final architectural state into a FunctionalTrace;
+ * runReplay() then re-runs *only the timing models* over that stream
+ * under a fresh noise seed, machine geometry, or ASLR stack base,
+ * skipping functional execution.  Its hatches mirror the others:
+ * setUseReplayPath(false), MBIAS_SIM_REPLAY=0, -DMBIAS_SIM_REPLAY=OFF.
  */
 class Machine
 {
   public:
     explicit Machine(const MachineConfig &config);
+
+    /** Default instruction budget for run() — shared with every
+     *  ExperimentRunner call site so budget changes can't skew one
+     *  path silently. */
+    static constexpr std::uint64_t kDefaultRunBudget = 500'000'000;
 
     /** Runs the image to Halt (or @p max_insts).  A NoiseModel adds
      *  seeded run-to-run variation (OS-interrupt jitter); the default
@@ -93,10 +113,34 @@ class Machine
      *  reference path (noise-free runs only; counters observe, never
      *  perturb — the RunResult is bitwise unchanged). */
     RunResult run(const toolchain::ProcessImage &image,
-                  std::uint64_t max_insts = 500'000'000,
+                  std::uint64_t max_insts = kDefaultRunBudget,
                   const NoiseModel &noise = NoiseModel::none(),
                   Profile *profile = nullptr,
                   Attribution *attribution = nullptr);
+
+    /**
+     * Record-once half of the replay tier: one fast/trace-tier run
+     * that additionally captures the functional stream into @p *out.
+     * The RunResult is bitwise identical to run() with the same
+     * arguments.  Falls back to plain run() — leaving @p *out null —
+     * when the tier is unusable (replayTierUsable()) or the stream
+     * outgrows FunctionalTrace::kMaxBytes mid-run.
+     */
+    RunResult runRecord(const toolchain::ProcessImage &image,
+                        std::uint64_t max_insts, const NoiseModel &noise,
+                        std::shared_ptr<const FunctionalTrace> *out);
+
+    /**
+     * Replay-many half: re-runs only the timing models over @p trace
+     * (which must match(image, max_insts)) under @p noise.  Stack
+     * addresses are rebased by the image-vs-recording sp delta, so one
+     * recording serves every ASLR draw.  The RunResult is bitwise
+     * identical to run() with the same arguments.  Falls back to plain
+     * run() when the tier is unusable.
+     */
+    RunResult runReplay(const toolchain::ProcessImage &image,
+                        std::uint64_t max_insts, const NoiseModel &noise,
+                        const FunctionalTrace &trace);
 
     const MachineConfig &config() const { return config_; }
 
@@ -111,8 +155,19 @@ class Machine
     void setUseTracePath(bool on) { useTracePath_ = on; }
     bool useTracePath() const { return useTracePath_; }
 
+    /** Selects the record/replay tier for runRecord()/runReplay()
+     *  (default on; off forces their plain-run() fallback).  Ignored
+     *  while the fast path is off. */
+    void setUseReplayPath(bool on) { useReplayPath_ = on; }
+    bool useReplayPath() const { return useReplayPath_; }
+
   private:
     struct Pipeline; // per-run timing state
+
+    /** How runPlanImpl treats the functional stream: execute it
+     *  (Normal), execute and capture it (Record), or consume a
+     *  captured one instead of executing (Replay). */
+    enum class RunMode { Normal, Record, Replay };
 
     /** The plan-based interpreter behind run(); see class comment. */
     RunResult runFast(const toolchain::ProcessImage &image,
@@ -125,12 +180,17 @@ class Machine
              const std::shared_ptr<const ExecutionPlan> &plan);
 
     /** Shared direct-threaded interpreter body behind runFast
-     *  (Traced = false) and runTrace (Traced = true). */
-    template <bool Traced>
+     *  (Traced = false), runTrace (Traced = true), and the record/
+     *  replay tier (Mode != Normal; @p rec receives the stream under
+     *  Record, @p rep supplies it under Replay, and @p noise drives
+     *  the reference-equivalent OS-interrupt model). */
+    template <bool Traced, RunMode Mode>
     RunResult runPlanImpl(const toolchain::ProcessImage &image,
                           std::uint64_t max_insts,
                           const ExecutionPlan &plan,
-                          const TracePlan *tplan);
+                          const TracePlan *tplan,
+                          const NoiseModel &noise, FunctionalTrace *rec,
+                          const FunctionalTrace *rep);
 
     /** Charges fetch/decode costs for the instruction at @p pc. */
     void fetchAccounting(Pipeline &pipe, Addr pc, unsigned size,
@@ -157,6 +217,7 @@ class Machine
 
     bool useFastPath_ = true;
     bool useTracePath_ = true;
+    bool useReplayPath_ = true;
 };
 
 } // namespace mbias::sim

@@ -22,6 +22,7 @@
 #include "sim/attribution.hh"
 #include "sim/machine.hh"
 #include "sim/plan.hh"
+#include "sim/replay.hh"
 #include "sim/trace.hh"
 #include "toolchain/compiler.hh"
 #include "toolchain/linker.hh"
@@ -49,6 +50,16 @@ imageFor(const std::string &workload, const toolchain::LinkOrder &order,
 }
 
 enum class Tier { Reference, Fast, Trace };
+
+/** The replay-tier provenance suffix activeSimTierDescription appends
+ *  to the fast/trace descriptions (sim/replay.hh hatches). */
+const char *const kReplaySuffix =
+#if !MBIAS_SIM_REPLAY_ENABLED
+    " (replay: -DMBIAS_SIM_REPLAY=OFF)";
+#else
+    sim::replayDisabledByEnv() ? " (replay: MBIAS_SIM_REPLAY=0)"
+                               : " + replay";
+#endif
 
 /** Whether a Tier::Trace run actually reaches the trace tier right
  *  now — false under -DMBIAS_SIM_TRACE=OFF builds and under the
@@ -363,7 +374,7 @@ TEST(TraceDifferential, EnvHatchDisablesTraceTier)
     ::setenv("MBIAS_SIM_TRACE", "0", 1);
 #if MBIAS_SIM_FASTPATH_ENABLED && MBIAS_SIM_TRACE_ENABLED
     EXPECT_EQ(sim::activeSimTierDescription(),
-              "fast (MBIAS_SIM_TRACE=0)");
+              std::string("fast (MBIAS_SIM_TRACE=0)") + kReplaySuffix);
 #endif
     const auto image = straightLineImage();
     const auto mc = sim::MachineConfig::core2Like();
@@ -375,7 +386,8 @@ TEST(TraceDifferential, EnvHatchDisablesTraceTier)
 
     ::setenv("MBIAS_SIM_TRACE", "1", 1);
 #if MBIAS_SIM_FASTPATH_ENABLED && MBIAS_SIM_TRACE_ENABLED
-    EXPECT_EQ(sim::activeSimTierDescription(), "trace");
+    EXPECT_EQ(sim::activeSimTierDescription(),
+              std::string("trace") + kReplaySuffix);
 #endif
     const auto traced = runTier(mc, image, Tier::Trace);
     EXPECT_EQ(traced, hatched);

@@ -555,8 +555,8 @@ cmdProfile(const Args &args)
 
     sim::Machine machine(spec.machine);
     sim::Profile profile;
-    auto rr = machine.run(image, 500'000'000, sim::NoiseModel::none(),
-                          &profile);
+    auto rr = machine.run(image, sim::Machine::kDefaultRunBudget,
+                          sim::NoiseModel::none(), &profile);
     std::printf("%s %s at env=%llu link=%s on %s: %llu cycles\n\n",
                 spec.workload.c_str(), spec.baseline.str().c_str(),
                 (unsigned long long)lc.envBytes, order.str().c_str(),
