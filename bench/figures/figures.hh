@@ -30,6 +30,8 @@ pipeline::FigureSpec fig8();
 pipeline::FigureSpec fig9();
 pipeline::FigureSpec fig10();
 pipeline::FigureSpec fig11();
+pipeline::FigureSpec fig12();
+pipeline::FigureSpec fig13();
 pipeline::FigureSpec table1();
 pipeline::FigureSpec table2();
 pipeline::FigureSpec table3();

@@ -19,6 +19,8 @@ registerAll()
         reg.add(fig9());
         reg.add(fig10());
         reg.add(fig11());
+        reg.add(fig12());
+        reg.add(fig13());
         reg.add(table1());
         reg.add(table2());
         reg.add(table3());

@@ -44,6 +44,10 @@ for f in results/BENCH_*.json; do
         + (if .noisy_repetition? then {
             noisy_repetition_speedups:
                 (.noisy_repetition | map_values(.speedup))
+          } else {} end)
+        + (if .backends? then {
+            backend_fast_vs_reference:
+                (.backends | map_values(.fast_vs_reference))
           } else {} end)' "$f")" || continue
     row="$(printf '%s' "$row" |
         jq --arg k "$base" --argjson v "$summary" '.reports[$k] = $v')"

@@ -83,7 +83,8 @@ executeTask(core::ExperimentRunner &runner, const CampaignTask &task)
         // derivation the serial drivers used, now owned by the
         // campaign lowering.
         auto base = runner.repeatedMetric(spec.baseline, task.setup,
-                                          task.plan.reps, task.taskSeed);
+                                          task.plan.reps, task.taskSeed,
+                                          task.plan.noiseTemplate);
         r.outcome.setup = task.setup;
         r.outcome.baseline.halted = r.outcome.treatment.halted = true;
         r.outcome.repBaseline = base.values();
@@ -94,10 +95,12 @@ executeTask(core::ExperimentRunner &runner, const CampaignTask &task)
 
       case RepetitionPlan::Kind::NoisePaired: {
         auto base = runner.repeatedMetric(spec.baseline, task.setup,
-                                          task.plan.reps, task.taskSeed);
+                                          task.plan.reps, task.taskSeed,
+                                          task.plan.noiseTemplate);
         auto treat = runner.repeatedMetric(
             spec.treatment, task.setup, task.plan.reps,
-            task.taskSeed + task.plan.treatSeedOffset);
+            task.taskSeed + task.plan.treatSeedOffset,
+            task.plan.noiseTemplate);
         r.outcome.setup = task.setup;
         r.outcome.baseline.halted = r.outcome.treatment.halted = true;
         r.outcome.repBaseline = base.values();

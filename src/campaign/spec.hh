@@ -8,6 +8,7 @@
 
 #include "core/experiment.hh"
 #include "core/setup.hh"
+#include "sim/noise.hh"
 
 namespace mbias::campaign
 {
@@ -59,6 +60,17 @@ struct RepetitionPlan
      *  base from the task seed (keeps the two sides' noise streams
      *  disjoint, and historical figures byte-compatible). */
     std::uint64_t treatSeedOffset = 0;
+
+    /**
+     * Noise-model template for the noise-seeded kinds (NoiseRepeated,
+     * NoisePaired): each repetition runs under this model with only
+     * the seed overwritten (seed base + rep).  The default is exactly
+     * what ExperimentRunner::repeatedMetric always built —
+     * NoiseModel::withSeed(·) — so existing campaigns are bitwise
+     * unchanged; figures sweep other factors (e.g. DVFS frequency
+     * steps, fig13) by overriding the template per arm.
+     */
+    sim::NoiseModel noiseTemplate = sim::NoiseModel::withSeed(0);
 
     bool operator==(const RepetitionPlan &) const = default;
 

@@ -151,13 +151,21 @@ stats::Sample
 ExperimentRunner::repeatedMetric(const toolchain::ToolchainSpec &tc,
                                  const ExperimentSetup &setup,
                                  unsigned reps,
-                                 std::uint64_t noise_seed_base)
+                                 std::uint64_t noise_seed_base,
+                                 const sim::NoiseModel &noise_template)
 {
     mbias_assert(reps >= 1, "need at least one repetition");
     auto image = materialize(tc, setup);
     sim::Machine machine(spec_.machine);
     stats::Sample out;
     constexpr std::uint64_t budget = sim::Machine::kDefaultRunBudget;
+    // Rep r's model: the caller's template with seed base + r (the
+    // default template reproduces the historical withSeed(base + r)).
+    const auto noise_for = [&](unsigned rep) {
+        sim::NoiseModel n = noise_template;
+        n.seed = noise_seed_base + rep;
+        return n;
+    };
 
     // Record-once / replay-many: the functional stream is identical
     // across noise seeds (noise perturbs timing and cache state, never
@@ -174,8 +182,7 @@ ExperimentRunner::repeatedMetric(const toolchain::ToolchainSpec &tc,
         bool unrecordable = false;
         trace = cache.find(image, budget, &unrecordable);
         if (!trace && !unrecordable) {
-            auto noise = sim::NoiseModel::withSeed(noise_seed_base);
-            auto rr = machine.runRecord(image, budget, noise, &trace);
+            auto rr = machine.runRecord(image, budget, noise_for(0), &trace);
             mbias_assert(rr.halted,
                          "workload did not halt: ", spec_.workload);
             out.add(metricOf(rr));
@@ -186,7 +193,7 @@ ExperimentRunner::repeatedMetric(const toolchain::ToolchainSpec &tc,
             cache.noteFallback();
     }
     for (; r < reps; ++r) {
-        auto noise = sim::NoiseModel::withSeed(noise_seed_base + r);
+        const auto noise = noise_for(r);
         auto rr = trace
                       ? machine.runReplay(image, budget, noise, *trace)
                       : machine.run(image, budget, noise);

@@ -95,14 +95,18 @@ class ExperimentRunner
 
     /**
      * Repeats one side @p reps times in one setup under seeded
-     * OS-interrupt noise (seeds base, base+1, ...), returning the
+     * run-to-run noise (seeds base, base+1, ...), returning the
      * metric sample — the conventional "repeat the run k times"
      * methodology the paper contrasts with setup randomization.
+     * Each repetition runs under @p noise_template with only the seed
+     * overwritten; the default template (OS-interrupt noise, default
+     * magnitudes) is what this method always built, and figures sweep
+     * other factors (e.g. DVFS frequency steps) by passing their own.
      */
-    stats::Sample repeatedMetric(const toolchain::ToolchainSpec &tc,
-                                 const ExperimentSetup &setup,
-                                 unsigned reps,
-                                 std::uint64_t noise_seed_base);
+    stats::Sample repeatedMetric(
+        const toolchain::ToolchainSpec &tc, const ExperimentSetup &setup,
+        unsigned reps, std::uint64_t noise_seed_base,
+        const sim::NoiseModel &noise_template = sim::NoiseModel::withSeed(0));
 
     /**
      * The Stabilizer-style remedy: runs one side @p reps times in one

@@ -90,12 +90,37 @@ MachineConfig::o3Like()
     return c;
 }
 
-const std::vector<MachineConfig> &
-MachineConfig::allPresets()
+MachineConfig
+MachineConfig::inorderLike()
 {
-    static const std::vector<MachineConfig> presets = {
-        p4Like(), core2Like(), o3Like()};
-    return presets;
+    MachineConfig c;
+    c.name = "inorderlike";
+    c.core = CoreKind::InOrder;
+    // Dual-issue in-order front end fetching aligned 8-byte pairs; a
+    // taken transfer into the middle of a pair costs a refetch cycle.
+    c.fetchBlockBytes = 8;
+    c.fetchWidth = 2;
+    c.fetchRealignPenalty = 1;
+    c.branchMispredictPenalty = 8; // short in-order pipeline
+    c.btbMissPenalty = 2;
+    c.btbSets = 256;
+    c.btbWays = 2;
+    c.predictor = PredictorKind::Gshare;
+    c.predictorTableBits = 11;
+    c.predictorHistoryBits = 6;
+    c.icache = {128, 4, 32, 0, 15};  // 16 KiB, 32 B lines
+    c.dcache = {128, 4, 32, 2, 15};  // 16 KiB
+    c.l2 = {1024, 8, 32, 0, 120};    // 256 KiB unified
+    c.itlb = {32, 4096, 25};
+    c.dtlb = {32, 4096, 25};
+    c.storeBufferEntries = 8;
+    c.aliasPenalty = 4;
+    c.lineSplitPenalty = 8;
+    c.intMulLatency = 4;
+    c.intDivLatency = 35;
+    // In-order: no latency hiding at all; every stall cycle is paid.
+    c.oooWindowCycles = 0;
+    return c;
 }
 
 } // namespace mbias::sim

@@ -19,6 +19,20 @@ enum class PredictorKind
 };
 
 /**
+ * Core-model family: which issue/stall policy the timing spine runs
+ * under.  The memory hierarchy, predictors, and shadow structures are
+ * shared; the core model decides what a producer latency costs a
+ * dependent consumer and what a taken control transfer costs the
+ * front end (sim/machine.cc picks the policy per backend at compile
+ * time so the direct-threaded tiers keep their throughput).
+ */
+enum class CoreKind
+{
+    OutOfOrder, ///< window hides up to oooWindowCycles of latency
+    InOrder,    ///< strict issue order, every stall cycle exposed
+};
+
+/**
  * Full parameterization of one simulated machine.
  *
  * Three presets model the paper's three platforms: core2Like() and
@@ -67,13 +81,22 @@ struct MachineConfig
     bool enableNextLinePrefetch = false;
 
     // Execution.
+    CoreKind core = CoreKind::OutOfOrder;
     Cycles intMulLatency = 3;
     Cycles intDivLatency = 22;
     /**
      * Cycles of producer latency the out-of-order window can hide from
-     * a dependent consumer (coarse OoO model).
+     * a dependent consumer (coarse OoO model).  Ignored by in-order
+     * cores, which expose every stall cycle.
      */
     Cycles oooWindowCycles = 24;
+    /**
+     * In-order front ends refetch when a taken transfer lands inside a
+     * fetch block rather than at its start; this is the extra cycle(s)
+     * such a misaligned redirect costs.  Zero (and unused) on OoO
+     * cores, whose decoupled fetch buffers hide the realignment.
+     */
+    Cycles fetchRealignPenalty = 0;
 
     // Ablation switches (all on for the real models).
     bool enableFetchBlockModel = true;
@@ -93,7 +116,20 @@ struct MachineConfig
     /** An m5-O3CPU-flavoured simulated machine. */
     static MachineConfig o3Like();
 
-    /** The three preset machines, in paper order. */
+    /**
+     * A dual-issue in-order ARM-flavoured core (CoreKind::InOrder):
+     * no latency hiding, strict issue order, fetch-alignment
+     * sensitive.  Registered as a non-paper backend; the paper's
+     * conclusions are re-examined on it in bench/figures/fig12.
+     */
+    static MachineConfig inorderLike();
+
+    /**
+     * The three preset machines, in paper order.  This is the *paper*
+     * subset — consumers that want every registered backend (including
+     * non-paper cores like inorderLike()) go through
+     * sim::MachineRegistry instead.
+     */
     static const std::vector<MachineConfig> &allPresets();
 };
 

@@ -60,6 +60,25 @@ traceDisabledByEnv()
     return e && e[0] == '0' && e[1] == '\0';
 }
 
+/**
+ * CoreModel policies for runPlanImpl's `if constexpr` points.  The
+ * out-of-order policy is the historical behavior — every branch it
+ * guards compiles to the exact code the pre-backend-layer loop had, so
+ * existing presets stay bitwise identical at unchanged throughput.
+ */
+struct OooCore
+{
+    static constexpr bool kInOrder = false;
+};
+
+/** Strict in-order issue: no latency hiding, multi-cycle ALU ops block
+ *  the pipe, taken transfers into the middle of a fetch block refetch
+ *  (config.fetchRealignPenalty). */
+struct InOrderCore
+{
+    static constexpr bool kInOrder = true;
+};
+
 std::unique_ptr<uarch::BranchPredictor>
 makePredictor(const MachineConfig &c)
 {
@@ -209,6 +228,19 @@ struct ShadowTlb
 
 } // namespace
 
+bool
+traceTierUsable(const Machine &machine)
+{
+#if !MBIAS_SIM_TRACE_ENABLED
+    (void)machine;
+    return false;
+#else
+    return machine.useFastPath() && machine.useTracePath() &&
+           machine.tierSupport().trace && !traceDisabledByEnv() &&
+           !referenceForced();
+#endif
+}
+
 std::string
 activeSimTierDescription()
 {
@@ -258,6 +290,7 @@ struct Machine::Pipeline
 
 Machine::Machine(const MachineConfig &config)
     : config_(config),
+      tiers_(MachineRegistry::tiersFor(config)),
       icache_(config.icache),
       dcache_(config.dcache),
       l2_(config.l2),
@@ -429,11 +462,11 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
     // unprofiled runs.  Noise injection, per-function profiling, and
     // per-set attribution read per-instruction state the fast lanes
     // skip, so those runs stay on the reference interpreter.
-    if (useFastPath_ && !noise.enabled && !profile && !attribution &&
-        !referenceForced()) {
+    if (useFastPath_ && tiers_.fast && !noise.active() && !profile &&
+        !attribution && !referenceForced()) {
         const auto plan = PlanCache::global().get(image.program);
 #if MBIAS_SIM_TRACE_ENABLED
-        if (useTracePath_ && !traceDisabledByEnv())
+        if (traceTierUsable(*this))
             return runTrace(image, max_insts, plan);
 #endif
         return runFast(image, max_insts, *plan);
@@ -480,18 +513,33 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
             pipe.regReady[rd] = ready;
         }
     };
+    // CoreModel policy, runtime-selected here (the reference path is
+    // not throughput-critical); runPlanImpl selects the same policy at
+    // compile time per backend.
+    const bool in_order = config_.core == CoreKind::InOrder;
+
     auto wait_for = [&](isa::Reg r) {
         const Cycles ready = pipe.regReady[r];
         if (ready > pipe.now) {
             const Cycles stall = ready - pipe.now;
+            // In-order cores expose the whole stall; the OoO window
+            // hides up to oooWindowCycles of it.
             const Cycles hidden =
-                std::min<Cycles>(stall, config_.oooWindowCycles);
+                in_order ? 0
+                         : std::min<Cycles>(stall, config_.oooWindowCycles);
             const Cycles exposed = stall - hidden;
             if (exposed) {
                 pipe.now += exposed;
                 ctrs.inc(Counter::StallCycles, exposed);
             }
         }
+    };
+    // In-order front ends refetch when a taken transfer lands inside a
+    // fetch block rather than at its start.
+    auto redirect_realign = [&](Addr target) {
+        if (in_order && config_.enableFetchBlockModel &&
+            (target & (Addr(config_.fetchBlockBytes) - 1)) != 0)
+            pipe.now += config_.fetchRealignPenalty;
     };
 
     // Optional per-function attribution (index-range lookup; functions
@@ -527,6 +575,29 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
     if (noise.enabled)
         schedule_interrupt(0);
 
+    // DVFS frequency steps (seeded; independent stream so the factor
+    // can be swept alone).  A step charges the transition plus the
+    // work lost over the slowed residency as one lump — timing only,
+    // no architectural or cache state is touched — and the next step
+    // cannot begin before this residency ends.
+    Rng dvfs_rng(noise.seed ^ 0xd7f5c10cULL);
+    Cycles next_dvfs = ~Cycles(0);
+    auto schedule_dvfs = [&](Cycles from) {
+        const double jitter = 0.5 + dvfs_rng.nextDouble();
+        next_dvfs =
+            from + Cycles(double(noise.dvfsMeanIntervalCycles) * jitter);
+    };
+    auto do_dvfs_step = [&]() {
+        const double rj = 0.5 + dvfs_rng.nextDouble();
+        const Cycles residency =
+            Cycles(double(noise.dvfsMeanResidencyCycles) * rj);
+        pipe.now += noise.dvfsTransitionCycles +
+                    residency * noise.dvfsSlowdownPercent / 100;
+        schedule_dvfs(pipe.now + residency);
+    };
+    if (noise.dvfsEnabled)
+        schedule_dvfs(0);
+
     std::uint64_t icount = 0;
     std::uint32_t idx = image.entryIdx;
     bool halted = false;
@@ -542,6 +613,8 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
             pipe.lastCodeLine = ~Addr(0); // force an icache re-access
             schedule_interrupt(pipe.now);
         }
+        if (noise.dvfsEnabled && pipe.now >= next_dvfs)
+            do_dvfs_step();
 
         if (profile) {
             if (idx < cur_begin || idx >= cur_end) {
@@ -626,6 +699,14 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
                   break;
                 case Opcode::Sltu: v = a < b ? 1 : 0; break;
                 default: mbias_panic("unreachable");
+              }
+              if (in_order && lat > 1) {
+                  // In-order pipes block issue behind a multi-cycle
+                  // ALU op: the busy cycles are exposed stalls, and
+                  // the result is ready right after issue resumes.
+                  pipe.now += lat - 1;
+                  ctrs.inc(Counter::StallCycles, lat - 1);
+                  lat = 1;
               }
               set_reg(in.rd, v, pipe.now + lat);
               break;
@@ -750,6 +831,7 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
                           pipe.now += config_.btbMissPenalty;
                       }
                   }
+                  redirect_realign(target);
                   pipe.forceNewGroup = true;
                   next = pi.targetIdx;
               }
@@ -765,6 +847,7 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
                       pipe.now += config_.btbMissPenalty;
                   }
               }
+              redirect_realign(target);
               pipe.forceNewGroup = true;
               next = pi.targetIdx;
               break;
@@ -787,6 +870,7 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
                       pipe.now += config_.btbMissPenalty;
                   }
               }
+              redirect_realign(target);
               pipe.forceNewGroup = true;
               next = pi.targetIdx;
               break;
@@ -806,6 +890,7 @@ Machine::run(const toolchain::ProcessImage &image, std::uint64_t max_insts,
               mbias_assert(it != prog.addrToIdx.end(),
                            "corrupted return address 0x", std::hex,
                            ret_addr);
+              redirect_realign(ret_addr);
               pipe.forceNewGroup = true;
               next = it->second;
               break;
@@ -860,7 +945,11 @@ RunResult
 Machine::runFast(const toolchain::ProcessImage &image,
                  std::uint64_t max_insts, const ExecutionPlan &plan)
 {
-    return runPlanImpl<false, RunMode::Normal>(
+    if (config_.core == CoreKind::InOrder)
+        return runPlanImpl<false, RunMode::Normal, InOrderCore>(
+            image, max_insts, plan, nullptr, NoiseModel::none(), nullptr,
+            nullptr);
+    return runPlanImpl<false, RunMode::Normal, OooCore>(
         image, max_insts, plan, nullptr, NoiseModel::none(), nullptr,
         nullptr);
 }
@@ -870,12 +959,15 @@ Machine::runTrace(const toolchain::ProcessImage &image,
                   std::uint64_t max_insts,
                   const std::shared_ptr<const ExecutionPlan> &plan)
 {
+    // The trace tier's batch guards assume the OoO window model;
+    // traceTierUsable() keeps in-order backends off this path.
+    mbias_assert(config_.core == CoreKind::OutOfOrder,
+                 "trace tier requires an out-of-order core model");
     const auto tplan =
         TraceCache::global().get(plan, TraceGeometry::of(config_));
-    return runPlanImpl<true, RunMode::Normal>(image, max_insts, *plan,
-                                              tplan.get(),
-                                              NoiseModel::none(), nullptr,
-                                              nullptr);
+    return runPlanImpl<true, RunMode::Normal, OooCore>(
+        image, max_insts, *plan, tplan.get(), NoiseModel::none(), nullptr,
+        nullptr);
 }
 
 RunResult
@@ -899,18 +991,22 @@ Machine::runRecord(const toolchain::ProcessImage &image,
         trace->stackBoundary = image.stackTop >> 1;
         RunResult rr;
 #if MBIAS_SIM_TRACE_ENABLED
-        if (useTracePath_ && !traceDisabledByEnv()) {
+        if (traceTierUsable(*this)) {
             const auto tplan =
                 TraceCache::global().get(plan, TraceGeometry::of(config_));
-            rr = runPlanImpl<true, RunMode::Record>(image, max_insts,
-                                                    *plan, tplan.get(),
-                                                    noise, trace.get(),
-                                                    nullptr);
+            rr = runPlanImpl<true, RunMode::Record, OooCore>(
+                image, max_insts, *plan, tplan.get(), noise, trace.get(),
+                nullptr);
         } else
 #endif
-            rr = runPlanImpl<false, RunMode::Record>(image, max_insts,
-                                                     *plan, nullptr, noise,
-                                                     trace.get(), nullptr);
+        if (config_.core == CoreKind::InOrder)
+            rr = runPlanImpl<false, RunMode::Record, InOrderCore>(
+                image, max_insts, *plan, nullptr, noise, trace.get(),
+                nullptr);
+        else
+            rr = runPlanImpl<false, RunMode::Record, OooCore>(
+                image, max_insts, *plan, nullptr, noise, trace.get(),
+                nullptr);
         ReplayCache::global().noteRecord();
         if (!trace->aborted)
             *out = std::move(trace);
@@ -932,18 +1028,20 @@ Machine::runReplay(const toolchain::ProcessImage &image,
         const auto plan = PlanCache::global().get(image.program);
         RunResult rr;
 #if MBIAS_SIM_TRACE_ENABLED
-        if (useTracePath_ && !traceDisabledByEnv()) {
+        if (traceTierUsable(*this)) {
             const auto tplan =
                 TraceCache::global().get(plan, TraceGeometry::of(config_));
-            rr = runPlanImpl<true, RunMode::Replay>(image, max_insts,
-                                                    *plan, tplan.get(),
-                                                    noise, nullptr,
-                                                    &trace);
+            rr = runPlanImpl<true, RunMode::Replay, OooCore>(
+                image, max_insts, *plan, tplan.get(), noise, nullptr,
+                &trace);
         } else
 #endif
-            rr = runPlanImpl<false, RunMode::Replay>(image, max_insts,
-                                                     *plan, nullptr, noise,
-                                                     nullptr, &trace);
+        if (config_.core == CoreKind::InOrder)
+            rr = runPlanImpl<false, RunMode::Replay, InOrderCore>(
+                image, max_insts, *plan, nullptr, noise, nullptr, &trace);
+        else
+            rr = runPlanImpl<false, RunMode::Replay, OooCore>(
+                image, max_insts, *plan, nullptr, noise, nullptr, &trace);
         ReplayCache::global().noteReplay();
         return rr;
     }
@@ -952,13 +1050,18 @@ Machine::runReplay(const toolchain::ProcessImage &image,
     return run(image, max_insts, noise);
 }
 
-template <bool Traced, Machine::RunMode Mode>
+template <bool Traced, Machine::RunMode Mode, class Core>
 RunResult
 Machine::runPlanImpl(const toolchain::ProcessImage &image,
                      std::uint64_t max_insts, const ExecutionPlan &plan,
                      const TracePlan *tplan, const NoiseModel &noise,
                      FunctionalTrace *rec, const FunctionalTrace *rep)
 {
+    // The trace tier's op_batch guards prove "zero stall cycles" under
+    // the OoO hiding model; an in-order instantiation would make that
+    // proof unsound, so it is never generated (traceTierUsable()).
+    static_assert(!(Traced && Core::kInOrder),
+                  "the trace tier assumes the OoO core model");
     // The contract of this function is bitwise equality with the
     // reference interpreter above (noise disabled, no profile): it
     // performs the same component accesses in the same order with the
@@ -1134,12 +1237,45 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
         const Cycles ready = pipe.regReady[r];
         if (ready > pipe.now) {
             const Cycles stall = ready - pipe.now;
-            const Cycles hidden = std::min<Cycles>(stall, ooo_window);
-            const Cycles exposed = stall - hidden;
+            // CoreModel policy: in-order cores expose the whole stall,
+            // the OoO window hides up to ooo_window of it.  The OoO
+            // branch is token-identical to the pre-backend-layer code.
+            Cycles exposed;
+            if constexpr (Core::kInOrder)
+                exposed = stall;
+            else
+                exposed = stall - std::min<Cycles>(stall, ooo_window);
             if (exposed) {
                 pipe.now += exposed;
                 ctrs.inc(Counter::StallCycles, exposed);
             }
+        }
+    };
+    // CoreModel policy: in-order pipes block issue behind a
+    // multi-cycle ALU op (busy cycles are exposed stalls, the result
+    // is ready right after issue resumes); OoO cores just tag the
+    // result with its latency and let wait_for settle it.
+    auto alu_ready = [&](Cycles lat)
+        __attribute__((always_inline)) -> Cycles {
+        if constexpr (Core::kInOrder) {
+            if (lat > 1) {
+                pipe.now += lat - 1;
+                ctrs.inc(Counter::StallCycles, lat - 1);
+                return pipe.now + 1;
+            }
+        }
+        return pipe.now + lat;
+    };
+    // CoreModel policy: in-order front ends refetch when a taken
+    // transfer lands inside a fetch block rather than at its start.
+    const Cycles fetch_realign_pen = config_.fetchRealignPenalty;
+    auto redirect_realign = [&](Addr target)
+        __attribute__((always_inline)) {
+        if constexpr (Core::kInOrder) {
+            if (model_blocks && (target & (fetch_block_bytes - 1)) != 0)
+                pipe.now += fetch_realign_pen;
+        } else {
+            (void)target;
         }
     };
 
@@ -1426,6 +1562,29 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
     if (noise_on)
         schedule_interrupt(0);
 
+    // DVFS frequency steps, transcribed from the reference loop: same
+    // independent RNG stream (one nextDouble per schedule, one per
+    // step), same lump charge, no state eviction.  Like noise_on,
+    // dvfs_on folds to false in Normal mode.
+    Rng dvfs_rng(noise.seed ^ 0xd7f5c10cULL);
+    Cycles next_dvfs = ~Cycles(0);
+    const bool dvfs_on = Mode != RunMode::Normal && noise.dvfsEnabled;
+    auto schedule_dvfs = [&](Cycles from) {
+        const double jitter = 0.5 + dvfs_rng.nextDouble();
+        next_dvfs =
+            from + Cycles(double(noise.dvfsMeanIntervalCycles) * jitter);
+    };
+    auto do_dvfs_step = [&]() __attribute__((noinline)) {
+        const double rj = 0.5 + dvfs_rng.nextDouble();
+        const Cycles residency =
+            Cycles(double(noise.dvfsMeanResidencyCycles) * rj);
+        pipe.now += noise.dvfsTransitionCycles +
+                    residency * noise.dvfsSlowdownPercent / 100;
+        schedule_dvfs(pipe.now + residency);
+    };
+    if (dvfs_on)
+        schedule_dvfs(0);
+
     // Record-mode stream sinks.  One running byte estimate caps the
     // footprint: past FunctionalTrace::kMaxBytes the streams stop
     // growing, the run completes normally, and the trace is marked
@@ -1566,6 +1725,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
                 ctrs.inc(Counter::BtbMisses);
                 pipe.now += btb_miss_pen;
             }
+            redirect_realign(target);
             pipe.forceNewGroup = true;
             idx = b.targetIdx;
         } else {
@@ -1602,6 +1762,8 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
             goto run_done;                                                  \
         if (noise_on && __builtin_expect(pipe.now >= next_interrupt, 0))    \
             do_interrupt();                                                 \
+        if (dvfs_on && __builtin_expect(pipe.now >= next_dvfs, 0))          \
+            do_dvfs_step();                                                 \
         d = ops + idx;                                                      \
         ++icount;                                                           \
         fetch(d->pc, d->size);                                              \
@@ -1627,7 +1789,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
   op_mul:
     wait_for(d->rs1);
     wait_for(d->rs2);
-    set_reg(d->rd, regs[d->rs1] * regs[d->rs2], pipe.now + mul_lat);
+    set_reg(d->rd, regs[d->rs1] * regs[d->rs2], alu_ready(mul_lat));
     ++idx;
     MBIAS_DISPATCH();
 
@@ -1636,7 +1798,8 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
       wait_for(d->rs2);
       const std::uint64_t a = regs[d->rs1];
       const std::uint64_t b = regs[d->rs2];
-      set_reg(d->rd, b == 0 ? ~std::uint64_t(0) : a / b, pipe.now + div_lat);
+      set_reg(d->rd, b == 0 ? ~std::uint64_t(0) : a / b,
+              alu_ready(div_lat));
       ++idx;
       MBIAS_DISPATCH();
   }
@@ -1646,7 +1809,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
       wait_for(d->rs2);
       const std::uint64_t a = regs[d->rs1];
       const std::uint64_t b = regs[d->rs2];
-      set_reg(d->rd, b == 0 ? a : a % b, pipe.now + div_lat);
+      set_reg(d->rd, b == 0 ? a : a % b, alu_ready(div_lat));
       ++idx;
       MBIAS_DISPATCH();
   }
@@ -1846,6 +2009,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
           ctrs.inc(Counter::BtbMisses);
           pipe.now += btb_miss_pen;
       }
+      redirect_realign(target);
       pipe.forceNewGroup = true;
       idx = d->targetIdx;
       MBIAS_DISPATCH();
@@ -1870,6 +2034,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
           ctrs.inc(Counter::BtbMisses);
           pipe.now += btb_miss_pen;
       }
+      redirect_realign(target);
       pipe.forceNewGroup = true;
       idx = d->targetIdx;
       MBIAS_DISPATCH();
@@ -1905,6 +2070,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
               rec_ret(t);
       }
       set_reg(isa::reg::sp, sp + 8, pipe.now + 1);
+      redirect_realign(ops[t].pc);
       pipe.forceNewGroup = true;
       idx = t;
       MBIAS_DISPATCH();
@@ -1958,20 +2124,24 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
                 }
             }
         }
-        if (noise_on && batch_ok) {
-            // (4) no OS interrupt can fire inside the block: bound the
-            // batch's cycle advance from above (entry fetch row plus
-            // every line/page touch missing) — now only grows through
-            // the per-op walk and the guards above prove zero stalls,
-            // so if even the bound stays short of the next interrupt,
-            // no mid-block dispatch could have fired it, and the
-            // post-block dispatch re-checks with identical state.
+        if ((noise_on || dvfs_on) && batch_ok) {
+            // (4) no OS interrupt or DVFS step can fire inside the
+            // block: bound the batch's cycle advance from above (entry
+            // fetch row plus every line/page touch missing) — now only
+            // grows through the per-op walk and the guards above prove
+            // zero stalls, so if even the bound stays short of the
+            // next event, no mid-block dispatch could have fired it,
+            // and the post-block dispatch re-checks with identical
+            // state.
+            const Cycles next_event =
+                std::min(noise_on ? next_interrupt : ~Cycles(0),
+                         dvfs_on ? next_dvfs : ~Cycles(0));
             const Cycles exit_base =
                 pipe.now + tb->rows[pipe.groupSlots].groups;
             Cycles pen_ub =
                 Cycles(tb->lines.size()) * (i_miss_pen + l2_miss_pen) +
                 Cycles(2 * tb->pages.size()) * itlb_miss_pen;
-            if (exit_base + pen_ub >= next_interrupt) {
+            if (exit_base + pen_ub >= next_event) {
                 // Near the interrupt the all-miss bound refuses almost
                 // every block; tighten it with a read-only residency
                 // probe.  If every block line (page) is resident right
@@ -1996,7 +2166,7 @@ Machine::runPlanImpl(const toolchain::ProcessImage &image,
                         break;
                     }
                 }
-                if (exit_base + pen_ub >= next_interrupt)
+                if (exit_base + pen_ub >= next_event)
                     batch_ok = false;
             }
         }

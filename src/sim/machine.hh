@@ -10,6 +10,7 @@
 #include "sim/noise.hh"
 #include "sim/profile.hh"
 #include "sim/memory.hh"
+#include "sim/registry.hh"
 #include "toolchain/loader.hh"
 #include "uarch/branch.hh"
 #include "uarch/cache.hh"
@@ -38,6 +39,20 @@ std::string activeSimTierDescription();
  *  this process (re-read per run). */
 bool referenceForcedByEnv();
 
+class Machine;
+
+/**
+ * True when every switch between here and the hardware allows the
+ * superblock trace tier for @p machine: built in (-DMBIAS_SIM_TRACE=ON
+ * over an enabled fast path), not vetoed by MBIAS_SIM_TRACE=0 or
+ * MBIAS_SIM_REFERENCE, the machine's own fast/trace toggles on, *and*
+ * the machine's backend declares trace support (MachineRegistry) — the
+ * tier's batch guards assume the OoO window model, so in-order cores
+ * fall back to the plain fast path.  The replay tier's
+ * precondition-fallback pattern (replayTierUsable), applied to trace.
+ */
+bool traceTierUsable(const Machine &machine);
+
 /** Outcome of one simulated program run. */
 struct RunResult
 {
@@ -61,13 +76,18 @@ struct RunResult
  * timing model with address-sensitive components (fetch blocks, caches,
  * TLBs, branch predictor, BTB, store buffer).
  *
- * The timing model is a coarse in-order accounting of an out-of-order
- * pipeline: instructions are charged fetch-group cycles (fetchWidth per
- * aligned fetch block), producer-consumer stalls beyond what the OoO
- * window can hide, and event penalties (mispredicts, cache/TLB misses,
- * line splits, 4K-alias stalls).  Every one of those penalties depends
- * on *addresses*, so the measured cycle count responds to link order
- * and environment size exactly the way the paper's hardware does.
+ * The timing model is a coarse cycle accounting over a shared
+ * execution spine (decode, dataflow, memory hierarchy, shadow
+ * structures) with a per-backend CoreModel policy on top
+ * (config.core): the out-of-order policy charges producer-consumer
+ * stalls beyond what the OoO window can hide, the in-order policy
+ * exposes every stall cycle, blocks issue behind multi-cycle ALU ops,
+ * and pays a refetch on taken transfers into the middle of a fetch
+ * block.  Both charge fetch-group cycles (fetchWidth per aligned fetch
+ * block) and event penalties (mispredicts, cache/TLB misses, line
+ * splits, 4K-alias stalls).  Every one of those penalties depends on
+ * *addresses*, so the measured cycle count responds to link order and
+ * environment size exactly the way the paper's hardware does.
  *
  * Determinism: given the same ProcessImage and config, run() returns
  * bit-identical results.  All components start cold on each run().
@@ -144,6 +164,9 @@ class Machine
 
     const MachineConfig &config() const { return config_; }
 
+    /** The backend's tier-capability declaration (sim/registry.hh). */
+    const TierSupport &tierSupport() const { return tiers_; }
+
     /** Selects the plan-based fast interpreter (default on; results
      *  are bitwise identical either way). */
     void setUseFastPath(bool on) { useFastPath_ = on; }
@@ -183,8 +206,14 @@ class Machine
      *  (Traced = false), runTrace (Traced = true), and the record/
      *  replay tier (Mode != Normal; @p rec receives the stream under
      *  Record, @p rep supplies it under Replay, and @p noise drives
-     *  the reference-equivalent OS-interrupt model). */
-    template <bool Traced, RunMode Mode>
+     *  the reference-equivalent OS-interrupt model).  Core is the
+     *  CoreModel policy (machine.cc: OooCore / InOrderCore) selected
+     *  per backend at compile time: it decides stall exposure,
+     *  multi-cycle issue blocking, and taken-redirect realignment at
+     *  `if constexpr` points, so the execution spine (decode,
+     *  dataflow, memory, shadow structures) is shared and each
+     *  instantiation keeps its direct-threaded throughput. */
+    template <bool Traced, RunMode Mode, class Core>
     RunResult runPlanImpl(const toolchain::ProcessImage &image,
                           std::uint64_t max_insts,
                           const ExecutionPlan &plan,
@@ -201,6 +230,9 @@ class Machine
                         bool is_store, PerfCounters &ctrs);
 
     MachineConfig config_;
+    /** The backend's tier-capability declaration, resolved once from
+     *  the registry (ad-hoc configs inherit their core kind's). */
+    TierSupport tiers_;
 
     uarch::Cache icache_;
     uarch::Cache dcache_;

@@ -25,7 +25,8 @@ replayTierUsable(const Machine &machine)
     return false;
 #else
     return machine.useFastPath() && machine.useReplayPath() &&
-           !replayDisabledByEnv() && !referenceForcedByEnv();
+           machine.tierSupport().replay && !replayDisabledByEnv() &&
+           !referenceForcedByEnv();
 #endif
 }
 

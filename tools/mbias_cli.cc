@@ -146,11 +146,11 @@ void writeTextFile(const std::filesystem::path &path,
 sim::MachineConfig
 machineByName(const std::string &name)
 {
-    for (const auto &m : sim::MachineConfig::allPresets())
-        if (m.name == name)
-            return m;
-    mbias_fatal("unknown machine '", name,
-                "' (try core2like, p4like, o3like)");
+    const auto &reg = sim::MachineRegistry::global();
+    if (const sim::MachineBackend *b = reg.byName(name))
+        return b->config;
+    mbias_fatal("unknown machine '", name, "' (try ",
+                reg.namesJoined(), ")");
 }
 
 toolchain::CompilerVendor
@@ -229,9 +229,17 @@ printWorkloads()
                   e.workload->description()});
     std::printf("%s\n", t.str().c_str());
     // Which interpreter these workloads will run on (provenance for
-    // perf deltas between hosts/builds; results are tier-invariant).
-    std::printf("sim tier: %s\n\n",
-                sim::activeSimTierDescription().c_str());
+    // perf deltas between hosts/builds; results are tier-invariant),
+    // and which machine backends are registered — with their core
+    // models, since tier availability follows the core model.
+    std::printf("sim tier: %s\n", sim::activeSimTierDescription().c_str());
+    std::string backends;
+    for (const auto &b : sim::MachineRegistry::global().backends()) {
+        if (!backends.empty())
+            backends += ", ";
+        backends += b.config.name + " (" + b.coreModel + ")";
+    }
+    std::printf("machine backends: %s\n\n", backends.c_str());
 }
 
 int
@@ -253,7 +261,8 @@ cmdList()
     std::printf("%s\n", figs.str().c_str());
     std::printf("render with `mbias fig <id>`, `mbias table <id>`, or "
                 "`mbias all [--jobs N]`\n\n");
-    std::printf("machines: core2like, p4like, o3like\n");
+    std::printf("machines: %s\n",
+                sim::MachineRegistry::global().namesJoined().c_str());
     std::printf("vendors : gcc, icc   opt levels: O0..O3\n");
     return 0;
 }
